@@ -1,0 +1,54 @@
+// Command calibrate measures the execution engine's micro-operations on
+// this machine and prints a fitted cost-model parameter set, plus the
+// effect on an optimized plan.
+//
+// Usage:
+//
+//	calibrate [-scale 100000] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paropt"
+	"paropt/internal/calibrate"
+)
+
+func main() {
+	scale := flag.Int64("scale", 100_000, "tuples per micro-benchmark")
+	seed := flag.Int64("seed", 1, "data seed")
+	flag.Parse()
+
+	rep, err := calibrate.Run(*scale, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "calibrate:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+
+	// Show what calibration changes on a real optimization.
+	cat, q := paropt.PortfolioWorkload(4)
+	def := paropt.DefaultCostParams()
+	for _, tc := range []struct {
+		name   string
+		params paropt.CostParams
+	}{
+		{"default params", def},
+		{"calibrated params", rep.Params},
+	} {
+		params := tc.params
+		opt, err := paropt.NewOptimizer(cat, q, paropt.Config{Params: &params})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		p, err := opt.Optimize()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "calibrate:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s → plan %s\n  rt=%.1f work=%.1f\n", tc.name, p.Tree, p.RT(), p.Work())
+	}
+}

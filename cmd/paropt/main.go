@@ -1,0 +1,182 @@
+// Command paropt optimizes a workload query and explains the chosen plan.
+//
+// Usage:
+//
+//	paropt [-workload portfolio|chain|star|cycle|clique] [-n 5] [-seed 1]
+//	       [-alg podp|podp-bushy|work|naive-rt|brute|brute-bushy|two-phase|anneal]
+//	       [-cpus 4] [-disks 4] [-k 0] [-costbenefit 0] [-simulate]
+//	       [-schema schema.ddl -query "SELECT ... FROM ... WHERE ..."]
+//
+// -k sets the §2 throughput-degradation factor (0 = unbounded);
+// -costbenefit sets the cost–benefit ratio bound instead. With -schema and
+// -query, the catalog and query are parsed from text instead of a built-in
+// workload (see internal/parser for the grammar).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"paropt"
+	"paropt/internal/machine"
+	"paropt/internal/parser"
+	"paropt/internal/search"
+)
+
+func main() {
+	wl := flag.String("workload", "portfolio", "portfolio, tpch, chain, star, cycle or clique")
+	schemaFile := flag.String("schema", "", "schema DDL file (overrides -workload; requires -query)")
+	queryText := flag.String("query", "", "SQL-ish SELECT text (requires -schema)")
+	n := flag.Int("n", 5, "relation count for generated workloads")
+	seed := flag.Int64("seed", 1, "workload seed")
+	alg := flag.String("alg", "podp", "podp, podp-bushy, work, naive-rt, brute, brute-bushy, two-phase, ii or anneal")
+	cpus := flag.Int("cpus", 4, "machine CPUs")
+	disks := flag.Int("disks", 4, "machine disks")
+	aggDisks := flag.Bool("aggdisks", false, "model all disks as one RAID resource (§6.3 aggregation)")
+	beam := flag.Int("beam", 0, "cap cover sets at this many plans (0 = exact search)")
+	k := flag.Float64("k", 0, "throughput-degradation factor (0 = unbounded)")
+	cb := flag.Float64("costbenefit", 0, "cost-benefit ratio bound (0 = off)")
+	simulate := flag.Bool("simulate", false, "also run the plan on the machine simulator")
+	timeline := flag.Bool("timeline", false, "with -simulate, print a Gantt timeline of the execution")
+	dot := flag.Bool("dot", false, "print the operator tree as Graphviz DOT")
+	trace := flag.Bool("trace", false, "trace the search as it runs")
+	jsonOut := flag.Bool("json", false, "print the plan as JSON instead of text")
+	flag.Parse()
+
+	var cat *paropt.Catalog
+	var q *paropt.Query
+	var err error
+	if *schemaFile != "" || *queryText != "" {
+		cat, q, err = parseInput(*schemaFile, *queryText)
+	} else {
+		cat, q, err = buildWorkload(*wl, *n, *seed, *disks)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	cfg := paropt.Config{
+		Machine:   machine.Config{CPUs: *cpus, Disks: *disks, Networks: 1, AggregateDisks: *aggDisks},
+		Algorithm: parseAlg(*alg),
+		CoverCap:  *beam,
+	}
+	switch {
+	case *k > 0:
+		cfg.Bound = search.ThroughputDegradation{K: *k}
+	case *cb > 0:
+		cfg.Bound = search.CostBenefit{K: *cb}
+	}
+	if *trace {
+		cfg.Trace = &search.WriterTracer{W: os.Stderr}
+	}
+	opt, err := paropt.NewOptimizer(cat, q, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := opt.Optimize()
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		raw, err := opt.ExplainJSON(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(raw))
+		return
+	}
+	fmt.Print(opt.Explain(p))
+	if *dot {
+		fmt.Println()
+		fmt.Print(p.Op.Dot(q.Name))
+	}
+
+	if *simulate {
+		res, err := opt.Simulate(p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nsimulated execution: rt=%.2f work=%.2f utilization=%.1f%% (%d events)\n",
+			res.RT, res.Work, 100*res.Utilization(), res.Steps)
+		fmt.Printf("model vs simulator rt: %.2f vs %.2f (%+.1f%%)\n",
+			p.RT(), res.RT, 100*(p.RT()-res.RT)/res.RT)
+		if *timeline {
+			fmt.Println()
+			fmt.Print(res.Timeline(64))
+		}
+	}
+}
+
+func parseInput(schemaFile, queryText string) (*paropt.Catalog, *paropt.Query, error) {
+	if schemaFile == "" || queryText == "" {
+		return nil, nil, fmt.Errorf("-schema and -query must be used together")
+	}
+	src, err := os.ReadFile(schemaFile)
+	if err != nil {
+		return nil, nil, err
+	}
+	cat, err := parser.ParseSchema(string(src))
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := parser.ParseQuery(queryText, cat)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cat, q, nil
+}
+
+func buildWorkload(name string, n int, seed int64, disks int) (*paropt.Catalog, *paropt.Query, error) {
+	switch name {
+	case "portfolio":
+		cat, q := paropt.PortfolioWorkload(disks)
+		return cat, q, nil
+	case "tpch":
+		cat, qs := paropt.TPCHWorkload(disks, 1)
+		return cat, qs[n%len(qs)], nil // -n selects Q3/Q5/Q10
+	case "chain", "star", "cycle", "clique":
+		shape := map[string]paropt.Shape{
+			"chain": paropt.Chain, "star": paropt.Star,
+			"cycle": paropt.Cycle, "clique": paropt.Clique,
+		}[name]
+		cat, q := paropt.Generate(paropt.GenConfig{
+			Relations: n, Shape: shape,
+			MinCard: 10_000, MaxCard: 1_000_000,
+			Disks: disks, IndexProb: 0.5, SortedProb: 0.25, Seed: seed,
+		})
+		return cat, q, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q", name)
+	}
+}
+
+func parseAlg(s string) paropt.Algorithm {
+	switch s {
+	case "podp":
+		return paropt.PartialOrderDP
+	case "podp-bushy":
+		return paropt.PartialOrderDPBushy
+	case "work":
+		return paropt.WorkDP
+	case "naive-rt":
+		return paropt.NaiveRTDP
+	case "brute":
+		return paropt.BruteForceLeftDeep
+	case "brute-bushy":
+		return paropt.BruteForceBushy
+	case "two-phase":
+		return paropt.TwoPhase
+	case "anneal":
+		return paropt.SimulatedAnnealing
+	case "ii":
+		return paropt.IterativeImprovement
+	default:
+		fatal(fmt.Errorf("unknown algorithm %q", s))
+		return 0
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "paropt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,143 @@
+// Command simulate cross-validates the cost model against the machine
+// simulator: it enumerates a population of plans for a generated query,
+// prices each with the §5 calculus, executes each on the simulator, and
+// reports the rank correlation plus the biggest disagreements.
+//
+// Usage:
+//
+//	simulate [-n 5] [-shape chain] [-seed 3] [-cpus 4] [-disks 4] [-top 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"paropt/internal/cost"
+	"paropt/internal/machine"
+	"paropt/internal/optree"
+	"paropt/internal/plan"
+	"paropt/internal/query"
+	"paropt/internal/sim"
+	"paropt/internal/stats"
+)
+
+func main() {
+	n := flag.Int("n", 5, "relations")
+	shapeName := flag.String("shape", "chain", "chain, star, cycle or clique")
+	seed := flag.Int64("seed", 3, "workload seed")
+	cpus := flag.Int("cpus", 4, "machine CPUs")
+	disks := flag.Int("disks", 4, "machine disks")
+	top := flag.Int("top", 5, "worst disagreements to list")
+	flag.Parse()
+
+	shape := map[string]query.Shape{
+		"chain": query.Chain, "star": query.Star,
+		"cycle": query.Cycle, "clique": query.Clique,
+	}[*shapeName]
+	cat, q := query.Generate(query.GenConfig{
+		Relations: *n, Shape: shape,
+		MinCard: 10_000, MaxCard: 1_000_000,
+		Disks: *disks, Seed: *seed,
+	})
+	est := plan.NewEstimator(cat, q)
+	m := machine.New(machine.Config{CPUs: *cpus, Disks: *disks, Networks: 1})
+	model := cost.NewModel(cat, m, est, cost.DefaultParams())
+
+	type sample struct {
+		name      string
+		modelRT   float64
+		simRT     float64
+		modelWork float64
+		simWork   float64
+	}
+	var samples []sample
+	perms := stats.Permutations(*n)
+	for pi, perm := range perms {
+		node, ok := buildLeftDeep(est, q, perm, pi)
+		if !ok {
+			continue
+		}
+		op, err := optree.Expand(node, est, optree.DefaultExpandOptions())
+		if err != nil {
+			continue
+		}
+		optree.Annotate(op, m, est, optree.DefaultAnnotateOptions())
+		res, err := sim.Simulate(op, model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "simulate:", err)
+			os.Exit(1)
+		}
+		samples = append(samples, sample{
+			name:      node.String(),
+			modelRT:   model.RT(op),
+			simRT:     res.RT,
+			modelWork: model.Work(op),
+			simWork:   res.Work,
+		})
+	}
+
+	mrt := make([]float64, len(samples))
+	srt := make([]float64, len(samples))
+	for i, s := range samples {
+		mrt[i], srt[i] = s.modelRT, s.simRT
+	}
+	fmt.Printf("plans: %d   rank correlation (model RT vs simulated RT): %.3f\n",
+		len(samples), stats.Spearman(mrt, srt))
+
+	sort.Slice(samples, func(i, j int) bool {
+		return relErr(samples[i]) > relErr(samples[j])
+	})
+	fmt.Printf("\nworst %d relative RT disagreements:\n", *top)
+	for i, s := range samples {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %+6.1f%%  model=%.0f sim=%.0f  %s\n",
+			100*(s.modelRT-s.simRT)/s.simRT, s.modelRT, s.simRT, s.name)
+	}
+	// Work should agree exactly: both sides draw the same demands.
+	var worst float64
+	for _, s := range samples {
+		if d := math.Abs(s.modelWork - s.simWork); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("\nmax |model work − simulated work| = %g (should be ~0)\n", worst)
+}
+
+func relErr(s struct {
+	name      string
+	modelRT   float64
+	simRT     float64
+	modelWork float64
+	simWork   float64
+}) float64 {
+	if s.simRT == 0 {
+		return 0
+	}
+	return math.Abs(s.modelRT-s.simRT) / s.simRT
+}
+
+func buildLeftDeep(est *plan.Estimator, q *query.Query, perm []int, variant int) (*plan.Node, bool) {
+	var cur *plan.Node
+	for i, pos := range perm {
+		leaf, err := est.Leaf(q.Relations[pos], plan.SeqScan, nil)
+		if err != nil {
+			return nil, false
+		}
+		if i == 0 {
+			cur = leaf
+			continue
+		}
+		method := plan.AllJoinMethods[(variant+i)%len(plan.AllJoinMethods)]
+		j, err := est.Join(cur, leaf, method)
+		if err != nil {
+			return nil, false
+		}
+		cur = j
+	}
+	return cur, true
+}

@@ -1,0 +1,3 @@
+module paropt
+
+go 1.22

@@ -1,0 +1,166 @@
+package paropt_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"paropt"
+	"paropt/internal/engine"
+	"paropt/internal/optree"
+	"paropt/internal/plan"
+	"paropt/internal/query"
+	"paropt/internal/sim"
+	"paropt/internal/storage"
+)
+
+// smallWorkload generates a catalog/query pair small enough to execute
+// in-memory and cross-check against brute-force evaluation.
+func smallWorkload(shape query.Shape, n int, seed int64) (*paropt.Catalog, *paropt.Query) {
+	return paropt.Generate(paropt.GenConfig{
+		Relations: n, Shape: shape,
+		MinCard: 50, MaxCard: 400,
+		Disks: 4, IndexProb: 0.5, SortedProb: 0.3, Seed: seed,
+	})
+}
+
+// randomBushyPlan builds a random bushy plan with random methods over the
+// query, using only legal joins (cross products via nested loops).
+func randomBushyPlan(est *plan.Estimator, q *paropt.Query, rng *rand.Rand) (*plan.Node, error) {
+	perm := rng.Perm(len(q.Relations))
+	nodes := make([]*plan.Node, len(perm))
+	for i, pos := range perm {
+		leaf, err := est.Leaf(q.Relations[pos], plan.SeqScan, nil)
+		if err != nil {
+			return nil, err
+		}
+		nodes[i] = leaf
+	}
+	for len(nodes) > 1 {
+		i := rng.Intn(len(nodes) - 1)
+		method := plan.AllJoinMethods[rng.Intn(3)]
+		if len(est.Q.JoinsBetween(nodes[i].Rels, nodes[i+1].Rels)) == 0 {
+			method = plan.NestedLoops
+		}
+		j, err := est.Join(nodes[i], nodes[i+1], method)
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes[:i], append([]*plan.Node{j}, nodes[i+2:]...)...)
+	}
+	return nodes[0], nil
+}
+
+// TestIntegrationEveryPlanSameResult is the repository's central semantic
+// property: for random workloads and random plans, join-tree execution,
+// operator-tree execution and brute-force reference evaluation all agree.
+func TestIntegrationEveryPlanSameResult(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, shape := range []query.Shape{query.Chain, query.Star, query.Cycle} {
+		for n := 3; n <= 4; n++ {
+			cat, q := smallWorkload(shape, n, int64(n)*7+int64(shape))
+			db := storage.NewDatabase(cat, 3)
+			est := plan.NewEstimator(cat, q)
+			e := &engine.Executor{DB: db, Q: q, Parallel: 1}
+			ref, err := engine.ReferenceJoin(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := ref.Fingerprint()
+			for trial := 0; trial < 6; trial++ {
+				p, err := randomBushyPlan(est, q, rng)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("%v/n=%d/trial=%d plan=%s", shape, n, trial, p)
+				got, err := e.Execute(p)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if got.Fingerprint() != want {
+					t.Fatalf("%s: join-tree result differs from reference (%d vs %d rows)",
+						label, got.Len(), ref.Len())
+				}
+				op, err := optree.Expand(p, est, optree.DefaultExpandOptions())
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				gotOp, err := e.ExecuteOp(op)
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if gotOp.Fingerprint() != want {
+					t.Fatalf("%s: operator-tree result differs from reference", label)
+				}
+				// Parallel execution agrees too.
+				e.Parallel = 3
+				gotPar, err := e.Execute(p)
+				e.Parallel = 1
+				if err != nil {
+					t.Fatalf("%s: %v", label, err)
+				}
+				if gotPar.Fingerprint() != want {
+					t.Fatalf("%s: parallel result differs from reference", label)
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationOptimizerPlansExecuteCorrectly: every algorithm's chosen
+// plan computes the reference result.
+func TestIntegrationOptimizerPlansExecuteCorrectly(t *testing.T) {
+	cat, q := smallWorkload(query.Star, 4, 21)
+	db := storage.NewDatabase(cat, 9)
+	e := &engine.Executor{DB: db, Q: q, Parallel: 1}
+	ref, err := engine.ReferenceJoin(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []paropt.Algorithm{
+		paropt.PartialOrderDP, paropt.PartialOrderDPBushy, paropt.WorkDP,
+		paropt.NaiveRTDP, paropt.TwoPhase, paropt.SimulatedAnnealing,
+	} {
+		opt, err := paropt.NewOptimizer(cat, q, paropt.Config{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := opt.Optimize()
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		got, err := opt.Execute(p, db, 2)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if got.Fingerprint() != ref.Fingerprint() {
+			t.Errorf("%v: optimized plan computes a different result", alg)
+		}
+	}
+}
+
+// TestIntegrationModelSimulatorWorkAgreement: for optimizer plans across
+// algorithms, model work and simulated work agree exactly.
+func TestIntegrationModelSimulatorWorkAgreement(t *testing.T) {
+	cat, q := smallWorkload(query.Chain, 5, 4)
+	for _, alg := range []paropt.Algorithm{paropt.PartialOrderDP, paropt.WorkDP} {
+		opt, err := paropt.NewOptimizer(cat, q, paropt.Config{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := opt.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sim.Simulate(p.Op, opt.Mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if diff := res.Work - p.Work(); diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%v: sim work %g != model work %g", alg, res.Work, p.Work())
+		}
+		if res.RT > p.Work()+1e-9 {
+			t.Errorf("%v: simulated RT exceeds total work", alg)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package catalog models the database schema and the statistics the
+// optimizer consumes: relation cardinalities, page counts, per-column
+// distinct-value counts (NDV), and index metadata including the disk on
+// which each object is stored.
+//
+// The statistics model follows System R [SAC+79] conventions, which the
+// paper builds on: join selectivity between columns a and b is
+// 1/max(NDV(a), NDV(b)), equality-selection selectivity on column a is
+// 1/NDV(a), and cardinalities propagate multiplicatively.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	// Name is unique within the relation.
+	Name string
+	// NDV is the number of distinct values (≥ 1). It drives selectivity.
+	NDV int64
+	// Width is the byte width used to derive intermediate-result pages.
+	Width int
+	// Skew makes generated values Zipf-distributed with exponent 1+Skew
+	// (0 = uniform). The optimizer's statistics ignore it — deliberately:
+	// the paper's uniformity assumption "loses some ability to model hot
+	// spots" (§5.2.1), and the skew experiments quantify that loss.
+	Skew float64
+}
+
+// Index describes a secondary or primary access path on a relation.
+type Index struct {
+	// Name is unique within the catalog.
+	Name string
+	// Relation is the indexed relation's name.
+	Relation string
+	// Columns is the key, ordered most- to least-significant.
+	Columns []string
+	// Clustered reports whether the base tuples are stored in key order, so
+	// a range scan reads sequential pages rather than one page per tuple.
+	Clustered bool
+	// Covering marks an index whose entries carry every column a scan
+	// needs, so index-only scans skip the heap entirely (Example 3 of the
+	// paper computes its query "purely by scanning indexes").
+	Covering bool
+	// Disk is the placement of the index structure (a disk number the
+	// machine maps to a resource).
+	Disk int
+	// Pages is the size of the index structure itself.
+	Pages int64
+}
+
+// Relation describes a base table with its statistics and placement.
+type Relation struct {
+	// Name is unique within the catalog.
+	Name string
+	// Columns in declaration order.
+	Columns []Column
+	// Card is the tuple count.
+	Card int64
+	// Pages is the page count of the heap.
+	Pages int64
+	// Disk is the placement of the heap (a disk number; the first fragment
+	// when declustered).
+	Disk int
+	// Decluster is the number of horizontal fragments the heap is hash-
+	// partitioned into, Gamma-style, on consecutive disks starting at Disk.
+	// Values < 2 mean the relation lives on a single disk. Declustering is
+	// what lets a cloned scan read in parallel instead of queueing on one
+	// spindle.
+	Decluster int
+	// SortedBy optionally names a column the heap is physically sorted by
+	// (a free interesting order); empty if none.
+	SortedBy string
+
+	colIndex map[string]int
+}
+
+// Column returns the named column and whether it exists.
+func (r *Relation) Column(name string) (Column, bool) {
+	i, ok := r.colIndex[name]
+	if !ok {
+		return Column{}, false
+	}
+	return r.Columns[i], true
+}
+
+// MustColumn returns the named column, panicking if absent. Use only where
+// the name was produced by the catalog itself.
+func (r *Relation) MustColumn(name string) Column {
+	c, ok := r.Column(name)
+	if !ok {
+		panic(fmt.Sprintf("catalog: relation %s has no column %s", r.Name, name))
+	}
+	return c
+}
+
+// HasColumn reports whether the relation declares the column.
+func (r *Relation) HasColumn(name string) bool {
+	_, ok := r.colIndex[name]
+	return ok
+}
+
+// TupleWidth is the total byte width of all columns (minimum 1).
+func (r *Relation) TupleWidth() int {
+	w := 0
+	for _, c := range r.Columns {
+		w += c.Width
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Catalog is a collection of relations and indexes.
+type Catalog struct {
+	relations map[string]*Relation
+	indexes   map[string]*Index
+	byRel     map[string][]*Index
+	// PageBytes is the page size used to derive pages for intermediate
+	// results; defaults to 8192.
+	PageBytes int
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		relations: make(map[string]*Relation),
+		indexes:   make(map[string]*Index),
+		byRel:     make(map[string][]*Index),
+		PageBytes: 8192,
+	}
+}
+
+// AddRelation validates and registers a relation. Statistics are clamped to
+// sane minimums (Card ≥ 1, Pages ≥ 1, NDV in [1, Card]).
+func (c *Catalog) AddRelation(r Relation) (*Relation, error) {
+	if r.Name == "" {
+		return nil, fmt.Errorf("catalog: relation needs a name")
+	}
+	if _, dup := c.relations[r.Name]; dup {
+		return nil, fmt.Errorf("catalog: duplicate relation %s", r.Name)
+	}
+	if len(r.Columns) == 0 {
+		return nil, fmt.Errorf("catalog: relation %s needs at least one column", r.Name)
+	}
+	if r.Card < 1 {
+		r.Card = 1
+	}
+	if r.Pages < 1 {
+		r.Pages = 1
+	}
+	r.colIndex = make(map[string]int, len(r.Columns))
+	for i := range r.Columns {
+		col := &r.Columns[i]
+		if col.Name == "" {
+			return nil, fmt.Errorf("catalog: relation %s has an unnamed column", r.Name)
+		}
+		if _, dup := r.colIndex[col.Name]; dup {
+			return nil, fmt.Errorf("catalog: relation %s duplicates column %s", r.Name, col.Name)
+		}
+		if col.NDV < 1 {
+			col.NDV = 1
+		}
+		if col.NDV > r.Card {
+			col.NDV = r.Card
+		}
+		if col.Width < 1 {
+			col.Width = 4
+		}
+		r.colIndex[col.Name] = i
+	}
+	if r.SortedBy != "" {
+		if _, ok := r.colIndex[r.SortedBy]; !ok {
+			return nil, fmt.Errorf("catalog: relation %s sorted by unknown column %s", r.Name, r.SortedBy)
+		}
+	}
+	rel := r
+	c.relations[r.Name] = &rel
+	return &rel, nil
+}
+
+// MustAddRelation is AddRelation that panics on error; for tests and
+// hand-built example catalogs.
+func (c *Catalog) MustAddRelation(r Relation) *Relation {
+	rel, err := c.AddRelation(r)
+	if err != nil {
+		panic(err)
+	}
+	return rel
+}
+
+// AddIndex validates and registers an index over an existing relation.
+func (c *Catalog) AddIndex(ix Index) (*Index, error) {
+	if ix.Name == "" {
+		return nil, fmt.Errorf("catalog: index needs a name")
+	}
+	if _, dup := c.indexes[ix.Name]; dup {
+		return nil, fmt.Errorf("catalog: duplicate index %s", ix.Name)
+	}
+	rel, ok := c.relations[ix.Relation]
+	if !ok {
+		return nil, fmt.Errorf("catalog: index %s on unknown relation %s", ix.Name, ix.Relation)
+	}
+	if len(ix.Columns) == 0 {
+		return nil, fmt.Errorf("catalog: index %s needs at least one column", ix.Name)
+	}
+	for _, col := range ix.Columns {
+		if !rel.HasColumn(col) {
+			return nil, fmt.Errorf("catalog: index %s on unknown column %s.%s", ix.Name, ix.Relation, col)
+		}
+	}
+	if ix.Pages < 1 {
+		// A B-tree over Card keys is roughly Card/400 leaf pages.
+		ix.Pages = rel.Card/400 + 1
+	}
+	idx := ix
+	c.indexes[ix.Name] = &idx
+	c.byRel[ix.Relation] = append(c.byRel[ix.Relation], &idx)
+	return &idx, nil
+}
+
+// MustAddIndex is AddIndex that panics on error.
+func (c *Catalog) MustAddIndex(ix Index) *Index {
+	idx, err := c.AddIndex(ix)
+	if err != nil {
+		panic(err)
+	}
+	return idx
+}
+
+// Relation returns the named relation and whether it exists.
+func (c *Catalog) Relation(name string) (*Relation, bool) {
+	r, ok := c.relations[name]
+	return r, ok
+}
+
+// MustRelation returns the named relation, panicking if absent.
+func (c *Catalog) MustRelation(name string) *Relation {
+	r, ok := c.relations[name]
+	if !ok {
+		panic(fmt.Sprintf("catalog: unknown relation %s", name))
+	}
+	return r
+}
+
+// Index returns the named index and whether it exists.
+func (c *Catalog) Index(name string) (*Index, bool) {
+	ix, ok := c.indexes[name]
+	return ix, ok
+}
+
+// IndexesOn returns the indexes of a relation, sorted by name for
+// determinism. The returned slice is fresh and may be modified.
+func (c *Catalog) IndexesOn(relation string) []*Index {
+	src := c.byRel[relation]
+	out := make([]*Index, len(src))
+	copy(out, src)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RelationNames returns all relation names sorted.
+func (c *Catalog) RelationNames() []string {
+	names := make([]string, 0, len(c.relations))
+	for n := range c.relations {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumRelations is the number of registered relations.
+func (c *Catalog) NumRelations() int { return len(c.relations) }
+
+// PagesForTuples converts a tuple count of the given width into pages under
+// the catalog's page size, rounding up with a 1-page minimum.
+func (c *Catalog) PagesForTuples(card int64, width int) int64 {
+	if card < 1 {
+		return 1
+	}
+	perPage := int64(c.PageBytes / maxInt(width, 1))
+	if perPage < 1 {
+		perPage = 1
+	}
+	return (card + perPage - 1) / perPage
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

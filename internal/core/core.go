@@ -1,0 +1,328 @@
+// Package core assembles the paper's contribution into one component: a
+// parallel query optimizer that minimizes response time subject to bounds
+// on extra work (§2), over the operator-tree execution space (§4), using
+// the resource-descriptor cost calculus (§5) and partial-order dynamic
+// programming (§6). It also wires the optimizer to the machine simulator
+// and the execution engine so optimized plans can be run and verified.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"paropt/internal/catalog"
+	"paropt/internal/cost"
+	"paropt/internal/engine"
+	"paropt/internal/machine"
+	"paropt/internal/optree"
+	"paropt/internal/plan"
+	"paropt/internal/query"
+	"paropt/internal/search"
+	"paropt/internal/sim"
+	"paropt/internal/storage"
+)
+
+// Algorithm selects the search strategy (the rows of Table 1).
+type Algorithm int
+
+const (
+	// PartialOrderDP is Figure 2 over left-deep trees with the
+	// resource-vector(+order) metric — the paper's recommendation.
+	PartialOrderDP Algorithm = iota
+	// PartialOrderDPBushy is Figure 2 over bushy trees ([GHK92]).
+	PartialOrderDPBushy
+	// WorkDP is the traditional Figure 1 optimizer on total work.
+	WorkDP
+	// NaiveRTDP is Figure 1 with response time as a total order — unsound
+	// per Example 3; provided for comparison experiments.
+	NaiveRTDP
+	// BruteForceLeftDeep enumerates all n! join orders.
+	BruteForceLeftDeep
+	// BruteForceBushy enumerates all bushy shapes.
+	BruteForceBushy
+	// TwoPhase is the XPRS-style baseline: pick the work-optimal tree
+	// first, then parallelize it ([HS91]; contrasted in §1).
+	TwoPhase
+	// IterativeImprovement is non-exhaustive bushy search by greedy descent
+	// from random starts (§7's outlook).
+	IterativeImprovement
+	// SimulatedAnnealing is non-exhaustive bushy search with an annealing
+	// schedule (§7's outlook).
+	SimulatedAnnealing
+)
+
+// String names the algorithm as in Table 1.
+func (a Algorithm) String() string {
+	switch a {
+	case PartialOrderDP:
+		return "p.o. DP for left-deep"
+	case PartialOrderDPBushy:
+		return "p.o. DP for bushy"
+	case WorkDP:
+		return "DP for left-deep (work)"
+	case NaiveRTDP:
+		return "DP for left-deep (naive RT)"
+	case BruteForceLeftDeep:
+		return "brute force for left-deep"
+	case BruteForceBushy:
+		return "brute force for bushy"
+	case TwoPhase:
+		return "two-phase (work tree, then parallelize)"
+	case IterativeImprovement:
+		return "iterative improvement (bushy)"
+	case SimulatedAnnealing:
+		return "simulated annealing (bushy)"
+	default:
+		return fmt.Sprintf("algorithm(%d)", int(a))
+	}
+}
+
+// Config assembles an optimization session.
+type Config struct {
+	// Machine describes the parallel machine; zero value means the default
+	// 4-CPU/4-disk/1-net node.
+	Machine machine.Config
+	// Params is the work model; zero value means cost.DefaultParams().
+	Params *cost.Params
+	// Algorithm defaults to PartialOrderDP.
+	Algorithm Algorithm
+	// Bound optionally constrains extra work (§2). Nil means unbounded.
+	Bound search.Bound
+	// Metric overrides the pruning metric; nil picks the algorithm's
+	// canonical one.
+	Metric search.Metric
+	// AvoidCrossProducts enables the System R heuristic (default on via
+	// NewOptimizer).
+	AvoidCrossProducts *bool
+	// MemoryPages, when positive, constrains plans to a peak memory demand
+	// of at most this many pages (§7's non-preemptable resource, modeled as
+	// a hard constraint).
+	MemoryPages int64
+	// Trace, when set, observes the search as it runs.
+	Trace search.Tracer
+	// Methods restricts the join methods enumerated; nil means all.
+	Methods []plan.JoinMethod
+	// Workers prices candidate plans on that many goroutines (> 1);
+	// the chosen plan is identical at any worker count.
+	Workers int
+	// CoverCap bounds cover sets to this many plans (beam search) when
+	// > 0, trading exactness for bounded search cost at large n.
+	CoverCap int
+	// Expand and Annotate tune operator-tree generation.
+	Expand   *optree.ExpandOptions
+	Annotate *optree.AnnotateOptions
+}
+
+// Optimizer optimizes one query against one catalog and machine.
+type Optimizer struct {
+	Cat  *catalog.Catalog
+	Q    *query.Query
+	M    *machine.Machine
+	Est  *plan.Estimator
+	Mod  *cost.Model
+	opts search.Options
+	alg  Algorithm
+	bnd  search.Bound
+}
+
+// Plan is an optimized plan with its costs and provenance.
+type Plan struct {
+	// Tree is the annotated join tree.
+	Tree *plan.Node
+	// Op is the expanded, annotated operator tree.
+	Op *optree.Op
+	// Desc is the resource descriptor under the session model.
+	Desc cost.ResDescriptor
+	// Baseline is the work-optimal plan used for §2 bounds (nil when the
+	// algorithm is itself the work optimizer).
+	Baseline *Plan
+	// Frontier is the cover set at the root (partial-order algorithms).
+	Frontier []*search.Candidate
+	// Stats are the search counters.
+	Stats search.Stats
+	// Algorithm that produced the plan.
+	Algorithm Algorithm
+}
+
+// RT is the estimated response time.
+func (p *Plan) RT() float64 { return p.Desc.RT() }
+
+// Work is the estimated total work.
+func (p *Plan) Work() float64 { return p.Desc.Work() }
+
+// NewOptimizer validates the query and assembles the session.
+func NewOptimizer(cat *catalog.Catalog, q *query.Query, cfg Config) (*Optimizer, error) {
+	if cat == nil || q == nil {
+		return nil, fmt.Errorf("core: catalog and query are required")
+	}
+	if err := q.Validate(cat); err != nil {
+		return nil, err
+	}
+	mcfg := cfg.Machine
+	if mcfg.CPUs == 0 && mcfg.Disks == 0 {
+		mcfg = machine.DefaultConfig()
+	}
+	m := machine.New(mcfg)
+	params := cost.DefaultParams()
+	if cfg.Params != nil {
+		params = *cfg.Params
+	}
+	est := plan.NewEstimator(cat, q)
+	mod := cost.NewModel(cat, m, est, params)
+
+	expand := optree.DefaultExpandOptions()
+	if cfg.Expand != nil {
+		expand = *cfg.Expand
+	}
+	annotate := optree.DefaultAnnotateOptions()
+	if cfg.Annotate != nil {
+		annotate = *cfg.Annotate
+	}
+	avoid := true
+	if cfg.AvoidCrossProducts != nil {
+		avoid = *cfg.AvoidCrossProducts
+	}
+	metric := cfg.Metric
+	if metric == nil {
+		switch cfg.Algorithm {
+		case WorkDP:
+			metric = search.WorkMetric{}
+		case NaiveRTDP:
+			metric = search.RTMetric{}
+		default:
+			metric = search.OrderedMetric{Base: search.ResourceVectorMetric{L: m.NumResources()}}
+		}
+	}
+	final := search.ByRT
+	if cfg.Algorithm == WorkDP {
+		final = search.ByWork
+	}
+	return &Optimizer{
+		Cat: cat, Q: q, M: m, Est: est, Mod: mod,
+		opts: search.Options{
+			Model:              mod,
+			Expand:             expand,
+			Annotate:           annotate,
+			Metric:             metric,
+			Final:              search.Comparator(final),
+			AvoidCrossProducts: avoid,
+			MemoryLimit:        cfg.MemoryPages,
+			Trace:              cfg.Trace,
+			Methods:            cfg.Methods,
+			Workers:            cfg.Workers,
+			CoverCap:           cfg.CoverCap,
+		},
+		alg: cfg.Algorithm,
+		bnd: cfg.Bound,
+	}, nil
+}
+
+// Optimize runs the configured algorithm (with the §2 bound pipeline when a
+// bound is set) and returns the winning plan.
+func (o *Optimizer) Optimize() (*Plan, error) {
+	if o.bnd != nil && (o.alg == PartialOrderDP || o.alg == PartialOrderDPBushy) {
+		best, baseline, stats, err := search.OptimizeBounded(o.opts, o.bnd, o.alg == PartialOrderDPBushy)
+		if err != nil {
+			return nil, err
+		}
+		bp, err := o.finish(baseline, nil, stats)
+		if err != nil {
+			return nil, err
+		}
+		p, err := o.finish(best, nil, stats)
+		if err != nil {
+			return nil, err
+		}
+		p.Baseline = bp
+		return p, nil
+	}
+	s := search.New(o.opts)
+	var res *search.Result
+	var err error
+	switch o.alg {
+	case PartialOrderDP:
+		res, err = s.PODPLeftDeep()
+	case PartialOrderDPBushy:
+		res, err = s.PODPBushy()
+	case WorkDP, NaiveRTDP:
+		res, err = s.DPLeftDeep()
+	case BruteForceLeftDeep:
+		res, err = s.BruteForceLeftDeep()
+	case BruteForceBushy:
+		res, err = s.BruteForceBushy()
+	case TwoPhase:
+		res, err = s.TwoPhase()
+	case IterativeImprovement:
+		res, err = s.Randomized(search.DefaultRandomizedOptions())
+	case SimulatedAnnealing:
+		ropts := search.DefaultRandomizedOptions()
+		ropts.Anneal = true
+		res, err = s.Randomized(ropts)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", o.alg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res.Best == nil {
+		return nil, fmt.Errorf("core: no plan found (over-tight bound?)")
+	}
+	return o.finish(res.Best, res.Frontier, res.Stats)
+}
+
+// finish materializes a search candidate into a full Plan.
+func (o *Optimizer) finish(c *search.Candidate, frontier []*search.Candidate, stats search.Stats) (*Plan, error) {
+	if c == nil {
+		return nil, fmt.Errorf("core: no plan found")
+	}
+	op, err := optree.Expand(c.Node, o.Est, o.opts.Expand)
+	if err != nil {
+		return nil, err
+	}
+	optree.Annotate(op, o.M, o.Est, o.opts.Annotate)
+	return &Plan{
+		Tree:      c.Node,
+		Op:        op,
+		Desc:      o.Mod.Descriptor(op),
+		Frontier:  frontier,
+		Stats:     stats,
+		Algorithm: o.alg,
+	}, nil
+}
+
+// Simulate executes the plan's operator tree on the machine simulator.
+func (o *Optimizer) Simulate(p *Plan) (*sim.Result, error) {
+	return sim.Simulate(p.Op, o.Mod)
+}
+
+// Execute runs the plan for real on generated data with the given
+// parallelism degree.
+func (o *Optimizer) Execute(p *Plan, db *storage.Database, parallel int) (*engine.Resultset, error) {
+	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel}
+	return e.Execute(p.Tree)
+}
+
+// Explain renders a report: query, plan tree with derived properties, the
+// operator tree with its Example 1 style annotation table, and the cost
+// summary.
+func (o *Optimizer) Explain(p *Plan) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query:     %s\n", o.Q)
+	fmt.Fprintf(&b, "machine:   %s\n", o.M)
+	fmt.Fprintf(&b, "algorithm: %s\n\n", p.Algorithm)
+	b.WriteString("join tree:\n")
+	b.WriteString(p.Tree.Indent())
+	b.WriteString("\noperator tree:\n  ")
+	b.WriteString(p.Op.String())
+	b.WriteString("\n\nannotations:\n")
+	b.WriteString(p.Op.AnnotationTable())
+	fmt.Fprintf(&b, "\nresponse time: %.2f\ntotal work:    %.2f\n", p.RT(), p.Work())
+	if p.Baseline != nil {
+		fmt.Fprintf(&b, "work-optimal baseline: rt=%.2f work=%.2f (speedup %.2fx for %.2fx work)\n",
+			p.Baseline.RT(), p.Baseline.Work(),
+			p.Baseline.RT()/p.RT(), p.Work()/p.Baseline.Work())
+	}
+	fmt.Fprintf(&b, "search: %d plans considered, %d physical plans costed, max cover %d\n",
+		p.Stats.PlansConsidered, p.Stats.PhysicalPlans, p.Stats.MaxCoverSize)
+	return b.String()
+}

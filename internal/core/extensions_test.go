@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"paropt/internal/workload"
+)
+
+func TestTwoPhaseAlgorithm(t *testing.T) {
+	cat, q := workload.Portfolio(4)
+	two, err := NewOptimizer(cat, q, Config{Algorithm: TwoPhase})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTwo, err := two.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := NewOptimizer(cat, q, Config{Algorithm: PartialOrderDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOne, err := one.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-phase searches a superset of outcomes: it must not lose on RT.
+	if pOne.RT() > pTwo.RT()+1e-9 {
+		t.Errorf("one-phase rt %.2f lost to two-phase rt %.2f", pOne.RT(), pTwo.RT())
+	}
+	// Two-phase's tree is the work-optimal one.
+	work, err := NewOptimizer(cat, q, Config{Algorithm: WorkDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pWork, err := work.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pTwo.Tree.String() != pWork.Tree.String() {
+		t.Errorf("two-phase tree %s differs from work-optimal %s", pTwo.Tree, pWork.Tree)
+	}
+}
+
+func TestRandomizedAlgorithms(t *testing.T) {
+	cat, q := workload.Portfolio(4)
+	for _, alg := range []Algorithm{IterativeImprovement, SimulatedAnnealing} {
+		o, err := NewOptimizer(cat, q, Config{Algorithm: alg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := o.Optimize()
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if p.RT() <= 0 {
+			t.Errorf("%v: rt = %g", alg, p.RT())
+		}
+		if got := len(p.Tree.Leaves()); got != 5 {
+			t.Errorf("%v: plan covers %d relations", alg, got)
+		}
+	}
+}
+
+func TestMemoryBoundChangesPlans(t *testing.T) {
+	cat, q := workload.Portfolio(4)
+	free, err := NewOptimizer(cat, q, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFree, err := free.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freePeak := free.Mod.MemoryEstimate(pFree.Op).PeakPages
+
+	// Constrain memory to half the unconstrained plan's peak.
+	limit := freePeak / 2
+	if limit < 1 {
+		t.Skip("unconstrained plan already runs in minimal memory")
+	}
+	tight, err := NewOptimizer(cat, q, Config{MemoryPages: limit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pTight, err := tight.Optimize()
+	if err != nil {
+		// Acceptable: everything pruned is reported as an error.
+		t.Logf("no plan fits in %d pages: %v", limit, err)
+		return
+	}
+	peak := tight.Mod.MemoryEstimate(pTight.Op).PeakPages
+	if peak > limit {
+		t.Errorf("plan peak %d exceeds the %d-page limit", peak, limit)
+	}
+	if pTight.RT() < pFree.RT()-1e-9 {
+		t.Errorf("memory-constrained plan cannot be faster: %g vs %g", pTight.RT(), pFree.RT())
+	}
+}
+
+func TestExplainNewAlgorithms(t *testing.T) {
+	cat, q := workload.PortfolioSmall(2)
+	o, err := NewOptimizer(cat, q, Config{Algorithm: SimulatedAnnealing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := o.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Explain(p); len(got) == 0 {
+		t.Error("empty explain")
+	}
+	if p.Algorithm != SimulatedAnnealing {
+		t.Error("plan provenance lost")
+	}
+}

@@ -1,0 +1,83 @@
+package cost
+
+import (
+	"fmt"
+	"strings"
+
+	"paropt/internal/optree"
+)
+
+// BreakdownRow is one operator's contribution to a plan's cost.
+type BreakdownRow struct {
+	// Label names the operator ("sort", "scan(R1)", ...).
+	Label string
+	// Own is the operator's own demand vector (speed-normalized).
+	Own Vec
+	// OwnWork is the sum of Own.
+	OwnWork float64
+	// Cumulative is the subtree descriptor rooted here.
+	Cumulative ResDescriptor
+	// Materialized and Redistributed echo the edge annotations.
+	Materialized, Redistributed bool
+	// Depth is the operator's depth in the tree (root = 0).
+	Depth int
+}
+
+// Breakdown lists per-operator contributions in execution (bottom-up,
+// left-to-right) order, each with its own demands and the cumulative
+// subtree descriptor — the numbers behind RT() and Work().
+func (m *Model) Breakdown(root *optree.Op) []BreakdownRow {
+	var rows []BreakdownRow
+	var walk func(op *optree.Op, depth int)
+	walk = func(op *optree.Op, depth int) {
+		for _, in := range op.EffectiveInputs() {
+			walk(in, depth+1)
+		}
+		own := m.OwnDemands(op)
+		label := op.Kind.String()
+		if op.Relation != "" {
+			label = fmt.Sprintf("%s(%s)", op.Kind, op.Relation)
+		}
+		rows = append(rows, BreakdownRow{
+			Label:         label,
+			Own:           own,
+			OwnWork:       own.Sum(),
+			Cumulative:    m.Descriptor(op),
+			Materialized:  op.Composition == optree.Materialized,
+			Redistributed: op.Redistribute,
+			Depth:         depth,
+		})
+	}
+	walk(root, 0)
+	return rows
+}
+
+// BreakdownTable renders the breakdown with resource names as columns.
+func (m *Model) BreakdownTable(root *optree.Op) string {
+	rows := m.Breakdown(root)
+	names := m.M.Names()
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %10s %10s %10s", "operator", "own work", "cum RT", "cum work")
+	for _, n := range names {
+		fmt.Fprintf(&b, " %8s", n)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		marks := ""
+		if r.Materialized {
+			marks += "*"
+		}
+		if r.Redistributed {
+			marks += "~"
+		}
+		fmt.Fprintf(&b, "%-28s %10.1f %10.1f %10.1f",
+			strings.Repeat("  ", r.Depth)+r.Label+marks,
+			r.OwnWork, r.Cumulative.RT(), r.Cumulative.Work())
+		for i := range names {
+			fmt.Fprintf(&b, " %8.1f", r.Own[i])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(* materialized edge, ~ redistributed edge)\n")
+	return b.String()
+}

@@ -1,0 +1,55 @@
+package cost
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBreakdownRows(t *testing.T) {
+	m, est := fixture(t, 4, 4)
+	op := example1Op(t, m, est)
+	rows := m.Breakdown(op)
+	// One row per effective operator (create-index NL inner keeps its
+	// create-index + scan rows; total = op.Count() since nothing is
+	// subsumed here... PureNL inner is CreateIndex, which IS effective).
+	if len(rows) != op.Count() {
+		t.Fatalf("rows = %d, want %d", len(rows), op.Count())
+	}
+	// Last row is the root: cumulative equals the full descriptor.
+	full := m.Descriptor(op)
+	last := rows[len(rows)-1]
+	if last.Depth != 0 {
+		t.Errorf("last row depth = %d, want 0 (root)", last.Depth)
+	}
+	if math.Abs(last.Cumulative.RT()-full.RT()) > 1e-9 {
+		t.Errorf("root cumulative RT %g != full %g", last.Cumulative.RT(), full.RT())
+	}
+	// Own works must sum to the plan's total work (no redistribution here
+	// means exact; with redistribution the total is own + transfers).
+	sumOwn := 0.0
+	anyRedist := false
+	for _, r := range rows {
+		sumOwn += r.OwnWork
+		if r.Redistributed {
+			anyRedist = true
+		}
+	}
+	if !anyRedist && math.Abs(sumOwn-full.Work()) > 1e-6 {
+		t.Errorf("own works sum to %g, full work %g", sumOwn, full.Work())
+	}
+	if anyRedist && sumOwn > full.Work()+1e-6 {
+		t.Errorf("own works %g exceed full work %g", sumOwn, full.Work())
+	}
+}
+
+func TestBreakdownTable(t *testing.T) {
+	m, est := fixture(t, 2, 2)
+	op := example1Op(t, m, est)
+	tab := m.BreakdownTable(op)
+	for _, want := range []string{"operator", "own work", "cum RT", "scan(R1)", "sort*", "cpu0", "disk1"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+}

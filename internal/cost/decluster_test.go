@@ -1,0 +1,109 @@
+package cost
+
+import (
+	"testing"
+
+	"paropt/internal/catalog"
+	"paropt/internal/machine"
+	"paropt/internal/optree"
+	"paropt/internal/plan"
+)
+
+// TestDeclusteredScanSpeedsUp: a cloned scan over a declustered relation
+// reads fragments in parallel; the same scan over a single-disk relation is
+// bottlenecked on the spindle — the Gamma storage design that makes the
+// paper's cloned scans (Example 1) effective.
+func TestDeclusteredScanSpeedsUp(t *testing.T) {
+	m, _ := fixture(t, 4, 4)
+	scanRT := func(decluster int) float64 {
+		rel := m.Cat.MustRelation("R1")
+		rel.Decluster = decluster
+		defer func() { rel.Decluster = 0 }()
+		scan := &optree.Op{Kind: optree.Scan, Relation: "R1", OutCard: 50_000, Width: 16}
+		res := make([]machine.ResourceID, 4)
+		for i := range res {
+			res[i] = m.M.CPUFor(i)
+		}
+		scan.Clone = optree.Cloning{Resources: res}
+		return m.RT(scan)
+	}
+	single := scanRT(0)
+	spread := scanRT(4)
+	if spread >= single {
+		t.Fatalf("declustered scan RT %g should beat single-disk %g", spread, single)
+	}
+	if ratio := single / spread; ratio < 2.5 {
+		t.Errorf("4-way declustering speedup = %.2f, want ≈ 4 (I/O bound)", ratio)
+	}
+}
+
+// TestDeclusterClampedToDisks: more fragments than disks degrade gracefully.
+func TestDeclusterClampedToDisks(t *testing.T) {
+	m, _ := fixture(t, 2, 2)
+	rel := m.Cat.MustRelation("R1")
+	rel.Decluster = 16
+	defer func() { rel.Decluster = 0 }()
+	scan := &optree.Op{Kind: optree.Scan, Relation: "R1", OutCard: 50_000, Width: 16}
+	d := m.OwnDemands(scan)
+	nonzero := 0
+	for _, w := range d {
+		if w > 0 {
+			nonzero++
+		}
+	}
+	// 2 disks + 1 CPU share.
+	if nonzero != 3 {
+		t.Errorf("demands touch %d resources, want 3 (2 disks + cpu): %v", nonzero, d)
+	}
+}
+
+// TestDeclusteredWorkConserved: declustering moves I/O, it does not create
+// or destroy it; total work is unchanged.
+func TestDeclusteredWorkConserved(t *testing.T) {
+	m, est := fixture(t, 4, 4)
+	rel := m.Cat.MustRelation("R1")
+
+	leaf, err := est.Leaf("R1", plan.SeqScan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := optree.Expand(leaf, est, optree.ExpandOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := m.Work(op)
+	rel.Decluster = 4
+	defer func() { rel.Decluster = 0 }()
+	w4 := m.Work(op)
+	if diff := w4 - w0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("declustering changed work: %g vs %g", w4, w0)
+	}
+}
+
+// TestDeclusteredIndexHeapFetch: heap fetches of an unclustered index scan
+// also spread across fragments.
+func TestDeclusteredIndexHeapFetch(t *testing.T) {
+	m, est := fixture(t, 2, 4)
+	m.Cat.MustAddIndex(catalogIndex("R1_u", "R1", "id", false, 1))
+	rel := m.Cat.MustRelation("R1")
+	idx, _ := m.Cat.Index("R1_u")
+	leaf, err := est.Leaf("R1", plan.IndexScan, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, _ := optree.Expand(leaf, est, optree.ExpandOptions{})
+	single := m.OwnDemands(op)
+	rel.Decluster = 4
+	defer func() { rel.Decluster = 0 }()
+	spread := m.OwnDemands(op)
+	// Home disk load must drop when fragments absorb the fetches.
+	home := int(m.M.DiskFor(rel.Disk))
+	if spread[home] >= single[home] {
+		t.Errorf("home-disk load %g should drop below %g", spread[home], single[home])
+	}
+}
+
+// catalogIndex is a small test helper.
+func catalogIndex(name, rel, col string, clustered bool, disk int) catalog.Index {
+	return catalog.Index{Name: name, Relation: rel, Columns: []string{col}, Clustered: clustered, Disk: disk}
+}

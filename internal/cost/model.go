@@ -1,0 +1,287 @@
+package cost
+
+import (
+	"fmt"
+	"math"
+
+	"paropt/internal/catalog"
+	"paropt/internal/machine"
+	"paropt/internal/optree"
+	"paropt/internal/plan"
+)
+
+// Model evaluates resource descriptors for operator trees on a specific
+// machine, using catalog statistics and the Params work model. It is the
+// concrete realization of §5: base descriptors per atomic operator, composed
+// recursively with Pipe/TreeDesc, with materialized edges sync'd,
+// redistribution edges charged to the network, and cloning spreading CPU
+// work across clone resources (the stretching property makes the division
+// legitimate).
+type Model struct {
+	Cat *catalog.Catalog
+	M   *machine.Machine
+	Est *plan.Estimator
+	P   Params
+}
+
+// NewModel assembles a cost model.
+func NewModel(cat *catalog.Catalog, m *machine.Machine, est *plan.Estimator, p Params) *Model {
+	return &Model{Cat: cat, M: m, Est: est, P: p}
+}
+
+// Dim is the resource-vector dimensionality (the paper's l).
+func (m *Model) Dim() int { return m.M.NumResources() }
+
+// Descriptor computes the resource descriptor of a whole operator tree,
+// recursively: children first (sync'd if their edge is materialized, with a
+// redistribution transfer piped in when flagged), then composed with the
+// node's own base descriptor via Pipe (one input) or TreeDesc (two inputs).
+func (m *Model) Descriptor(op *optree.Op) ResDescriptor {
+	// EffectiveInputs drops a nested-loops inner that is a base access: it
+	// is probed (or rescanned) per outer tuple, and that cost is entirely
+	// in the PureNL base formula. Charging the inner's standalone scan as
+	// well would double-count (in Example 3 the join's usage is exactly the
+	// probe I/O, not probe + one full index scan).
+	inputs := op.EffectiveInputs()
+	children := make([]ResDescriptor, len(inputs))
+	for i, in := range inputs {
+		d := m.Descriptor(in)
+		if in.Redistribute {
+			d = d.Pipe(m.redistribution(in), m.P.PipelineK)
+		}
+		if in.Composition == optree.Materialized {
+			d = d.Sync()
+		}
+		children[i] = d
+	}
+	base := m.base(op)
+	switch len(children) {
+	case 0:
+		return base
+	case 1:
+		return children[0].Pipe(base, m.P.PipelineK)
+	default:
+		return TreeDesc(children[0], children[1], base, m.P.PipelineK)
+	}
+}
+
+// RT is the response-time estimate of an operator tree.
+func (m *Model) RT(op *optree.Op) Time { return m.Descriptor(op).RT() }
+
+// Work is the total-work estimate of an operator tree — the traditional
+// throughput-oriented metric of §3.
+func (m *Model) Work(op *optree.Op) float64 { return m.Descriptor(op).Work() }
+
+// demand accumulates per-resource work for one operator.
+type demand struct {
+	m *Model
+	w Vec
+}
+
+func (m *Model) newDemand() *demand { return &demand{m: m, w: NewVec(m.Dim())} }
+
+// addAt charges work to one resource, normalized by its speed.
+func (d *demand) addAt(id machine.ResourceID, work float64) {
+	if work <= 0 {
+		return
+	}
+	d.w[int(id)] += work / d.m.M.Resource(id).Speed
+}
+
+// addHeapIO charges heap I/O for a relation, spread across its declustered
+// fragments (Gamma-style hash partitioning over consecutive disks) or all
+// on the home disk when not declustered.
+func (d *demand) addHeapIO(rel *catalog.Relation, work float64) {
+	frags := rel.Decluster
+	if frags < 2 {
+		d.addAt(d.m.M.DiskFor(rel.Disk), work)
+		return
+	}
+	if n := len(d.m.M.Disks()); frags > n {
+		frags = n
+	}
+	share := work / float64(frags)
+	for i := 0; i < frags; i++ {
+		d.addAt(d.m.M.DiskFor(rel.Disk+i), share)
+	}
+}
+
+// addCPU spreads CPU work across the clone set, inflating it by the cloning
+// overhead first.
+func (d *demand) addCPU(work float64, clone optree.Cloning) {
+	if work <= 0 {
+		return
+	}
+	deg := clone.Degree()
+	work *= 1 + d.m.P.CloneOverhead*float64(deg-1)
+	if len(clone.Resources) == 0 {
+		d.addAt(d.m.M.CPUFor(0), work)
+		return
+	}
+	share := work / float64(deg)
+	for _, r := range clone.Resources {
+		d.addAt(r, share)
+	}
+}
+
+// base computes the operator's own resource descriptor: work placed on the
+// resources it uses, response time the busiest resource's work (CPU and I/O
+// overlap within an operator), first-tuple usage zero for pipelined
+// operators and full for blocking ones (sort, build, create-index emit
+// nothing until done).
+func (m *Model) base(op *optree.Op) ResDescriptor {
+	d := m.newDemand()
+	p := m.P
+	switch op.Kind {
+	case optree.Scan:
+		rel := m.Cat.MustRelation(op.Relation)
+		d.addHeapIO(rel, float64(rel.Pages)*p.IOPage)
+		d.addCPU(float64(rel.Card)*p.CPUTuple, op.Clone)
+
+	case optree.IndexScanOp:
+		rel := m.Cat.MustRelation(op.Relation)
+		idx := op.Index
+		frac := 1.0
+		if rel.Card > 0 {
+			frac = float64(op.OutCard) / float64(rel.Card)
+			if frac > 1 {
+				frac = 1
+			}
+		}
+		d.addAt(m.M.DiskFor(idx.Disk), math.Ceil(float64(idx.Pages)*frac)*p.IOPage)
+		switch {
+		case idx.Covering:
+			// Index-only scan: no heap access.
+		case idx.Clustered:
+			d.addHeapIO(rel, math.Ceil(float64(rel.Pages)*frac)*p.IOPage)
+		default:
+			d.addHeapIO(rel, float64(op.OutCard)*p.IOPage)
+		}
+		d.addCPU(float64(op.OutCard)*p.CPUTuple, op.Clone)
+
+	case optree.Sort:
+		n := float64(op.InCard)
+		d.addCPU(n*log2(n)*p.CPUCompare, op.Clone)
+		pages := m.Cat.PagesForTuples(op.InCard, op.Width)
+		if pages > p.SortMemPages {
+			// Two-pass external sort: write and re-read every page.
+			d.addAt(m.spillDisk(op), 2*float64(pages)*p.IOPage)
+		}
+
+	case optree.Merge:
+		l, r := op.InCard, rightCard(op)
+		d.addCPU(float64(l+r)*p.CPUCompare+float64(op.OutCard)*p.CPUTuple, op.Clone)
+
+	case optree.Build:
+		d.addCPU(float64(op.InCard)*p.HashBuild, op.Clone)
+
+	case optree.Probe:
+		d.addCPU(float64(op.InCard)*p.HashProbe+float64(op.OutCard)*p.CPUTuple, op.Clone)
+
+	case optree.PureNL:
+		outer := float64(op.InCard)
+		inner := op.Inputs[1]
+		switch inner.Kind {
+		case optree.IndexScanOp:
+			d.addCPU(outer*p.IndexProbeCPU+float64(op.OutCard)*p.CPUTuple, op.Clone)
+			d.addAt(m.M.DiskFor(inner.Index.Disk), outer*p.IndexProbeIO*p.IOPage)
+		case optree.CreateIndex:
+			d.addCPU(outer*p.IndexProbeCPU+float64(op.OutCard)*p.CPUTuple, op.Clone)
+			d.addAt(m.spillDisk(inner), outer*p.IndexProbeIO*p.IOPage)
+		case optree.Scan:
+			// Rescan the inner heap once per outer tuple.
+			rel := m.Cat.MustRelation(inner.Relation)
+			d.addHeapIO(rel, outer*float64(rel.Pages)*p.IOPage)
+			d.addCPU(outer*float64(inner.OutCard)*p.CPUCompare+float64(op.OutCard)*p.CPUTuple, op.Clone)
+		default:
+			// Materialized temporary: rescan its pages per outer tuple.
+			pages := m.Cat.PagesForTuples(inner.OutCard, inner.Width)
+			d.addAt(m.spillDisk(inner), outer*float64(pages)*p.IOPage)
+			d.addCPU(outer*float64(inner.OutCard)*p.CPUCompare+float64(op.OutCard)*p.CPUTuple, op.Clone)
+		}
+
+	case optree.CreateIndex:
+		n := float64(op.InCard)
+		d.addCPU(n*log2(n)*p.CPUCompare+n*p.CPUTuple, op.Clone)
+		idxPages := m.Cat.PagesForTuples(op.InCard, 16)
+		d.addAt(m.spillDisk(op), float64(idxPages)*p.IOPage)
+	}
+
+	last := RV(d.w.Max(), d.w)
+	switch op.Kind {
+	case optree.Sort, optree.Build, optree.CreateIndex:
+		// Blocking operators emit their first tuple only at the end.
+		return ResDescriptor{First: last, Last: last}
+	default:
+		return ResDescriptor{First: ZeroRV(m.Dim()), Last: last}
+	}
+}
+
+// redistribution builds the transfer descriptor for a repartitioned edge:
+// network bytes on a network link, pipelined (first-tuple usage zero). On a
+// machine without a network (shared memory), redistribution costs CPU on the
+// producer's clones instead.
+func (m *Model) redistribution(child *optree.Op) ResDescriptor {
+	bytes := float64(child.OutCard) * float64(child.Width)
+	d := m.newDemand()
+	if net, ok := m.M.NetworkFor(0); ok {
+		d.addAt(net, bytes*m.P.NetByte)
+	} else {
+		d.addCPU(float64(child.OutCard)*m.P.CPUTuple, child.Clone)
+	}
+	return ResDescriptor{First: ZeroRV(m.Dim()), Last: RV(d.w.Max(), d.w)}
+}
+
+// spillDisk picks the disk temporaries of an operator live on: the home
+// disk of the leftmost base relation beneath it, a deterministic stand-in
+// for a real system's temp-space placement.
+func (m *Model) spillDisk(op *optree.Op) machine.ResourceID {
+	cur := op
+	for cur.Relation == "" && len(cur.Inputs) > 0 {
+		cur = cur.Inputs[0]
+	}
+	if cur.Relation != "" {
+		if rel, ok := m.Cat.Relation(cur.Relation); ok {
+			return m.M.DiskFor(rel.Disk)
+		}
+	}
+	return m.M.DiskFor(0)
+}
+
+// rightCard returns the cardinality of the second input of a two-input
+// operator, zero otherwise.
+func rightCard(op *optree.Op) int64 {
+	if len(op.Inputs) < 2 {
+		return 0
+	}
+	return op.Inputs[1].OutCard
+}
+
+func log2(n float64) float64 {
+	if n < 2 {
+		return 1
+	}
+	return math.Log2(n)
+}
+
+// OwnDemands returns the operator's own per-resource work demands (speed
+// normalized), independent of its children — the quantity a scheduler or
+// simulator charges the machine for this task.
+func (m *Model) OwnDemands(op *optree.Op) Vec { return m.base(op).Last.W.Clone() }
+
+// TransferDemands returns the per-resource demands of redistributing an
+// operator's output (the §4.2 redistribution annotation).
+func (m *Model) TransferDemands(op *optree.Op) Vec {
+	return m.redistribution(op).Last.W.Clone()
+}
+
+// PlanCost expands, annotates and costs an annotated join tree in one step.
+// It returns the descriptor and the operator tree it was computed from.
+func (m *Model) PlanCost(n *plan.Node, eopts optree.ExpandOptions, aopts optree.AnnotateOptions) (ResDescriptor, *optree.Op, error) {
+	op, err := optree.Expand(n, m.Est, eopts)
+	if err != nil {
+		return ResDescriptor{}, nil, fmt.Errorf("cost: %w", err)
+	}
+	optree.Annotate(op, m.M, m.Est, aopts)
+	return m.Descriptor(op), op, nil
+}

@@ -1,0 +1,54 @@
+package cost
+
+// Params are the knobs of the work model: abstract time units per unit of
+// physical activity. Defaults are calibrated so one sequential page I/O is
+// the unit (1.0) and CPU costs follow the usual System-R-era ratios (a page
+// I/O is worth a few hundred tuple touches).
+type Params struct {
+	// IOPage is the cost of one page read or write.
+	IOPage float64
+	// CPUTuple is the CPU cost of producing/inspecting one tuple.
+	CPUTuple float64
+	// CPUCompare is the per-comparison CPU cost inside sorts and merges.
+	CPUCompare float64
+	// HashBuild and HashProbe are per-tuple hash-join CPU costs.
+	HashBuild, HashProbe float64
+	// IndexProbeCPU is the CPU cost of one index lookup.
+	IndexProbeCPU float64
+	// IndexProbeIO is the expected page I/O per index probe.
+	IndexProbeIO float64
+	// NetByte is the network cost per byte transferred in a redistribution.
+	NetByte float64
+	// PipelineK is the k parameter of the δ(k) synchronization penalty
+	// (§5.2.2). Zero disables the penalty; 1 makes a fully-contended
+	// pipeline twice as slow as the contention-free estimate.
+	PipelineK float64
+	// CloneOverhead is the fractional extra CPU work each additional clone
+	// costs (startup, coordination); total CPU work is multiplied by
+	// 1 + CloneOverhead·(degree − 1). The paper leaves cloning overhead as
+	// an acknowledged refinement ("a more ambitious formulae would take
+	// into account the overhead associated with the cloning").
+	CloneOverhead float64
+	// SortMemPages is the number of buffer pages available to a sort; an
+	// input at most this large sorts in memory, otherwise it pays a
+	// two-pass external sort's I/O.
+	SortMemPages int64
+}
+
+// DefaultParams returns the reference parameterization used across tests,
+// examples and benchmarks.
+func DefaultParams() Params {
+	return Params{
+		IOPage:        1.0,
+		CPUTuple:      0.005,
+		CPUCompare:    0.002,
+		HashBuild:     0.008,
+		HashProbe:     0.004,
+		IndexProbeCPU: 0.01,
+		IndexProbeIO:  1.2, // root+leaf traversal amortized
+		NetByte:       0.00002,
+		PipelineK:     0.5,
+		CloneOverhead: 0.02,
+		SortMemPages:  1000,
+	}
+}

@@ -1,0 +1,101 @@
+// Package cost implements the paper's cost model (§5): two-part descriptors
+// (first-tuple, last-tuple) over either plain times (§5.1, no resource
+// contention) or resource vectors (§5.2), with the calculus of the binary
+// operators
+//
+//	t1 || t2   independent parallel execution (IPE)
+//	t1 ;  t2   sequential execution (SE)
+//	t1 ⊖  t2   residual of a dependent (pipelined) execution (DPE)
+//
+// the pipeline composition p | c, the sync() operation for materialized
+// subtrees, and the tree(L, R, root) combination rule. On resource vectors
+// the parallel composition accounts for contention and the pipeline pays
+// the synchronization penalty δ(k).
+//
+// The package also contains the work model that derives per-operator base
+// descriptors from catalog statistics and machine parameters, so a whole
+// operator tree can be costed recursively.
+package cost
+
+import "fmt"
+
+// Time is a response-time estimate in abstract time units.
+type Time = float64
+
+// TimeDesc is the §5.1 time descriptor t = (tf, tl): the estimated times at
+// which the first and last tuples are output.
+type TimeDesc struct {
+	First Time // tf
+	Last  Time // tl
+}
+
+// TD is shorthand for constructing a TimeDesc.
+func TD(tf, tl Time) TimeDesc { return TimeDesc{First: tf, Last: tl} }
+
+// String renders "(tf,tl)".
+func (t TimeDesc) String() string { return fmt.Sprintf("(%g,%g)", t.First, t.Last) }
+
+// ParTime is t1 || t2 on plain times: without resource contention the
+// response time of an independent parallel execution is max(t1, t2).
+func ParTime(t1, t2 Time) Time {
+	if t1 > t2 {
+		return t1
+	}
+	return t2
+}
+
+// SeqTime is t1 ; t2 on plain times: sequential execution takes t1 + t2.
+func SeqTime(t1, t2 Time) Time { return t1 + t2 }
+
+// ResidualTime is t1 ⊖ t2 on plain times: the response time of the residual
+// query S1 ⊖ S2 once its materialized front S2 has finished; approximated as
+// t1 − t2 (§5.1), floored at zero to keep descriptors physical.
+func ResidualTime(t1, t2 Time) Time {
+	if d := t1 - t2; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Sync models materialized execution of a subtree: the first tuple is only
+// available when the last is, sync(tf, tl) = (tl, tl).
+func (t TimeDesc) Sync() TimeDesc { return TimeDesc{First: t.Last, Last: t.Last} }
+
+// Pipe is the pipeline composition p | c of producer p and consumer c:
+//
+//	tf = pf ; cf
+//	tl = pf ; cf ; ((pl ⊖ pf) || (cl ⊖ cf))
+//
+// The first tuple flows through at the earliest possible time; afterwards
+// the producer and consumer residuals run in parallel.
+func (p TimeDesc) Pipe(c TimeDesc) TimeDesc {
+	tf := SeqTime(p.First, c.First)
+	tl := SeqTime(tf, ParTime(ResidualTime(p.Last, p.First), ResidualTime(c.Last, c.First)))
+	return TimeDesc{First: tf, Last: tl}
+}
+
+// Seq composes two descriptors sequentially, component-wise.
+func (t TimeDesc) Seq(u TimeDesc) TimeDesc {
+	return TimeDesc{First: SeqTime(t.First, u.First), Last: SeqTime(t.Last, u.Last)}
+}
+
+// Tree is the tree(L, R, root) rule of §5.1: the materialized frontiers of
+// the operands run in parallel,
+//
+//	t1 = (Lf || Rf, Lf || Rf)
+//
+// the residual queries run as a pipeline,
+//
+//	t2 = t1 ; ((0, Ll ⊖ Lf) | (0, Rl ⊖ Rf))
+//
+// and the result is piped into the root: t = t2 | root.
+func Tree(l, r, root TimeDesc) TimeDesc {
+	front := ParTime(l.First, r.First)
+	t1 := TimeDesc{First: front, Last: front}
+	resid := TD(0, ResidualTime(l.Last, l.First)).Pipe(TD(0, ResidualTime(r.Last, r.First)))
+	t2 := t1.Seq(resid)
+	return t2.Pipe(root)
+}
+
+// Chain is the single-operand case of Tree: L | root.
+func Chain(l, root TimeDesc) TimeDesc { return l.Pipe(root) }

@@ -1,0 +1,116 @@
+package cost
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParSeqResidualTime(t *testing.T) {
+	if ParTime(3, 5) != 5 || ParTime(5, 3) != 5 {
+		t.Error("ParTime should be max")
+	}
+	if SeqTime(3, 5) != 8 {
+		t.Error("SeqTime should be sum")
+	}
+	if ResidualTime(5, 3) != 2 {
+		t.Error("ResidualTime should subtract")
+	}
+	if ResidualTime(3, 5) != 0 {
+		t.Error("ResidualTime floors at zero")
+	}
+}
+
+func TestSync(t *testing.T) {
+	if got := TD(2, 7).Sync(); got != TD(7, 7) {
+		t.Errorf("Sync = %v, want (7,7)", got)
+	}
+}
+
+func TestPipeFormula(t *testing.T) {
+	// tf = pf + cf; tl = tf + max(pl-pf, cl-cf).
+	p, c := TD(1, 5), TD(2, 4)
+	got := p.Pipe(c)
+	if got != TD(3, 7) {
+		t.Errorf("Pipe = %v, want (3,7)", got)
+	}
+}
+
+// TestExample2Descriptors reproduces the paper's Example 2 table exactly:
+//
+//	sort1  = sync((0,1)|(5,5))            = (6,6)
+//	sort2  = sync((0,3)|(10,10))          = (13,13)
+//	merge  = tree((6,6),(13,13),(0,2))    = (13,15)
+//	nloops = tree((13,15),(0,2),(0,2))    = (13,15)
+func TestExample2Descriptors(t *testing.T) {
+	sort1 := TD(0, 1).Pipe(TD(5, 5)).Sync()
+	if sort1 != TD(6, 6) {
+		t.Errorf("sort1 = %v, want (6,6)", sort1)
+	}
+	sort2 := TD(0, 3).Pipe(TD(10, 10)).Sync()
+	if sort2 != TD(13, 13) {
+		t.Errorf("sort2 = %v, want (13,13)", sort2)
+	}
+	merge := Tree(sort1, sort2, TD(0, 2))
+	if merge != TD(13, 15) {
+		t.Errorf("merge = %v, want (13,15)", merge)
+	}
+	nloops := Tree(merge, TD(0, 2), TD(0, 2))
+	if nloops != TD(13, 15) {
+		t.Errorf("nloops = %v, want (13,15)", nloops)
+	}
+}
+
+func TestChainIsPipe(t *testing.T) {
+	l, root := TD(2, 6), TD(1, 3)
+	if Chain(l, root) != l.Pipe(root) {
+		t.Error("Chain must equal single-operand pipe")
+	}
+}
+
+func TestTreeWithImmediateFronts(t *testing.T) {
+	// Two fully-materialized operands: fronts dominate.
+	l, r := TD(6, 6), TD(13, 13)
+	got := Tree(l, r, TD(0, 0))
+	if got != TD(13, 13) {
+		t.Errorf("Tree = %v, want (13,13)", got)
+	}
+}
+
+func TestTimeDescString(t *testing.T) {
+	if got := TD(1.5, 3).String(); got != "(1.5,3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: Pipe never produces a first tuple before either component could
+// contribute, and tl ≥ tf.
+func TestQuickPipeMonotone(t *testing.T) {
+	f := func(pf, pd, cf, cd uint16) bool {
+		p := TD(Time(pf), Time(pf)+Time(pd))
+		c := TD(Time(cf), Time(cf)+Time(cd))
+		got := p.Pipe(c)
+		return got.First == p.First+c.First &&
+			got.Last >= got.First &&
+			got.Last <= p.Last+c.Last // never worse than fully sequential
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Tree is bounded below by the slower front and above by full
+// sequential execution of both operands plus the root.
+func TestQuickTreeBounds(t *testing.T) {
+	f := func(lf, ld, rf, rd, rt uint8) bool {
+		l := TD(Time(lf), Time(lf)+Time(ld))
+		r := TD(Time(rf), Time(rf)+Time(rd))
+		root := TD(0, Time(rt))
+		got := Tree(l, r, root)
+		lo := ParTime(l.First, r.First)
+		hi := l.Last + r.Last + root.Last
+		return got.First >= lo && got.Last <= hi && got.Last >= got.First
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

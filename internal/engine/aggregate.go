@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"paropt/internal/query"
+)
+
+// GroupedRow is one group of a grouped aggregation.
+type GroupedRow struct {
+	// Key holds the group's key values, in the order requested.
+	Key []int64
+	// Count is the number of input rows in the group.
+	Count int64
+	// Sum is the sum of the aggregated column over the group.
+	Sum int64
+}
+
+// GroupBy aggregates the result by the key columns, computing COUNT(*) and
+// SUM(sumOf) per group, returned in ascending key order. It is the
+// post-processing the paper's §1 scenario implies ("graphing the results by
+// many categories of stocks"): strictly downstream of the SPJ query the
+// optimizer handles.
+func (r *Resultset) GroupBy(keys []query.ColumnRef, sumOf query.ColumnRef) ([]GroupedRow, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("engine: GroupBy needs at least one key column")
+	}
+	keyPos := make([]int, len(keys))
+	for i, k := range keys {
+		pos := r.Schema.IndexOf(k)
+		if pos < 0 {
+			return nil, fmt.Errorf("engine: group key %v not in schema", k)
+		}
+		keyPos[i] = pos
+	}
+	sumPos := r.Schema.IndexOf(sumOf)
+	if sumPos < 0 {
+		return nil, fmt.Errorf("engine: aggregate column %v not in schema", sumOf)
+	}
+	type agg struct {
+		count, sum int64
+	}
+	groups := map[string]*agg{}
+	keyOf := map[string][]int64{}
+	for _, row := range r.Rows {
+		kv := make([]int64, len(keyPos))
+		for i, p := range keyPos {
+			kv[i] = row[p]
+		}
+		id := fmt.Sprint(kv)
+		g, ok := groups[id]
+		if !ok {
+			g = &agg{}
+			groups[id] = g
+			keyOf[id] = kv
+		}
+		g.count++
+		g.sum += row[sumPos]
+	}
+	out := make([]GroupedRow, 0, len(groups))
+	for id, g := range groups {
+		out = append(out, GroupedRow{Key: keyOf[id], Count: g.count, Sum: g.sum})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ka, kb := out[a].Key, out[b].Key
+		for i := range ka {
+			if ka[i] != kb[i] {
+				return ka[i] < kb[i]
+			}
+		}
+		return false
+	})
+	return out, nil
+}

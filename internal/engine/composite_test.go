@@ -1,0 +1,146 @@
+package engine
+
+import (
+	"testing"
+
+	"paropt/internal/catalog"
+	"paropt/internal/plan"
+	"paropt/internal/query"
+	"paropt/internal/storage"
+)
+
+// compositeRig builds two relations joined on TWO predicates (a composite
+// equijoin), the case where the hash/merge key covers only the first
+// predicate and the rest must be post-filtered (matchExtra).
+func compositeRig(t *testing.T) (*Executor, *plan.Estimator) {
+	t.Helper()
+	cat := catalog.New()
+	for _, name := range []string{"A", "B"} {
+		cat.MustAddRelation(catalog.Relation{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "x", NDV: 20, Width: 8},
+				{Name: "y", NDV: 10, Width: 8},
+			},
+			Card:  1500,
+			Pages: 15,
+		})
+	}
+	q := &query.Query{
+		Relations: []string{"A", "B"},
+		Joins: []query.JoinPredicate{
+			{Left: query.ColumnRef{Relation: "A", Column: "x"}, Right: query.ColumnRef{Relation: "B", Column: "x"}},
+			{Left: query.ColumnRef{Relation: "A", Column: "y"}, Right: query.ColumnRef{Relation: "B", Column: "y"}},
+		},
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat, 31)
+	return &Executor{DB: db, Q: q, Parallel: 1}, plan.NewEstimator(cat, q)
+}
+
+func TestCompositeJoinAllMethods(t *testing.T) {
+	e, est := compositeRig(t)
+	ref, err := ReferenceJoin(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Len() == 0 {
+		t.Fatal("fixture produced empty join")
+	}
+	for _, m := range plan.AllJoinMethods {
+		p := join(t, est, leaf(t, est, "A"), leaf(t, est, "B"), m)
+		if got := len(p.Preds); got != 2 {
+			t.Fatalf("%v: plan carries %d preds, want 2", m, got)
+		}
+		res, err := e.Execute(p)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if res.Fingerprint() != ref.Fingerprint() {
+			t.Errorf("%v: composite join differs from reference (%d vs %d rows)",
+				m, res.Len(), ref.Len())
+		}
+	}
+}
+
+func TestCompositeJoinParallel(t *testing.T) {
+	e, est := compositeRig(t)
+	p := join(t, est, leaf(t, est, "A"), leaf(t, est, "B"), plan.HashJoin)
+	serial, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Parallel = 4
+	par, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Fingerprint() != par.Fingerprint() {
+		t.Error("parallel composite join differs from serial")
+	}
+}
+
+func TestCompositeJoinOperatorTree(t *testing.T) {
+	e, est := compositeRig(t)
+	p := join(t, est, leaf(t, est, "A"), leaf(t, est, "B"), plan.SortMerge)
+	op := expandFor(t, e, est, p)
+	got, err := e.ExecuteOp(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := ReferenceJoin(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != ref.Fingerprint() {
+		t.Error("operator-tree composite merge differs from reference")
+	}
+}
+
+// TestCompositeSelectivityMultiplies: the estimator multiplies the two
+// predicates' selectivities.
+func TestCompositeSelectivityMultiplies(t *testing.T) {
+	_, est := compositeRig(t)
+	a, _ := est.Leaf("A", plan.SeqScan, nil)
+	b, _ := est.Leaf("B", plan.SeqScan, nil)
+	j, err := est.Join(a, b, plan.HashJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// card = 1500 × 1500 × (1/20) × (1/10) = 11250.
+	if j.Card != 11250 {
+		t.Errorf("composite join card = %d, want 11250", j.Card)
+	}
+}
+
+// TestBatchSizeIndependence: results are identical across batch sizes —
+// the channel batching is pure plumbing.
+func TestBatchSizeIndependence(t *testing.T) {
+	e, est := compositeRig(t)
+	p := join(t, est, leaf(t, est, "A"), leaf(t, est, "B"), plan.HashJoin)
+	var want uint64
+	for i, bs := range []int{0, 1, 7, 1024} {
+		e.BatchSize = bs
+		res, err := e.Execute(p)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bs, err)
+		}
+		if i == 0 {
+			want = res.Fingerprint()
+		} else if res.Fingerprint() != want {
+			t.Errorf("batch size %d changed the result", bs)
+		}
+	}
+	// Tiny batches under parallelism too.
+	e.BatchSize = 1
+	e.Parallel = 3
+	res, err := e.Execute(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != want {
+		t.Error("parallel tiny-batch execution changed the result")
+	}
+}

@@ -1,0 +1,477 @@
+// Package engine executes annotated join trees against in-memory tables
+// with real parallelism: operators are goroutines connected by channels
+// (pipelining), and joins can run partitioned across workers (cloning, in
+// the paper's vocabulary) with hash redistribution between stages — the
+// Gamma-style execution model the paper's operator trees describe. It
+// exists both to demonstrate that optimizer plans actually run and to
+// verify plan semantics: every plan for a query must produce the same
+// result multiset.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"paropt/internal/plan"
+	"paropt/internal/query"
+	"paropt/internal/storage"
+)
+
+// Schema names the columns of a stream, in row order.
+type Schema []query.ColumnRef
+
+// IndexOf returns the position of the column, or -1.
+func (s Schema) IndexOf(c query.ColumnRef) int {
+	for i, x := range s {
+		if x == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Batch is a unit of flow between operators.
+type Batch []storage.Row
+
+// Stream delivers batches; it is closed when the producer is exhausted.
+type Stream <-chan Batch
+
+// Executor runs plans over a database.
+type Executor struct {
+	// DB holds the generated tables.
+	DB *storage.Database
+	// Q supplies selections and projection.
+	Q *query.Query
+	// Parallel is the partitioned-parallelism degree for joins (cloning);
+	// values < 2 mean serial execution.
+	Parallel int
+	// BatchSize tunes channel granularity; 0 means 256.
+	BatchSize int
+}
+
+// Resultset is a fully materialized query result.
+type Resultset struct {
+	Schema Schema
+	Rows   []storage.Row
+}
+
+// Len is the number of result rows.
+func (r *Resultset) Len() int { return len(r.Rows) }
+
+// Execute runs the plan to completion and returns the result, projected per
+// the query's projection list when present.
+func (e *Executor) Execute(n *plan.Node) (*Resultset, error) {
+	if n == nil {
+		return nil, fmt.Errorf("engine: nil plan")
+	}
+	stream, schema, err := e.run(n)
+	if err != nil {
+		return nil, err
+	}
+	var rows []storage.Row
+	for b := range stream {
+		rows = append(rows, b...)
+	}
+	res := &Resultset{Schema: schema, Rows: rows}
+	if len(e.Q.Projection) > 0 {
+		return res.Project(e.Q.Projection)
+	}
+	return res, nil
+}
+
+// Project reorders/narrows the result to the given columns.
+func (r *Resultset) Project(cols []query.ColumnRef) (*Resultset, error) {
+	idx := make([]int, len(cols))
+	for i, c := range cols {
+		pos := r.Schema.IndexOf(c)
+		if pos < 0 {
+			return nil, fmt.Errorf("engine: projection column %v not in schema", c)
+		}
+		idx[i] = pos
+	}
+	out := &Resultset{Schema: append(Schema(nil), cols...), Rows: make([]storage.Row, len(r.Rows))}
+	for i, row := range r.Rows {
+		nr := make(storage.Row, len(idx))
+		for j, p := range idx {
+			nr[j] = row[p]
+		}
+		out.Rows[i] = nr
+	}
+	return out, nil
+}
+
+// Normalize returns the rows with columns reordered into a canonical
+// (sorted by relation, column) schema, so results of different join orders
+// compare equal.
+func (r *Resultset) Normalize() *Resultset {
+	order := make([]int, len(r.Schema))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := r.Schema[order[a]], r.Schema[order[b]]
+		if ca.Relation != cb.Relation {
+			return ca.Relation < cb.Relation
+		}
+		return ca.Column < cb.Column
+	})
+	schema := make(Schema, len(order))
+	for i, p := range order {
+		schema[i] = r.Schema[p]
+	}
+	rows := make([]storage.Row, len(r.Rows))
+	for i, row := range r.Rows {
+		nr := make(storage.Row, len(order))
+		for j, p := range order {
+			nr[j] = row[p]
+		}
+		rows[i] = nr
+	}
+	return &Resultset{Schema: schema, Rows: rows}
+}
+
+// Fingerprint is an order-independent multiset hash of the normalized rows:
+// two plans for the same query must produce equal fingerprints.
+func (r *Resultset) Fingerprint() uint64 {
+	n := r.Normalize()
+	var sum, xor uint64
+	for _, row := range n.Rows {
+		h := uint64(1469598103934665603)
+		for _, v := range row {
+			h ^= uint64(v)
+			h *= 1099511628211
+		}
+		sum += h
+		xor ^= h * 2654435761
+	}
+	return sum ^ xor ^ uint64(len(n.Rows))<<32
+}
+
+func (e *Executor) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return 256
+}
+
+// run recursively builds the operator pipeline for a subtree.
+func (e *Executor) run(n *plan.Node) (Stream, Schema, error) {
+	if n.IsLeaf() {
+		return e.scan(n)
+	}
+	ls, lschema, err := e.run(n.Left)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, rschema, err := e.run(n.Right)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.join(n, ls, lschema, rs, rschema)
+}
+
+// scan streams a base table with the query's selections applied. An index
+// scan delivers the same rows (possibly in key order); semantics are
+// identical.
+func (e *Executor) scan(n *plan.Node) (Stream, Schema, error) {
+	tab, ok := e.DB.Table(n.Relation)
+	if !ok {
+		return nil, nil, fmt.Errorf("engine: no data for relation %s", n.Relation)
+	}
+	schema := make(Schema, len(tab.Rel.Columns))
+	for i, c := range tab.Rel.Columns {
+		schema[i] = query.ColumnRef{Relation: n.Relation, Column: c.Name}
+	}
+	type sel struct {
+		pos int
+		val int64
+	}
+	var sels []sel
+	for _, s := range e.Q.SelectionsOn(n.Relation) {
+		pos := tab.ColIndex(s.Column.Column)
+		if pos < 0 {
+			return nil, nil, fmt.Errorf("engine: selection on unknown column %v", s.Column)
+		}
+		sels = append(sels, sel{pos: pos, val: s.Value})
+	}
+	keep := func(row storage.Row) bool {
+		for _, s := range sels {
+			if row[s.pos] != s.val {
+				return false
+			}
+		}
+		return true
+	}
+	bs := e.batchSize()
+
+	// Cloned (parallel) heap scan: stripe the table across workers. Only
+	// for plain heaps — index scans and physically sorted relations must
+	// deliver rows in key order.
+	if e.Parallel > 1 && n.Access != plan.IndexScan && tab.Rel.SortedBy == "" {
+		out := make(chan Batch, e.Parallel)
+		var wg sync.WaitGroup
+		wg.Add(e.Parallel)
+		for w := 0; w < e.Parallel; w++ {
+			go func(w int) {
+				defer wg.Done()
+				batch := make(Batch, 0, bs)
+				for i := w; i < len(tab.Rows); i += e.Parallel {
+					if row := tab.Rows[i]; keep(row) {
+						batch = append(batch, row)
+						if len(batch) == bs {
+							out <- batch
+							batch = make(Batch, 0, bs)
+						}
+					}
+				}
+				if len(batch) > 0 {
+					out <- batch
+				}
+			}(w)
+		}
+		go func() {
+			wg.Wait()
+			close(out)
+		}()
+		return out, schema, nil
+	}
+
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		batch := make(Batch, 0, bs)
+		emit := func(row storage.Row) {
+			batch = append(batch, row)
+			if len(batch) == bs {
+				out <- batch
+				batch = make(Batch, 0, bs)
+			}
+		}
+		if n.Access == plan.IndexScan && n.Index != nil {
+			if ix, err := storage.BuildOrderedIndex(tab, n.Index.Columns[0]); err == nil {
+				ix.Scan(func(_ int64, rowPos int) bool {
+					if row := tab.Rows[rowPos]; keep(row) {
+						emit(row)
+					}
+					return true
+				})
+				if len(batch) > 0 {
+					out <- batch
+				}
+				return
+			}
+		}
+		for _, row := range tab.Rows {
+			if keep(row) {
+				emit(row)
+			}
+		}
+		if len(batch) > 0 {
+			out <- batch
+		}
+	}()
+	return out, schema, nil
+}
+
+// joinKeys resolves the key column positions of the node's predicates in
+// the left and right schemas.
+func joinKeys(n *plan.Node, lschema, rschema Schema) (lkeys, rkeys []int, err error) {
+	for _, p := range n.Preds {
+		lp, rp := p.Left, p.Right
+		if lschema.IndexOf(lp) < 0 {
+			lp, rp = rp, lp
+		}
+		li, ri := lschema.IndexOf(lp), rschema.IndexOf(rp)
+		if li < 0 || ri < 0 {
+			return nil, nil, fmt.Errorf("engine: predicate %v does not span join inputs", p)
+		}
+		lkeys = append(lkeys, li)
+		rkeys = append(rkeys, ri)
+	}
+	return lkeys, rkeys, nil
+}
+
+// join dispatches on method and parallelism.
+func (e *Executor) join(n *plan.Node, ls Stream, lschema Schema, rs Stream, rschema Schema) (Stream, Schema, error) {
+	schema := append(append(Schema(nil), lschema...), rschema...)
+	lkeys, rkeys, err := joinKeys(n, lschema, rschema)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(lkeys) == 0 {
+		// Cross product: nested loops over a materialized inner.
+		return e.crossProduct(ls, rs), schema, nil
+	}
+	if e.Parallel > 1 {
+		return e.parallelJoin(n, ls, rs, lkeys, rkeys), schema, nil
+	}
+	return e.serialJoin(n.Method, ls, rs, lkeys, rkeys), schema, nil
+}
+
+// serialJoin runs one worker of the chosen method over complete streams.
+func (e *Executor) serialJoin(method plan.JoinMethod, ls, rs Stream, lkeys, rkeys []int) Stream {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		switch method {
+		case plan.HashJoin:
+			e.hashJoin(out, ls, rs, lkeys, rkeys)
+		case plan.SortMerge:
+			e.mergeJoin(out, ls, rs, lkeys, rkeys)
+		default:
+			e.nlJoin(out, ls, rs, lkeys, rkeys)
+		}
+	}()
+	return out
+}
+
+// emitJoined streams joined rows through a batch buffer.
+type emitter struct {
+	out   chan<- Batch
+	batch Batch
+	size  int
+}
+
+func newEmitter(out chan<- Batch, size int) *emitter {
+	return &emitter{out: out, batch: make(Batch, 0, size), size: size}
+}
+
+func (em *emitter) emit(l, r storage.Row) {
+	row := make(storage.Row, 0, len(l)+len(r))
+	row = append(row, l...)
+	row = append(row, r...)
+	em.batch = append(em.batch, row)
+	if len(em.batch) == em.size {
+		em.out <- em.batch
+		em.batch = make(Batch, 0, em.size)
+	}
+}
+
+func (em *emitter) flush() {
+	if len(em.batch) > 0 {
+		em.out <- em.batch
+	}
+}
+
+// matchExtra checks predicates beyond the first (the hash/merge key).
+func matchExtra(l, r storage.Row, lkeys, rkeys []int) bool {
+	for i := 1; i < len(lkeys); i++ {
+		if l[lkeys[i]] != r[rkeys[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// hashJoin builds on the right input, probes with the left (build then
+// probe — the materialized edge of §4.2).
+func (e *Executor) hashJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
+	build := make(map[int64][]storage.Row)
+	for b := range rs {
+		for _, row := range b {
+			k := row[rkeys[0]]
+			build[k] = append(build[k], row)
+		}
+	}
+	em := newEmitter(out, e.batchSize())
+	for b := range ls {
+		for _, l := range b {
+			for _, r := range build[l[lkeys[0]]] {
+				if matchExtra(l, r, lkeys, rkeys) {
+					em.emit(l, r)
+				}
+			}
+		}
+	}
+	em.flush()
+}
+
+// mergeJoin materializes and sorts both inputs on the key, then merges,
+// joining duplicate runs pairwise.
+func (e *Executor) mergeJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
+	l := drain(ls)
+	r := drain(rs)
+	lk, rk := lkeys[0], rkeys[0]
+	sort.SliceStable(l, func(a, b int) bool { return l[a][lk] < l[b][lk] })
+	sort.SliceStable(r, func(a, b int) bool { return r[a][rk] < r[b][rk] })
+	em := newEmitter(out, e.batchSize())
+	i, j := 0, 0
+	for i < len(l) && j < len(r) {
+		switch {
+		case l[i][lk] < r[j][rk]:
+			i++
+		case l[i][lk] > r[j][rk]:
+			j++
+		default:
+			key := l[i][lk]
+			i2 := i
+			for i2 < len(l) && l[i2][lk] == key {
+				i2++
+			}
+			j2 := j
+			for j2 < len(r) && r[j2][rk] == key {
+				j2++
+			}
+			for a := i; a < i2; a++ {
+				for b := j; b < j2; b++ {
+					if matchExtra(l[a], r[b], lkeys, rkeys) {
+						em.emit(l[a], r[b])
+					}
+				}
+			}
+			i, j = i2, j2
+		}
+	}
+	em.flush()
+}
+
+// nlJoin is nested loops with the create-index inflection: the inner is
+// materialized and hash-indexed on the key, then probed per outer row.
+func (e *Executor) nlJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
+	inner := drain(rs)
+	index := make(map[int64][]storage.Row)
+	for _, row := range inner {
+		k := row[rkeys[0]]
+		index[k] = append(index[k], row)
+	}
+	em := newEmitter(out, e.batchSize())
+	for b := range ls {
+		for _, l := range b {
+			for _, r := range index[l[lkeys[0]]] {
+				if matchExtra(l, r, lkeys, rkeys) {
+					em.emit(l, r)
+				}
+			}
+		}
+	}
+	em.flush()
+}
+
+// crossProduct joins without predicates.
+func (e *Executor) crossProduct(ls, rs Stream) Stream {
+	out := make(chan Batch, 4)
+	go func() {
+		defer close(out)
+		inner := drain(rs)
+		em := newEmitter(out, e.batchSize())
+		for b := range ls {
+			for _, l := range b {
+				for _, r := range inner {
+					em.emit(l, r)
+				}
+			}
+		}
+		em.flush()
+	}()
+	return out
+}
+
+// drain materializes a stream.
+func drain(s Stream) []storage.Row {
+	var rows []storage.Row
+	for b := range s {
+		rows = append(rows, b...)
+	}
+	return rows
+}

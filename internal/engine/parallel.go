@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"paropt/internal/plan"
+	"paropt/internal/query"
+	"paropt/internal/storage"
+)
+
+// parallelJoin is the cloned (intra-operator parallel) join of §4.1: both
+// inputs are hash-redistributed on the join key across Parallel partitions
+// (the exchange / data-redistribution annotation of §4.2), one worker
+// goroutine joins each partition pair with the serial algorithm, and the
+// partition outputs are merged. Equal keys land in equal partitions, so the
+// union of the partition joins is exactly the serial join.
+func (e *Executor) parallelJoin(n *plan.Node, ls, rs Stream, lkeys, rkeys []int) Stream {
+	p := e.Parallel
+	lparts := e.exchange(ls, lkeys[0], p)
+	rparts := e.exchange(rs, rkeys[0], p)
+	out := make(chan Batch, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		go func(i int) {
+			defer wg.Done()
+			worker := e.serialJoin(n.Method, lparts[i], rparts[i], lkeys, rkeys)
+			for b := range worker {
+				out <- b
+			}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// exchange hash-partitions a stream into p streams on the key column.
+func (e *Executor) exchange(in Stream, key int, p int) []Stream {
+	chans := make([]chan Batch, p)
+	streams := make([]Stream, p)
+	for i := range chans {
+		chans[i] = make(chan Batch, 4)
+		streams[i] = chans[i]
+	}
+	bs := e.batchSize()
+	go func() {
+		defer func() {
+			for i := range chans {
+				close(chans[i])
+			}
+		}()
+		batches := make([]Batch, p)
+		for i := range batches {
+			batches[i] = make(Batch, 0, bs)
+		}
+		for b := range in {
+			for _, row := range b {
+				part := int(hash64(row[key]) % uint64(p))
+				batches[part] = append(batches[part], row)
+				if len(batches[part]) == bs {
+					chans[part] <- batches[part]
+					batches[part] = make(Batch, 0, bs)
+				}
+			}
+		}
+		for i, batch := range batches {
+			if len(batch) > 0 {
+				chans[i] <- batch
+			}
+		}
+	}()
+	return streams
+}
+
+// PartitionImbalance hash-partitions a table's column into parts buckets
+// and returns max/mean bucket size — 1.0 for perfectly balanced
+// partitioning, growing with key skew. It quantifies the paper's §5.2.1
+// caveat that the uniformity assumption "loses some ability to model hot
+// spots": a cloned join's slowest clone is the hot partition, so real
+// speedup degrades by roughly this factor while the cost model predicts an
+// even split.
+func PartitionImbalance(t *storage.Table, column string, parts int) (float64, error) {
+	pos := t.ColIndex(column)
+	if pos < 0 {
+		return 0, fmt.Errorf("engine: table %s has no column %s", t.Rel.Name, column)
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	sizes := make([]int, parts)
+	for _, row := range t.Rows {
+		sizes[int(hash64(row[pos])%uint64(parts))]++
+	}
+	max := 0
+	for _, s := range sizes {
+		if s > max {
+			max = s
+		}
+	}
+	if t.NumRows() == 0 {
+		return 1, nil
+	}
+	mean := float64(t.NumRows()) / float64(parts)
+	return float64(max) / mean, nil
+}
+
+// hash64 mixes a key for partitioning (splitmix64 finalizer).
+func hash64(v int64) uint64 {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// ExecuteParallelDegrees is a convenience for experiments: run the same
+// plan at several degrees and return the results, which callers typically
+// fingerprint-compare and time.
+func (e *Executor) ExecuteParallelDegrees(n *plan.Node, degrees []int) ([]*Resultset, error) {
+	saved := e.Parallel
+	defer func() { e.Parallel = saved }()
+	out := make([]*Resultset, 0, len(degrees))
+	for _, d := range degrees {
+		e.Parallel = d
+		res, err := e.Execute(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ReferenceJoin computes the query result by brute-force evaluation over
+// the database — the oracle the engine is tested against. It joins the
+// query's relations in declaration order with nested loops over all
+// predicates and applies selections and projection.
+func ReferenceJoin(e *Executor) (*Resultset, error) {
+	rels := e.Q.Relations
+	var schema Schema
+	rows := []storage.Row{{}}
+	for _, rel := range rels {
+		tab, ok := e.DB.Table(rel)
+		if !ok {
+			return nil, fmt.Errorf("engine: no data for relation %s", rel)
+		}
+		var relSchema Schema
+		for _, c := range tab.Rel.Columns {
+			relSchema = append(relSchema, query.ColumnRef{Relation: rel, Column: c.Name})
+		}
+		sels := e.Q.SelectionsOn(rel)
+		newSchema := append(append(Schema(nil), schema...), relSchema...)
+		var next []storage.Row
+		for _, acc := range rows {
+			for _, row := range tab.Rows {
+				keepSel := true
+				for _, s := range sels {
+					if row[tab.ColIndex(s.Column.Column)] != s.Value {
+						keepSel = false
+						break
+					}
+				}
+				if !keepSel {
+					continue
+				}
+				joined := make(storage.Row, 0, len(acc)+len(row))
+				joined = append(joined, acc...)
+				joined = append(joined, row...)
+				if satisfiesAll(e, newSchema, joined) {
+					next = append(next, joined)
+				}
+			}
+		}
+		rows = next
+		schema = newSchema
+	}
+	res := &Resultset{Schema: schema, Rows: rows}
+	if len(e.Q.Projection) > 0 {
+		return res.Project(e.Q.Projection)
+	}
+	return res, nil
+}
+
+// satisfiesAll checks every join predicate whose columns are both present.
+func satisfiesAll(e *Executor, schema Schema, row storage.Row) bool {
+	for _, p := range e.Q.Joins {
+		li := schema.IndexOf(p.Left)
+		ri := schema.IndexOf(p.Right)
+		if li < 0 || ri < 0 {
+			continue
+		}
+		if row[li] != row[ri] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,251 @@
+// Package machine models the parallel machine on which query plans execute.
+//
+// The paper ("Query Optimization for Parallel Execution", SIGMOD 1992)
+// abstracts the machine as a set of preemptable (time-sliceable) resources:
+// CPUs, disks and network links. Resource usage of a plan fragment is a pair
+// (t, w) per resource — t is the time after which the resource is freed, w is
+// the effective busy time — under a uniformity assumption, which yields the
+// "property of stretching": a usage (t, w) can be rescheduled as (m·t, w) for
+// any m > 1 (§5.2.1).
+//
+// The machine also fixes the resource universe: the dimensionality l of the
+// resource vectors used both by the cost calculus (package cost) and by the
+// partial-order pruning metrics (package search). Section 6.3 of the paper
+// advises keeping l small by aggregating resources that track each other
+// (e.g. a RAID group is one logical disk resource); Config.AggregateDisks
+// implements exactly that ablation.
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a resource. The paper treats all preemptable resources
+// uniformly; the kind matters only for cost attribution (CPU work vs I/O
+// work vs transfer work) and reporting.
+type Kind int
+
+const (
+	// CPU is a processor. Cloned (intra-operator parallel) work is spread
+	// over several CPU resources.
+	CPU Kind = iota
+	// Disk holds base relations and indexes; sequential and index I/O work
+	// is charged to the disk that stores the accessed object.
+	Disk
+	// Network carries redistributed (repartitioned) intermediate results.
+	Network
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "cpu"
+	case Disk:
+		return "disk"
+	case Network:
+		return "network"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// ResourceID indexes a resource within a Machine. IDs are dense: they are
+// valid positions into resource vectors of length Machine.NumResources().
+type ResourceID int
+
+// Resource describes one preemptable resource of the machine.
+type Resource struct {
+	ID   ResourceID
+	Kind Kind
+	// Name is unique within the machine, e.g. "cpu0" or "disk1".
+	Name string
+	// Speed scales work: a demand of w abstract units occupies the resource
+	// for w/Speed time units. Speed 1 is the reference resource.
+	Speed float64
+}
+
+// Config describes a machine to build. The zero value is not useful; use
+// DefaultConfig or fill in the counts.
+type Config struct {
+	// CPUs is the number of processors (≥ 1).
+	CPUs int
+	// Disks is the number of independent disks (≥ 1).
+	Disks int
+	// Networks is the number of network links (usually 0 or 1).
+	Networks int
+	// CPUSpeed, DiskSpeed, NetSpeed scale the respective resources.
+	// Zero means 1.0.
+	CPUSpeed, DiskSpeed, NetSpeed float64
+	// AggregateDisks, when true, models all disks as a single logical
+	// resource (the XPRS/RAID aggregation advice of §6.3). The machine still
+	// reports the physical disk count via PhysicalDisks, and the aggregate
+	// resource has Speed multiplied by that count.
+	AggregateDisks bool
+}
+
+// DefaultConfig is a small shared-everything node: 4 CPUs, 4 disks, 1 net.
+func DefaultConfig() Config {
+	return Config{CPUs: 4, Disks: 4, Networks: 1}
+}
+
+// Machine is an immutable description of the parallel machine.
+type Machine struct {
+	resources []Resource
+	cpus      []ResourceID
+	disks     []ResourceID
+	nets      []ResourceID
+	// physicalDisks is the disk count before any aggregation.
+	physicalDisks int
+	aggregated    bool
+}
+
+// New builds a machine from the config. It panics if the config has no CPU
+// or no disk, since no plan could execute on such a machine; configuration
+// is programmer input, not runtime data.
+func New(cfg Config) *Machine {
+	if cfg.CPUs < 1 {
+		panic("machine: config needs at least one CPU")
+	}
+	if cfg.Disks < 1 {
+		panic("machine: config needs at least one disk")
+	}
+	speed := func(s float64) float64 {
+		if s <= 0 {
+			return 1
+		}
+		return s
+	}
+	m := &Machine{physicalDisks: cfg.Disks, aggregated: cfg.AggregateDisks}
+	add := func(kind Kind, name string, sp float64) ResourceID {
+		id := ResourceID(len(m.resources))
+		m.resources = append(m.resources, Resource{ID: id, Kind: kind, Name: name, Speed: sp})
+		return id
+	}
+	for i := 0; i < cfg.CPUs; i++ {
+		m.cpus = append(m.cpus, add(CPU, fmt.Sprintf("cpu%d", i), speed(cfg.CPUSpeed)))
+	}
+	if cfg.AggregateDisks {
+		m.disks = append(m.disks, add(Disk, "disks", speed(cfg.DiskSpeed)*float64(cfg.Disks)))
+	} else {
+		for i := 0; i < cfg.Disks; i++ {
+			m.disks = append(m.disks, add(Disk, fmt.Sprintf("disk%d", i), speed(cfg.DiskSpeed)))
+		}
+	}
+	for i := 0; i < cfg.Networks; i++ {
+		m.nets = append(m.nets, add(Network, fmt.Sprintf("net%d", i), speed(cfg.NetSpeed)))
+	}
+	return m
+}
+
+// NumResources is the dimensionality l of resource vectors on this machine.
+func (m *Machine) NumResources() int { return len(m.resources) }
+
+// Resource returns the resource with the given ID. It panics on an invalid
+// ID, which indicates a programming error (IDs come from the machine itself).
+func (m *Machine) Resource(id ResourceID) Resource {
+	if int(id) < 0 || int(id) >= len(m.resources) {
+		panic(fmt.Sprintf("machine: invalid resource id %d", id))
+	}
+	return m.resources[id]
+}
+
+// Resources returns all resources in ID order. The slice is shared; callers
+// must not modify it.
+func (m *Machine) Resources() []Resource { return m.resources }
+
+// CPUs returns the IDs of all CPU resources.
+func (m *Machine) CPUs() []ResourceID { return m.cpus }
+
+// Disks returns the IDs of all disk resources (one ID if aggregated).
+func (m *Machine) Disks() []ResourceID { return m.disks }
+
+// Networks returns the IDs of all network resources.
+func (m *Machine) Networks() []ResourceID { return m.nets }
+
+// PhysicalDisks is the number of physical disks, independent of aggregation.
+func (m *Machine) PhysicalDisks() int { return m.physicalDisks }
+
+// Aggregated reports whether disks are modeled as one logical resource.
+func (m *Machine) Aggregated() bool { return m.aggregated }
+
+// DiskFor maps a placement index (e.g. a relation's home disk number in the
+// catalog) to a disk resource, wrapping modulo the disk count. Under
+// aggregation every placement maps to the single logical disk.
+func (m *Machine) DiskFor(placement int) ResourceID {
+	if placement < 0 {
+		placement = -placement
+	}
+	return m.disks[placement%len(m.disks)]
+}
+
+// CPUFor maps an index to a CPU resource, wrapping modulo the CPU count.
+func (m *Machine) CPUFor(i int) ResourceID {
+	if i < 0 {
+		i = -i
+	}
+	return m.cpus[i%len(m.cpus)]
+}
+
+// NetworkFor returns a network resource if one exists, and false otherwise.
+func (m *Machine) NetworkFor(i int) (ResourceID, bool) {
+	if len(m.nets) == 0 {
+		return 0, false
+	}
+	if i < 0 {
+		i = -i
+	}
+	return m.nets[i%len(m.nets)], true
+}
+
+// ByKind returns the IDs of resources of the given kind, in ID order.
+func (m *Machine) ByKind(k Kind) []ResourceID {
+	switch k {
+	case CPU:
+		return m.cpus
+	case Disk:
+		return m.disks
+	case Network:
+		return m.nets
+	}
+	return nil
+}
+
+// String summarizes the machine, e.g. "machine(4 cpu, 4 disk, 1 net)".
+func (m *Machine) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "machine(%d cpu, ", len(m.cpus))
+	if m.aggregated {
+		fmt.Fprintf(&b, "%d disk aggregated as 1, ", m.physicalDisks)
+	} else {
+		fmt.Fprintf(&b, "%d disk, ", len(m.disks))
+	}
+	fmt.Fprintf(&b, "%d net)", len(m.nets))
+	return b.String()
+}
+
+// Names returns resource names in ID order, useful for labeling vectors.
+func (m *Machine) Names() []string {
+	names := make([]string, len(m.resources))
+	for i, r := range m.resources {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// SortedKinds returns the distinct kinds present on the machine in ascending
+// order, used by reporting code.
+func (m *Machine) SortedKinds() []Kind {
+	seen := map[Kind]bool{}
+	for _, r := range m.resources {
+		seen[r.Kind] = true
+	}
+	kinds := make([]Kind, 0, len(seen))
+	for k := range seen {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	return kinds
+}

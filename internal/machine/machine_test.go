@@ -1,0 +1,211 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDefault(t *testing.T) {
+	m := New(DefaultConfig())
+	if got, want := m.NumResources(), 9; got != want {
+		t.Fatalf("NumResources = %d, want %d", got, want)
+	}
+	if len(m.CPUs()) != 4 || len(m.Disks()) != 4 || len(m.Networks()) != 1 {
+		t.Fatalf("unexpected resource split: %v", m)
+	}
+	if m.Aggregated() {
+		t.Error("default machine should not aggregate disks")
+	}
+}
+
+func TestNewPanicsWithoutCPU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero CPUs")
+		}
+	}()
+	New(Config{CPUs: 0, Disks: 1})
+}
+
+func TestNewPanicsWithoutDisk(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero disks")
+		}
+	}()
+	New(Config{CPUs: 1, Disks: 0})
+}
+
+func TestAggregateDisks(t *testing.T) {
+	m := New(Config{CPUs: 2, Disks: 8, AggregateDisks: true})
+	if got := len(m.Disks()); got != 1 {
+		t.Fatalf("aggregated disks = %d, want 1", got)
+	}
+	if got := m.PhysicalDisks(); got != 8 {
+		t.Fatalf("PhysicalDisks = %d, want 8", got)
+	}
+	agg := m.Resource(m.Disks()[0])
+	if agg.Speed != 8 {
+		t.Fatalf("aggregate disk speed = %v, want 8 (sum of members)", agg.Speed)
+	}
+	if !m.Aggregated() {
+		t.Error("Aggregated() = false, want true")
+	}
+}
+
+func TestSpeedDefaultsToOne(t *testing.T) {
+	m := New(Config{CPUs: 1, Disks: 1})
+	for _, r := range m.Resources() {
+		if r.Speed != 1 {
+			t.Errorf("resource %s speed = %v, want 1", r.Name, r.Speed)
+		}
+	}
+}
+
+func TestDiskForWraps(t *testing.T) {
+	m := New(Config{CPUs: 1, Disks: 3})
+	d0 := m.DiskFor(0)
+	if got := m.DiskFor(3); got != d0 {
+		t.Errorf("DiskFor(3) = %v, want %v (wrap)", got, d0)
+	}
+	if got := m.DiskFor(-3); got != d0 {
+		t.Errorf("DiskFor(-3) = %v, want %v (negative wraps)", got, d0)
+	}
+}
+
+func TestCPUForWraps(t *testing.T) {
+	m := New(Config{CPUs: 2, Disks: 1})
+	if m.CPUFor(0) != m.CPUFor(2) {
+		t.Error("CPUFor should wrap modulo CPU count")
+	}
+	if m.CPUFor(0) == m.CPUFor(1) {
+		t.Error("distinct CPU indexes below count must map to distinct CPUs")
+	}
+}
+
+func TestNetworkFor(t *testing.T) {
+	m := New(Config{CPUs: 1, Disks: 1})
+	if _, ok := m.NetworkFor(0); ok {
+		t.Error("machine without network should report ok=false")
+	}
+	m = New(Config{CPUs: 1, Disks: 1, Networks: 2})
+	n0, ok := m.NetworkFor(0)
+	if !ok {
+		t.Fatal("expected a network resource")
+	}
+	if n1, _ := m.NetworkFor(1); n1 == n0 {
+		t.Error("two networks should yield distinct resources")
+	}
+}
+
+func TestResourceIDsAreDense(t *testing.T) {
+	m := New(Config{CPUs: 3, Disks: 2, Networks: 1})
+	for i, r := range m.Resources() {
+		if int(r.ID) != i {
+			t.Fatalf("resource %d has ID %d; IDs must be dense", i, r.ID)
+		}
+	}
+}
+
+func TestResourcePanicsOnBadID(t *testing.T) {
+	m := New(Config{CPUs: 1, Disks: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range resource ID")
+		}
+	}()
+	m.Resource(ResourceID(99))
+}
+
+func TestByKind(t *testing.T) {
+	m := New(Config{CPUs: 2, Disks: 3, Networks: 1})
+	if got := len(m.ByKind(CPU)); got != 2 {
+		t.Errorf("ByKind(CPU) = %d, want 2", got)
+	}
+	if got := len(m.ByKind(Disk)); got != 3 {
+		t.Errorf("ByKind(Disk) = %d, want 3", got)
+	}
+	if got := len(m.ByKind(Network)); got != 1 {
+		t.Errorf("ByKind(Network) = %d, want 1", got)
+	}
+	if got := m.ByKind(Kind(42)); got != nil {
+		t.Errorf("ByKind(invalid) = %v, want nil", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{CPU: "cpu", Disk: "disk", Network: "network", Kind(9): "kind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestNamesMatchResources(t *testing.T) {
+	m := New(Config{CPUs: 2, Disks: 2, Networks: 1})
+	names := m.Names()
+	if len(names) != m.NumResources() {
+		t.Fatalf("Names length %d != NumResources %d", len(names), m.NumResources())
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate resource name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestSortedKinds(t *testing.T) {
+	m := New(Config{CPUs: 1, Disks: 1, Networks: 1})
+	kinds := m.SortedKinds()
+	if len(kinds) != 3 {
+		t.Fatalf("SortedKinds = %v, want 3 kinds", kinds)
+	}
+	for i := 1; i < len(kinds); i++ {
+		if kinds[i-1] >= kinds[i] {
+			t.Fatalf("kinds not ascending: %v", kinds)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	m := New(Config{CPUs: 4, Disks: 4, Networks: 1})
+	if got := m.String(); got != "machine(4 cpu, 4 disk, 1 net)" {
+		t.Errorf("String() = %q", got)
+	}
+	m = New(Config{CPUs: 2, Disks: 8, AggregateDisks: true})
+	if got := m.String(); got != "machine(2 cpu, 8 disk aggregated as 1, 0 net)" {
+		t.Errorf("aggregated String() = %q", got)
+	}
+}
+
+// Property: for any valid config, resource IDs are a permutation of
+// 0..NumResources-1 and DiskFor/CPUFor always return valid IDs.
+func TestQuickMachineInvariants(t *testing.T) {
+	f := func(cpus, disks, nets uint8, agg bool, probe int16) bool {
+		cfg := Config{
+			CPUs:           1 + int(cpus%16),
+			Disks:          1 + int(disks%16),
+			Networks:       int(nets % 3),
+			AggregateDisks: agg,
+		}
+		m := New(cfg)
+		want := cfg.CPUs + cfg.Networks
+		if agg {
+			want++
+		} else {
+			want += cfg.Disks
+		}
+		if m.NumResources() != want {
+			return false
+		}
+		d := m.DiskFor(int(probe))
+		c := m.CPUFor(int(probe))
+		return m.Resource(d).Kind == Disk && m.Resource(c).Kind == CPU
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,54 @@
+package optree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the operator tree as a Graphviz digraph: one node per
+// operator labeled with its kind, cardinality and cloning degree; solid
+// edges for pipelined composition, bold edges for materialized edges,
+// dashed decoration for redistribution.
+func (o *Op) Dot(name string) string {
+	if name == "" {
+		name = "optree"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n", name)
+	id := map[*Op]int{}
+	next := 0
+	var walk func(op *Op)
+	walk = func(op *Op) {
+		for _, in := range op.Inputs {
+			walk(in)
+		}
+		id[op] = next
+		next++
+		label := op.Kind.String()
+		if op.Relation != "" {
+			label += "(" + op.Relation + ")"
+		}
+		label += fmt.Sprintf("\\ncard=%d", op.OutCard)
+		if d := op.Clone.Degree(); d > 1 {
+			label += fmt.Sprintf(" ×%d", d)
+		}
+		fmt.Fprintf(&b, "  n%d [label=\"%s\"];\n", id[op], label)
+		for _, in := range op.Inputs {
+			attrs := []string{}
+			if in.Composition == Materialized {
+				attrs = append(attrs, "style=bold", `label="mat"`)
+			}
+			if in.Redistribute {
+				attrs = append(attrs, "style=dashed", `color=red`)
+			}
+			attr := ""
+			if len(attrs) > 0 {
+				attr = " [" + strings.Join(attrs, ", ") + "]"
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", id[in], id[op], attr)
+		}
+	}
+	walk(o)
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,53 @@
+package optree
+
+import (
+	"strings"
+	"testing"
+
+	"paropt/internal/machine"
+)
+
+func TestDot(t *testing.T) {
+	_, _, e := fixture(t)
+	op, err := Expand(example1Plan(t, e), e, DefaultExpandOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine.New(machine.Config{CPUs: 4, Disks: 4})
+	Annotate(op, m, e, DefaultAnnotateOptions())
+	dot := op.Dot("example1")
+	for _, want := range []string{
+		`digraph "example1"`, "rankdir=BT", "scan(R1)", "sort",
+		"pure-nested-loops", "style=bold", "->", "card=",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q:\n%s", want, dot)
+		}
+	}
+	// Node count: one per operator.
+	if got := strings.Count(dot, "[label="); got != op.Count() {
+		t.Errorf("dot has %d labeled nodes, want %d", got, op.Count())
+	}
+	// Edge count: one per parent-child pair.
+	if got := strings.Count(dot, "->"); got != op.Count()-1 {
+		t.Errorf("dot has %d edges, want %d", got, op.Count()-1)
+	}
+	// Default name.
+	if !strings.Contains(op.Dot(""), `digraph "optree"`) {
+		t.Error("default digraph name missing")
+	}
+}
+
+func TestDotShowsCloning(t *testing.T) {
+	_, _, e := fixture(t)
+	op, _ := Expand(example1Plan(t, e), e, DefaultExpandOptions())
+	m := machine.New(machine.Config{CPUs: 4, Disks: 4})
+	Annotate(op, m, e, AnnotateOptions{MinTuplesPerClone: 1000})
+	dot := op.Dot("x")
+	if !strings.Contains(dot, "×4") {
+		t.Errorf("dot missing cloning degree:\n%s", dot)
+	}
+	if !strings.Contains(dot, "style=dashed") {
+		t.Errorf("dot missing redistribution decoration:\n%s", dot)
+	}
+}

@@ -1,0 +1,382 @@
+package optree
+
+import (
+	"strings"
+	"testing"
+
+	"paropt/internal/catalog"
+	"paropt/internal/machine"
+	"paropt/internal/plan"
+	"paropt/internal/query"
+)
+
+// fixture: chain R1-R2-R3 mirroring Example 1 of the paper.
+func fixture(t *testing.T) (*catalog.Catalog, *query.Query, *plan.Estimator) {
+	t.Helper()
+	cat := catalog.New()
+	for i, card := range []int64{50_000, 40_000, 30_000} {
+		name := []string{"R1", "R2", "R3"}[i]
+		cat.MustAddRelation(catalog.Relation{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "id", NDV: card, Width: 8},
+				{Name: "fk", NDV: card / 10, Width: 8},
+			},
+			Card:  card,
+			Pages: card / 50,
+			Disk:  i,
+		})
+	}
+	q := &query.Query{
+		Name:      "ex1",
+		Relations: []string{"R1", "R2", "R3"},
+		Joins: []query.JoinPredicate{
+			{Left: query.ColumnRef{Relation: "R1", Column: "id"}, Right: query.ColumnRef{Relation: "R2", Column: "fk"}},
+			{Left: query.ColumnRef{Relation: "R2", Column: "id"}, Right: query.ColumnRef{Relation: "R3", Column: "fk"}},
+		},
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	return cat, q, plan.NewEstimator(cat, q)
+}
+
+// example1Plan builds nested-loops(sort-merge(R1,R2), R3).
+func example1Plan(t *testing.T, e *plan.Estimator) *plan.Node {
+	t.Helper()
+	r1, err := e.Leaf("R1", plan.SeqScan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := e.Leaf("R2", plan.SeqScan, nil)
+	r3, _ := e.Leaf("R3", plan.SeqScan, nil)
+	sm, err := e.Join(r1, r2, plan.SortMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := e.Join(sm, r3, plan.NestedLoops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestExample1OperatorTree reproduces Example 1: the join tree
+// NL(SM(R1,R2), R3) expands to
+// pure-nested-loops(merge(sort(scan(R1)), sort(scan(R2))), create-index(scan(R3))).
+func TestExample1OperatorTree(t *testing.T) {
+	_, _, e := fixture(t)
+	nl := example1Plan(t, e)
+	op, err := Expand(nl, e, DefaultExpandOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "pure-nested-loops(merge(sort(scan(R1)), sort(scan(R2))), create-index(scan(R3)))"
+	if got := op.String(); got != want {
+		t.Fatalf("expanded tree =\n  %s\nwant\n  %s", got, want)
+	}
+	// Structure checks: sorts and create-index materialize, the rest pipeline.
+	var mats, pipes int
+	op.Walk(func(o *Op) {
+		if o == op {
+			return
+		}
+		if o.Composition == Materialized {
+			mats++
+		} else {
+			pipes++
+		}
+	})
+	if mats != 3 {
+		t.Errorf("materialized edges = %d, want 3 (two sorts + create-index)", mats)
+	}
+	if err := op.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandWithoutCreateIndex(t *testing.T) {
+	_, _, e := fixture(t)
+	nl := example1Plan(t, e)
+	op, err := Expand(nl, e, ExpandOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "pure-nested-loops(merge(sort(scan(R1)), sort(scan(R2))), scan(R3))"
+	if got := op.String(); got != want {
+		t.Fatalf("expanded = %s, want %s", got, want)
+	}
+}
+
+func TestSortElidedForSortedInput(t *testing.T) {
+	cat := catalog.New()
+	cat.MustAddRelation(catalog.Relation{
+		Name:    "A",
+		Columns: []catalog.Column{{Name: "k", NDV: 100, Width: 8}},
+		Card:    100, Pages: 2, SortedBy: "k",
+	})
+	cat.MustAddRelation(catalog.Relation{
+		Name:    "B",
+		Columns: []catalog.Column{{Name: "k", NDV: 100, Width: 8}},
+		Card:    100, Pages: 2,
+	})
+	q := &query.Query{
+		Relations: []string{"A", "B"},
+		Joins: []query.JoinPredicate{{
+			Left:  query.ColumnRef{Relation: "A", Column: "k"},
+			Right: query.ColumnRef{Relation: "B", Column: "k"},
+		}},
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	e := plan.NewEstimator(cat, q)
+	a, _ := e.Leaf("A", plan.SeqScan, nil)
+	b, _ := e.Leaf("B", plan.SeqScan, nil)
+	sm, _ := e.Join(a, b, plan.SortMerge)
+	op, err := Expand(sm, e, ExpandOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := op.String(), "merge(scan(A), sort(scan(B)))"; got != want {
+		t.Fatalf("expanded = %s, want %s (A's sort elided)", got, want)
+	}
+}
+
+func TestHashJoinExpansion(t *testing.T) {
+	_, _, e := fixture(t)
+	r1, _ := e.Leaf("R1", plan.SeqScan, nil)
+	r2, _ := e.Leaf("R2", plan.SeqScan, nil)
+	hj, _ := e.Join(r1, r2, plan.HashJoin)
+	op, err := Expand(hj, e, DefaultExpandOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := op.String(), "probe(scan(R1), build(scan(R2)))"; got != want {
+		t.Fatalf("expanded = %s, want %s", got, want)
+	}
+	build := op.Inputs[1]
+	if build.Kind != Build || build.Composition != Materialized {
+		t.Error("build must materialize before probe")
+	}
+	front := op.MaterializedFront()
+	if len(front) != 1 || front[0] != build {
+		t.Errorf("materialized front = %v", front)
+	}
+}
+
+func TestMaterializedFrontNested(t *testing.T) {
+	_, _, e := fixture(t)
+	nl := example1Plan(t, e)
+	op, _ := Expand(nl, e, DefaultExpandOptions())
+	front := op.MaterializedFront()
+	// Fronts: sort(R1), sort(R2), create-index(R3). The sorts are maximal;
+	// nothing nested beneath them is reported.
+	if len(front) != 3 {
+		t.Fatalf("front = %d subtrees, want 3", len(front))
+	}
+	kinds := map[Kind]int{}
+	for _, f := range front {
+		kinds[f.Kind]++
+	}
+	if kinds[Sort] != 2 || kinds[CreateIndex] != 1 {
+		t.Errorf("front kinds = %v", kinds)
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	_, _, e := fixture(t)
+	if _, err := Expand(nil, e, ExpandOptions{}); err == nil {
+		t.Error("nil plan should error")
+	}
+	r1, _ := e.Leaf("R1", plan.SeqScan, nil)
+	r2, _ := e.Leaf("R2", plan.SeqScan, nil)
+	bad := &plan.Node{Left: r1, Right: r2, Method: plan.JoinMethod(99)}
+	bad.Rels = r1.Rels.Union(r2.Rels)
+	if _, err := Expand(bad, e, ExpandOptions{}); err == nil {
+		t.Error("unknown method should error")
+	}
+}
+
+func TestValidateArity(t *testing.T) {
+	bad := &Op{Kind: Merge, Inputs: []*Op{{Kind: Scan, Relation: "R"}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("merge with one input should fail validation")
+	}
+	badNested := &Op{Kind: Sort, Inputs: []*Op{{Kind: Probe}}}
+	if err := badNested.Validate(); err == nil {
+		t.Error("nested arity violation should be caught")
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	_, _, e := fixture(t)
+	op, _ := Expand(example1Plan(t, e), e, DefaultExpandOptions())
+	// pureNL, merge, 2 sorts, 2 scans, create-index, scan = 8.
+	if got := op.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	var order []Kind
+	op.Walk(func(o *Op) { order = append(order, o.Kind) })
+	if order[len(order)-1] != PureNL {
+		t.Error("Walk must visit root last (bottom-up)")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	_, _, e := fixture(t)
+	m := machine.New(machine.Config{CPUs: 4, Disks: 4})
+	op, _ := Expand(example1Plan(t, e), e, DefaultExpandOptions())
+	Annotate(op, m, e, AnnotateOptions{MinTuplesPerClone: 10_000})
+	op.Walk(func(o *Op) {
+		if o.Clone.Degree() < 1 {
+			t.Errorf("%s: degree < 1", o.Kind)
+		}
+		if o.Clone.Degree() > 4 {
+			t.Errorf("%s: degree %d exceeds CPU count", o.Kind, o.Clone.Degree())
+		}
+		for _, r := range o.Clone.Resources {
+			if m.Resource(r).Kind != machine.CPU {
+				t.Errorf("%s: clone resource %v is not a CPU", o.Kind, r)
+			}
+		}
+	})
+	// A 50k-tuple scan at 10k per clone on 4 CPUs should clone fully.
+	scans := 0
+	op.Walk(func(o *Op) {
+		if o.Kind == Scan && o.Relation == "R1" {
+			scans++
+			if o.Clone.Degree() != 4 {
+				t.Errorf("scan(R1) degree = %d, want 4", o.Clone.Degree())
+			}
+		}
+	})
+	if scans != 1 {
+		t.Fatalf("scan(R1) seen %d times", scans)
+	}
+}
+
+func TestAnnotateMaxDegree(t *testing.T) {
+	_, _, e := fixture(t)
+	m := machine.New(machine.Config{CPUs: 8, Disks: 2})
+	op, _ := Expand(example1Plan(t, e), e, DefaultExpandOptions())
+	Annotate(op, m, e, AnnotateOptions{MaxDegree: 2, MinTuplesPerClone: 1})
+	op.Walk(func(o *Op) {
+		if o.Clone.Degree() > 2 {
+			t.Errorf("%s: degree %d exceeds MaxDegree", o.Kind, o.Clone.Degree())
+		}
+	})
+}
+
+func TestAnnotateSequentialMachine(t *testing.T) {
+	_, _, e := fixture(t)
+	m := machine.New(machine.Config{CPUs: 1, Disks: 1})
+	op, _ := Expand(example1Plan(t, e), e, DefaultExpandOptions())
+	Annotate(op, m, e, DefaultAnnotateOptions())
+	op.Walk(func(o *Op) {
+		if o.Clone.Degree() != 1 {
+			t.Errorf("%s cloned on a 1-CPU machine", o.Kind)
+		}
+		for _, in := range o.Inputs {
+			if in.Redistribute {
+				t.Errorf("%s: redistribution on a sequential machine", in.Kind)
+			}
+		}
+	})
+}
+
+func TestRedistributionFlag(t *testing.T) {
+	_, _, e := fixture(t)
+	m := machine.New(machine.Config{CPUs: 4, Disks: 4})
+	op, _ := Expand(example1Plan(t, e), e, DefaultExpandOptions())
+	Annotate(op, m, e, AnnotateOptions{MinTuplesPerClone: 1000})
+	// With everything cloned on rotating offsets, at least one edge must
+	// repartition (the two merge inputs are partitioned on different attrs
+	// originally or on different clone sets).
+	redist := 0
+	op.Walk(func(o *Op) {
+		if o.Redistribute {
+			redist++
+		}
+	})
+	if redist == 0 {
+		t.Error("expected at least one redistribution edge on a cloned plan")
+	}
+}
+
+func TestAnnotationTable(t *testing.T) {
+	_, _, e := fixture(t)
+	m := machine.New(machine.Config{CPUs: 4, Disks: 4})
+	op, _ := Expand(example1Plan(t, e), e, DefaultExpandOptions())
+	Annotate(op, m, e, DefaultAnnotateOptions())
+	tab := op.AnnotationTable()
+	for _, want := range []string{"Node", "cloning", "comp. method", "redistr.", "scan(R1)", "merge", "pure-nested-loops"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("annotation table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Scan: "scan", IndexScanOp: "indexScan", Sort: "sort", Merge: "merge",
+		Build: "build", Probe: "probe", PureNL: "pure-nested-loops",
+		CreateIndex: "create-index", Kind(99): "op(99)",
+	}
+	for k, w := range want {
+		if got := k.String(); got != w {
+			t.Errorf("%d.String() = %q, want %q", k, got, w)
+		}
+	}
+	if Pipelined.String() != "pipelined" || Materialized.String() != "materialized" {
+		t.Error("Composition strings wrong")
+	}
+}
+
+func TestCloningString(t *testing.T) {
+	c := Cloning{}
+	if c.String() != "-" || c.Degree() != 1 {
+		t.Error("empty cloning wrong")
+	}
+	c = Cloning{
+		Resources: []machine.ResourceID{1, 2},
+		Attribute: query.ColumnRef{Relation: "R", Column: "a"},
+	}
+	if got := c.String(); got != "({1,2},R.a)" {
+		t.Errorf("String = %q", got)
+	}
+	if c.Degree() != 2 {
+		t.Error("Degree wrong")
+	}
+}
+
+func TestIndexScanExpansion(t *testing.T) {
+	cat, _, _ := fixture(t)
+	cat.MustAddIndex(catalog.Index{Name: "R3_fk", Relation: "R3", Columns: []string{"fk"}, Clustered: true})
+	q := &query.Query{
+		Relations: []string{"R1", "R3"},
+		Joins: []query.JoinPredicate{{
+			Left:  query.ColumnRef{Relation: "R1", Column: "id"},
+			Right: query.ColumnRef{Relation: "R3", Column: "fk"},
+		}},
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	e := plan.NewEstimator(cat, q)
+	r1, _ := e.Leaf("R1", plan.SeqScan, nil)
+	idx, _ := cat.Index("R3_fk")
+	r3, err := e.Leaf("R3", plan.IndexScan, idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, _ := e.Join(r1, r3, plan.NestedLoops)
+	op, err := Expand(nl, e, DefaultExpandOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index already exists: no create-index inflection.
+	if got, want := op.String(), "pure-nested-loops(scan(R1), indexScan(R3_fk))"; got != want {
+		t.Fatalf("expanded = %s, want %s", got, want)
+	}
+}

@@ -1,0 +1,57 @@
+package parser
+
+import "testing"
+
+// Native fuzz targets: `go test` runs the seed corpus; `go test -fuzz` digs
+// deeper. The invariant in both cases is "no panic, error or value".
+
+func FuzzParseQuery(f *testing.F) {
+	cat, err := ParseSchema(demoSchema)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		"SELECT * FROM orders",
+		"SELECT orders.order_id FROM orders, customers WHERE orders.cust_id = customers.cust_id",
+		"SELECT * FROM orders WHERE orders.cust_id = -42",
+		"select * from orders where",
+		"SELECT",
+		"",
+		"SELECT * FROM orders WHERE orders.cust_id = customers",
+		"SELECT *, FROM orders",
+		"# comment only",
+		"SELECT * FROM orders WHERE orders.cust_id = 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src, cat)
+		if err == nil && q == nil {
+			t.Fatal("nil query without error")
+		}
+	})
+}
+
+func FuzzParseSchema(f *testing.F) {
+	seeds := []string{
+		demoSchema,
+		"relation r card=1",
+		"relation r card=1\ncolumn r.a ndv=1\nindex i on r(a) clustered",
+		"relation r card=-5 pages=-5",
+		"index orphan on ghost(x)",
+		"column ghost.c ndv=1",
+		"relation r card=1 sorted=missing",
+		"relation r\n\n\n",
+		"### \n relation # inline",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cat, err := ParseSchema(src)
+		if err == nil && cat == nil {
+			t.Fatal("nil catalog without error")
+		}
+	})
+}

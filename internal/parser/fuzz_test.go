@@ -1,0 +1,102 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParserNeverPanics: arbitrary byte soup must produce an error or
+// a query, never a panic.
+func TestQuickParserNeverPanics(t *testing.T) {
+	cat, err := ParseSchema(demoSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		_, _ = ParseQuery(string(raw), cat)
+		_, _ = ParseSchema(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickGeneratedQueriesRoundTrip: queries synthesized from the demo
+// schema's vocabulary always parse and validate.
+func TestQuickGeneratedQueriesRoundTrip(t *testing.T) {
+	cat, err := ParseSchema(demoSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		var sb strings.Builder
+		sb.WriteString("SELECT ")
+		if rng.Intn(2) == 0 {
+			sb.WriteString("*")
+		} else {
+			sb.WriteString("orders.order_id")
+		}
+		sb.WriteString(" FROM orders")
+		withCustomers := rng.Intn(2) == 0
+		if withCustomers {
+			sb.WriteString(", customers")
+		}
+		var preds []string
+		if withCustomers {
+			preds = append(preds, "orders.cust_id = customers.cust_id")
+			if rng.Intn(2) == 0 {
+				preds = append(preds, fmt.Sprintf("customers.region = %d", rng.Intn(30)))
+			}
+		}
+		if rng.Intn(2) == 0 {
+			preds = append(preds, fmt.Sprintf("orders.cust_id = %d", rng.Intn(100)))
+		}
+		if len(preds) > 0 {
+			sb.WriteString(" WHERE " + strings.Join(preds, " AND "))
+		}
+		q, err := ParseQuery(sb.String(), cat)
+		if err != nil {
+			t.Fatalf("trial %d: %q: %v", trial, sb.String(), err)
+		}
+		if len(q.Relations) == 0 {
+			t.Fatalf("trial %d: empty query", trial)
+		}
+	}
+}
+
+// TestQuickSchemaGeneratedRoundTrip: synthesized schemas always parse into
+// consistent catalogs.
+func TestQuickSchemaGeneratedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		nRels := 1 + rng.Intn(4)
+		var sb strings.Builder
+		for r := 0; r < nRels; r++ {
+			card := 10 + rng.Intn(10000)
+			fmt.Fprintf(&sb, "relation t%d card=%d pages=%d disk=%d\n", r, card, 1+card/100, rng.Intn(4))
+			for c := 0; c < 1+rng.Intn(3); c++ {
+				fmt.Fprintf(&sb, "column t%d.c%d ndv=%d width=%d\n", r, c, 1+rng.Intn(card), 4+rng.Intn(12))
+			}
+			if rng.Intn(2) == 0 {
+				fmt.Fprintf(&sb, "index ix%d on t%d(c0) disk=%d\n", r, r, rng.Intn(4))
+			}
+		}
+		cat, err := ParseSchema(sb.String())
+		if err != nil {
+			t.Fatalf("trial %d:\n%s\n%v", trial, sb.String(), err)
+		}
+		if cat.NumRelations() != nRels {
+			t.Fatalf("trial %d: %d relations, want %d", trial, cat.NumRelations(), nRels)
+		}
+	}
+}

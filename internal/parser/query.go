@@ -1,0 +1,288 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"paropt/internal/catalog"
+	"paropt/internal/query"
+)
+
+// ParseQuery parses a SELECT statement into a Query and validates it
+// against the catalog.
+func ParseQuery(src string, cat *catalog.Catalog) (*query.Query, error) {
+	s, err := newStream(src)
+	if err != nil {
+		return nil, err
+	}
+	q := &query.Query{Name: "parsed"}
+
+	if !s.keyword("select") {
+		return nil, fmt.Errorf("parser: query must start with SELECT")
+	}
+	if s.peek().kind == tokStar {
+		s.next()
+	} else {
+		for {
+			col, err := parseColumnRef(s)
+			if err != nil {
+				return nil, err
+			}
+			q.Projection = append(q.Projection, col)
+			if s.peek().kind != tokComma {
+				break
+			}
+			s.next()
+		}
+	}
+
+	if !s.keyword("from") {
+		return nil, fmt.Errorf("parser: expected FROM at offset %d", s.peek().pos)
+	}
+	for {
+		rel, err := s.ident("relation name")
+		if err != nil {
+			return nil, err
+		}
+		q.Relations = append(q.Relations, rel)
+		if s.peek().kind != tokComma {
+			break
+		}
+		s.next()
+	}
+
+	if s.keyword("where") {
+		for {
+			if err := parsePredicate(s, q); err != nil {
+				return nil, err
+			}
+			if !s.keyword("and") {
+				break
+			}
+		}
+	}
+	if t := s.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("parser: trailing input %q at offset %d", t.text, t.pos)
+	}
+	if err := q.Validate(cat); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// parseColumnRef parses rel.col.
+func parseColumnRef(s *stream) (query.ColumnRef, error) {
+	rel, err := s.ident("relation name")
+	if err != nil {
+		return query.ColumnRef{}, err
+	}
+	if _, err := s.expect(tokDot, "'.'"); err != nil {
+		return query.ColumnRef{}, err
+	}
+	col, err := s.ident("column name")
+	if err != nil {
+		return query.ColumnRef{}, err
+	}
+	return query.ColumnRef{Relation: rel, Column: col}, nil
+}
+
+// parsePredicate parses one equality predicate: a join (rel.col = rel.col)
+// or a selection (rel.col = <int>).
+func parsePredicate(s *stream, q *query.Query) error {
+	left, err := parseColumnRef(s)
+	if err != nil {
+		return err
+	}
+	if _, err := s.expect(tokEq, "'='"); err != nil {
+		return err
+	}
+	switch t := s.peek(); t.kind {
+	case tokNumber:
+		s.next()
+		v, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return fmt.Errorf("parser: bad integer %q at offset %d", t.text, t.pos)
+		}
+		q.Selections = append(q.Selections, query.Selection{Column: left, Value: v})
+		return nil
+	case tokIdent:
+		right, err := parseColumnRef(s)
+		if err != nil {
+			return err
+		}
+		q.Joins = append(q.Joins, query.JoinPredicate{Left: left, Right: right})
+		return nil
+	default:
+		return fmt.Errorf("parser: expected column or constant after '=' at offset %d", t.pos)
+	}
+}
+
+// ParseSchema parses the schema DDL (see the package comment) into a fresh
+// catalog. Column statements must follow their relation statement; an
+// omitted column list gives the relation a single "id" key column.
+func ParseSchema(src string) (*catalog.Catalog, error) {
+	cat := catalog.New()
+	type pendingRel struct {
+		rel  catalog.Relation
+		cols []catalog.Column
+	}
+	var rels []*pendingRel
+	byName := map[string]*pendingRel{}
+	type pendingIdx struct{ idx catalog.Index }
+	var idxs []pendingIdx
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, err := newStream(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		switch {
+		case s.keyword("relation"):
+			name, err := s.ident("relation name")
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			pr := &pendingRel{rel: catalog.Relation{Name: name}}
+			opts, err := parseOptions(s)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			pr.rel.Card = opts.num("card", 1)
+			pr.rel.Pages = opts.num("pages", 1)
+			pr.rel.Disk = int(opts.num("disk", 0))
+			pr.rel.SortedBy = opts.str("sorted")
+			rels = append(rels, pr)
+			byName[name] = pr
+
+		case s.keyword("column"):
+			col, err := parseColumnRef(s)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			pr, ok := byName[col.Relation]
+			if !ok {
+				return nil, fmt.Errorf("line %d: column for undeclared relation %s", lineNo+1, col.Relation)
+			}
+			opts, err := parseOptions(s)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			pr.cols = append(pr.cols, catalog.Column{
+				Name:  col.Column,
+				NDV:   opts.num("ndv", pr.rel.Card),
+				Width: int(opts.num("width", 8)),
+			})
+
+		case s.keyword("index"):
+			name, err := s.ident("index name")
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			if !s.keyword("on") {
+				return nil, fmt.Errorf("line %d: expected ON", lineNo+1)
+			}
+			rel, err := s.ident("relation name")
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			if _, err := s.expect(tokLParen, "'('"); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			var cols []string
+			for {
+				c, err := s.ident("column name")
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+				}
+				cols = append(cols, c)
+				if s.peek().kind != tokComma {
+					break
+				}
+				s.next()
+			}
+			if _, err := s.expect(tokRParen, "')'"); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			idx := catalog.Index{Name: name, Relation: rel, Columns: cols}
+			for {
+				if s.keyword("clustered") {
+					idx.Clustered = true
+					continue
+				}
+				if s.keyword("covering") {
+					idx.Covering = true
+					continue
+				}
+				break
+			}
+			opts, err := parseOptions(s)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			idx.Disk = int(opts.num("disk", 0))
+			idx.Pages = opts.num("pages", 0)
+			idxs = append(idxs, pendingIdx{idx})
+
+		default:
+			return nil, fmt.Errorf("line %d: expected relation, column or index", lineNo+1)
+		}
+	}
+
+	for _, pr := range rels {
+		if len(pr.cols) == 0 {
+			pr.cols = []catalog.Column{{Name: "id", NDV: pr.rel.Card, Width: 8}}
+		}
+		pr.rel.Columns = pr.cols
+		if _, err := cat.AddRelation(pr.rel); err != nil {
+			return nil, err
+		}
+	}
+	for _, pi := range idxs {
+		if _, err := cat.AddIndex(pi.idx); err != nil {
+			return nil, err
+		}
+	}
+	return cat, nil
+}
+
+// options is a parsed key=value list.
+type options map[string]string
+
+func (o options) num(key string, def int64) int64 {
+	v, ok := o[key]
+	if !ok {
+		return def
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return def
+	}
+	return n
+}
+
+func (o options) str(key string) string { return o[key] }
+
+// parseOptions reads trailing key=value pairs until end of statement.
+func parseOptions(s *stream) (options, error) {
+	opts := options{}
+	for s.peek().kind == tokIdent {
+		key, _ := s.ident("option name")
+		if _, err := s.expect(tokEq, "'=' after option "+key); err != nil {
+			return nil, err
+		}
+		t := s.next()
+		if t.kind != tokNumber && t.kind != tokIdent {
+			return nil, fmt.Errorf("parser: bad value for option %s at offset %d", key, t.pos)
+		}
+		opts[strings.ToLower(key)] = t.text
+	}
+	if t := s.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("parser: trailing input %q at offset %d", t.text, t.pos)
+	}
+	return opts, nil
+}

@@ -1,0 +1,143 @@
+package plan
+
+import (
+	"math/rand"
+	"testing"
+
+	"paropt/internal/catalog"
+	"paropt/internal/query"
+)
+
+// Estimator invariants over random catalogs and plans: cardinalities are
+// positive and bounded by the cross product, widths add up, relation sets
+// partition, and orderings only ever reference query columns.
+
+func randWorld(t *testing.T, seed int64) (*catalog.Catalog, *query.Query, *Estimator, *rand.Rand) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cfg := query.GenConfig{
+		Relations:  3 + rng.Intn(3),
+		Shape:      query.Shape(rng.Intn(4)),
+		MinCard:    10,
+		MaxCard:    100_000,
+		Disks:      4,
+		IndexProb:  0.5,
+		SortedProb: 0.3,
+		Seed:       seed,
+	}
+	cat, q := query.Generate(cfg)
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	return cat, q, NewEstimator(cat, q), rng
+}
+
+func randPlanFor(t *testing.T, est *Estimator, q *query.Query, rng *rand.Rand) *Node {
+	t.Helper()
+	perm := rng.Perm(len(q.Relations))
+	nodes := make([]*Node, len(perm))
+	for i, pos := range perm {
+		leaf, err := est.Leaf(q.Relations[pos], SeqScan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = leaf
+	}
+	for len(nodes) > 1 {
+		i := rng.Intn(len(nodes) - 1)
+		m := AllJoinMethods[rng.Intn(3)]
+		j, err := est.Join(nodes[i], nodes[i+1], m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes[:i], append([]*Node{j}, nodes[i+2:]...)...)
+	}
+	return nodes[0]
+}
+
+func TestQuickEstimatorInvariants(t *testing.T) {
+	for seed := int64(1); seed <= 40; seed++ {
+		cat, q, est, rng := randWorld(t, seed)
+		p := randPlanFor(t, est, q, rng)
+		var walk func(n *Node) (card float64)
+		walk = func(n *Node) float64 {
+			if n.Card < 1 {
+				t.Fatalf("seed %d: non-positive card %d at %s", seed, n.Card, n)
+			}
+			if n.IsLeaf() {
+				rel := cat.MustRelation(n.Relation)
+				if n.Card > rel.Card {
+					t.Fatalf("seed %d: leaf card %d exceeds relation card %d", seed, n.Card, rel.Card)
+				}
+				if n.Width != rel.TupleWidth() {
+					t.Fatalf("seed %d: leaf width %d != relation width %d", seed, n.Width, rel.TupleWidth())
+				}
+				return float64(n.Card)
+			}
+			lc := walk(n.Left)
+			rc := walk(n.Right)
+			// Compare in float64: the cross product of several 100k-row
+			// relations overflows int64.
+			if float64(n.Card) > lc*rc*(1+1e-9) {
+				t.Fatalf("seed %d: join card %d exceeds cross product %g", seed, n.Card, lc*rc)
+			}
+			if n.Width != n.Left.Width+n.Right.Width {
+				t.Fatalf("seed %d: join width %d != %d+%d", seed, n.Width, n.Left.Width, n.Right.Width)
+			}
+			if !n.Left.Rels.Intersect(n.Right.Rels).Empty() {
+				t.Fatalf("seed %d: overlapping operand relations", seed)
+			}
+			if n.Rels != n.Left.Rels.Union(n.Right.Rels) {
+				t.Fatalf("seed %d: Rels not the union of operands", seed)
+			}
+			for _, c := range n.Order {
+				if q.RelationIndex(c.Relation) < 0 {
+					t.Fatalf("seed %d: ordering column %v outside the query", seed, c)
+				}
+			}
+			return float64(n.Card)
+		}
+		walk(p)
+		if p.Rels != query.FullSet(len(q.Relations)) {
+			t.Fatalf("seed %d: root does not cover all relations", seed)
+		}
+	}
+}
+
+// TestExplicitSelectivityOverrides: user-supplied selectivities take
+// precedence over NDV-derived ones.
+func TestExplicitSelectivityOverrides(t *testing.T) {
+	cat := catalog.New()
+	for _, name := range []string{"A", "B"} {
+		cat.MustAddRelation(catalog.Relation{
+			Name:    name,
+			Columns: []catalog.Column{{Name: "k", NDV: 100, Width: 8}},
+			Card:    10_000, Pages: 100,
+		})
+	}
+	q := &query.Query{
+		Relations: []string{"A", "B"},
+		Joins: []query.JoinPredicate{{
+			Left:        query.ColumnRef{Relation: "A", Column: "k"},
+			Right:       query.ColumnRef{Relation: "B", Column: "k"},
+			Selectivity: 0.5,
+		}},
+		Selections: []query.Selection{{
+			Column:      query.ColumnRef{Relation: "A", Column: "k"},
+			Selectivity: 0.1,
+		}},
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	est := NewEstimator(cat, q)
+	a, _ := est.Leaf("A", SeqScan, nil)
+	if a.Card != 1000 { // 10k × 0.1 explicit
+		t.Errorf("selection override: card = %d, want 1000", a.Card)
+	}
+	b, _ := est.Leaf("B", SeqScan, nil)
+	j, _ := est.Join(a, b, HashJoin)
+	if j.Card != 1000*10_000/2 { // explicit 0.5
+		t.Errorf("join override: card = %d, want %d", j.Card, 1000*10_000/2)
+	}
+}

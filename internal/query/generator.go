@@ -1,0 +1,167 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+
+	"paropt/internal/catalog"
+)
+
+// Shape selects the join-graph topology of a generated query.
+type Shape int
+
+const (
+	// Chain connects R0-R1-...-Rn-1 in a line.
+	Chain Shape = iota
+	// Star joins R1..Rn-1 each to the hub R0 (decision-support shape).
+	Star
+	// Cycle is a chain with an extra edge closing the loop.
+	Cycle
+	// Clique joins every pair of relations. With a clique every join order
+	// avoids cross products, which makes measured search-space sizes match
+	// the closed forms of Table 1 (n!, n·2^{n-1}, ...) exactly.
+	Clique
+)
+
+// String names the shape.
+func (s Shape) String() string {
+	switch s {
+	case Chain:
+		return "chain"
+	case Star:
+		return "star"
+	case Cycle:
+		return "cycle"
+	case Clique:
+		return "clique"
+	default:
+		return fmt.Sprintf("shape(%d)", int(s))
+	}
+}
+
+// GenConfig controls random catalog+query generation.
+type GenConfig struct {
+	// Relations is the number of base relations (≥ 1).
+	Relations int
+	// Shape is the join-graph topology.
+	Shape Shape
+	// MinCard and MaxCard bound relation cardinalities.
+	MinCard, MaxCard int64
+	// Disks spreads relations round-robin (with jitter) over this many
+	// disks. Zero means 1.
+	Disks int
+	// IndexProb is the probability that a relation gets an index on its
+	// join column; clustered with probability 1/2 given an index.
+	IndexProb float64
+	// SortedProb is the probability a relation is stored sorted on its
+	// join column (a free interesting order).
+	SortedProb float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// DefaultGenConfig returns a moderate 6-relation chain workload.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Relations:  6,
+		Shape:      Chain,
+		MinCard:    1_000,
+		MaxCard:    1_000_000,
+		Disks:      4,
+		IndexProb:  0.5,
+		SortedProb: 0.25,
+		Seed:       1,
+	}
+}
+
+// Generate builds a random catalog and a query over it according to cfg.
+// Each relation Ri has columns "id" (key), "fk" (join column), "payload".
+func Generate(cfg GenConfig) (*catalog.Catalog, *Query) {
+	if cfg.Relations < 1 {
+		cfg.Relations = 1
+	}
+	if cfg.MinCard < 1 {
+		cfg.MinCard = 1
+	}
+	if cfg.MaxCard < cfg.MinCard {
+		cfg.MaxCard = cfg.MinCard
+	}
+	if cfg.Disks < 1 {
+		cfg.Disks = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	cat := catalog.New()
+	q := &Query{Name: fmt.Sprintf("%s-%d", cfg.Shape, cfg.Relations)}
+
+	for i := 0; i < cfg.Relations; i++ {
+		name := fmt.Sprintf("R%d", i)
+		card := cfg.MinCard
+		if cfg.MaxCard > cfg.MinCard {
+			card += rng.Int63n(cfg.MaxCard - cfg.MinCard + 1)
+		}
+		rel := catalog.Relation{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "id", NDV: card, Width: 8},
+				{Name: "fk", NDV: maxI64(card/10, 1), Width: 8},
+				{Name: "payload", NDV: maxI64(card/100, 1), Width: 64},
+			},
+			Card:  card,
+			Pages: maxI64(card*80/8192, 1),
+			Disk:  (i + rng.Intn(cfg.Disks)) % cfg.Disks,
+		}
+		if rng.Float64() < cfg.SortedProb {
+			rel.SortedBy = "id"
+		}
+		cat.MustAddRelation(rel)
+		if rng.Float64() < cfg.IndexProb {
+			cat.MustAddIndex(catalog.Index{
+				Name:      name + "_id",
+				Relation:  name,
+				Columns:   []string{"id"},
+				Clustered: rng.Intn(2) == 0,
+				Disk:      rng.Intn(cfg.Disks),
+			})
+		}
+		q.Relations = append(q.Relations, name)
+	}
+
+	join := func(i, j int) {
+		q.Joins = append(q.Joins, JoinPredicate{
+			Left:  ColumnRef{Relation: q.Relations[i], Column: "id"},
+			Right: ColumnRef{Relation: q.Relations[j], Column: "fk"},
+		})
+	}
+	n := cfg.Relations
+	switch cfg.Shape {
+	case Chain:
+		for i := 0; i+1 < n; i++ {
+			join(i, i+1)
+		}
+	case Star:
+		for i := 1; i < n; i++ {
+			join(0, i)
+		}
+	case Cycle:
+		for i := 0; i+1 < n; i++ {
+			join(i, i+1)
+		}
+		if n > 2 {
+			join(n-1, 0)
+		}
+	case Clique:
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				join(i, j)
+			}
+		}
+	}
+	return cat, q
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,299 @@
+// Package query models Select-Project-Join (SPJ) queries — the class the
+// paper optimizes — as a set of base relations, equijoin predicates forming
+// a join graph, optional single-relation selections, and a projection list.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paropt/internal/catalog"
+)
+
+// ColumnRef names a column of a specific relation.
+type ColumnRef struct {
+	Relation string
+	Column   string
+}
+
+// String renders "R.a".
+func (c ColumnRef) String() string { return c.Relation + "." + c.Column }
+
+// JoinPredicate is an equijoin between two columns of distinct relations.
+type JoinPredicate struct {
+	Left, Right ColumnRef
+	// Selectivity overrides the statistics-derived estimate when > 0.
+	Selectivity float64
+}
+
+// String renders "R.a = S.b".
+func (p JoinPredicate) String() string {
+	return p.Left.String() + " = " + p.Right.String()
+}
+
+// Touches reports whether the predicate references the relation.
+func (p JoinPredicate) Touches(rel string) bool {
+	return p.Left.Relation == rel || p.Right.Relation == rel
+}
+
+// Other returns the column on the opposite side from rel, and whether the
+// predicate touches rel at all.
+func (p JoinPredicate) Other(rel string) (ColumnRef, bool) {
+	switch rel {
+	case p.Left.Relation:
+		return p.Right, true
+	case p.Right.Relation:
+		return p.Left, true
+	}
+	return ColumnRef{}, false
+}
+
+// Side returns the column on rel's side, and whether the predicate touches
+// rel.
+func (p JoinPredicate) Side(rel string) (ColumnRef, bool) {
+	switch rel {
+	case p.Left.Relation:
+		return p.Left, true
+	case p.Right.Relation:
+		return p.Right, true
+	}
+	return ColumnRef{}, false
+}
+
+// Selection is a single-relation equality predicate column = constant.
+type Selection struct {
+	Column ColumnRef
+	// Value is the constant compared against (used by the execution
+	// engine; the optimizer only needs the selectivity).
+	Value int64
+	// Selectivity overrides the statistics-derived 1/NDV estimate when > 0.
+	Selectivity float64
+}
+
+// Query is an SPJ query over a catalog.
+type Query struct {
+	// Name labels the query in reports.
+	Name string
+	// Relations are the base relations, in declaration order. Order is
+	// irrelevant semantically but fixed for deterministic enumeration.
+	Relations []string
+	// Joins are the equijoin predicates.
+	Joins []JoinPredicate
+	// Selections are per-relation filters applied at the leaves.
+	Selections []Selection
+	// Projection is the output column list; empty means all columns.
+	Projection []ColumnRef
+}
+
+// Validate checks the query against the catalog: every relation exists,
+// every referenced column exists, join predicates span two distinct
+// relations of the query.
+func (q *Query) Validate(cat *catalog.Catalog) error {
+	if len(q.Relations) == 0 {
+		return fmt.Errorf("query %s: no relations", q.Name)
+	}
+	seen := make(map[string]bool, len(q.Relations))
+	for _, r := range q.Relations {
+		if seen[r] {
+			return fmt.Errorf("query %s: relation %s listed twice", q.Name, r)
+		}
+		seen[r] = true
+		if _, ok := cat.Relation(r); !ok {
+			return fmt.Errorf("query %s: unknown relation %s", q.Name, r)
+		}
+	}
+	checkCol := func(c ColumnRef) error {
+		if !seen[c.Relation] {
+			return fmt.Errorf("query %s: column %s references a relation outside the query", q.Name, c)
+		}
+		rel, _ := cat.Relation(c.Relation)
+		if !rel.HasColumn(c.Column) {
+			return fmt.Errorf("query %s: unknown column %s", q.Name, c)
+		}
+		return nil
+	}
+	for _, j := range q.Joins {
+		if j.Left.Relation == j.Right.Relation {
+			return fmt.Errorf("query %s: join %s does not span two relations", q.Name, j)
+		}
+		if err := checkCol(j.Left); err != nil {
+			return err
+		}
+		if err := checkCol(j.Right); err != nil {
+			return err
+		}
+	}
+	for _, s := range q.Selections {
+		if err := checkCol(s.Column); err != nil {
+			return err
+		}
+	}
+	for _, p := range q.Projection {
+		if err := checkCol(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RelationIndex returns the position of rel in q.Relations, or -1.
+func (q *Query) RelationIndex(rel string) int {
+	for i, r := range q.Relations {
+		if r == rel {
+			return i
+		}
+	}
+	return -1
+}
+
+// JoinsBetween returns the predicates connecting any relation in left to any
+// relation in right, where the sets are bitmasks over q.Relations positions.
+func (q *Query) JoinsBetween(left, right RelSet) []JoinPredicate {
+	var out []JoinPredicate
+	for _, j := range q.Joins {
+		li := q.RelationIndex(j.Left.Relation)
+		ri := q.RelationIndex(j.Right.Relation)
+		if li < 0 || ri < 0 {
+			continue
+		}
+		if (left.Has(li) && right.Has(ri)) || (left.Has(ri) && right.Has(li)) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// SelectionsOn returns the selections applying to the relation.
+func (q *Query) SelectionsOn(rel string) []Selection {
+	var out []Selection
+	for _, s := range q.Selections {
+		if s.Column.Relation == rel {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Connected reports whether the join graph restricted to the relation set is
+// connected (joining it never needs a cross product).
+func (q *Query) Connected(set RelSet) bool {
+	n := set.Count()
+	if n <= 1 {
+		return true
+	}
+	start := -1
+	for i := range q.Relations {
+		if set.Has(i) {
+			start = i
+			break
+		}
+	}
+	reached := NewRelSet(start)
+	frontier := []int{start}
+	for len(frontier) > 0 {
+		cur := frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		for _, j := range q.Joins {
+			li := q.RelationIndex(j.Left.Relation)
+			ri := q.RelationIndex(j.Right.Relation)
+			var next int
+			switch cur {
+			case li:
+				next = ri
+			case ri:
+				next = li
+			default:
+				continue
+			}
+			if set.Has(next) && !reached.Has(next) {
+				reached = reached.Add(next)
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	return reached.Count() == n
+}
+
+// String renders a compact SQL-ish description.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if len(q.Projection) == 0 {
+		b.WriteString("*")
+	} else {
+		parts := make([]string, len(q.Projection))
+		for i, p := range q.Projection {
+			parts[i] = p.String()
+		}
+		b.WriteString(strings.Join(parts, ", "))
+	}
+	b.WriteString(" FROM ")
+	b.WriteString(strings.Join(q.Relations, ", "))
+	var preds []string
+	for _, j := range q.Joins {
+		preds = append(preds, j.String())
+	}
+	for _, s := range q.Selections {
+		preds = append(preds, s.Column.String()+" = ?")
+	}
+	if len(preds) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(preds, " AND "))
+	}
+	return b.String()
+}
+
+// EquivalenceClasses groups query columns connected by equijoin predicates;
+// columns in one class carry the same value in the join result. Classes are
+// the paper's "bindings": an interesting order on one member is an
+// interesting order on all. Each class is sorted for determinism.
+func (q *Query) EquivalenceClasses() [][]ColumnRef {
+	parent := map[ColumnRef]ColumnRef{}
+	var find func(c ColumnRef) ColumnRef
+	find = func(c ColumnRef) ColumnRef {
+		p, ok := parent[c]
+		if !ok {
+			parent[c] = c
+			return c
+		}
+		if p == c {
+			return c
+		}
+		root := find(p)
+		parent[c] = root
+		return root
+	}
+	union := func(a, b ColumnRef) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, j := range q.Joins {
+		union(j.Left, j.Right)
+	}
+	groups := map[ColumnRef][]ColumnRef{}
+	for c := range parent {
+		r := find(c)
+		groups[r] = append(groups[r], c)
+	}
+	out := make([][]ColumnRef, 0, len(groups))
+	for _, g := range groups {
+		sort.Slice(g, func(i, j int) bool {
+			if g[i].Relation != g[j].Relation {
+				return g[i].Relation < g[j].Relation
+			}
+			return g[i].Column < g[j].Column
+		})
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i][0], out[j][0]
+		if a.Relation != b.Relation {
+			return a.Relation < b.Relation
+		}
+		return a.Column < b.Column
+	})
+	return out
+}

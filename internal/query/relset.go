@@ -1,0 +1,146 @@
+package query
+
+import (
+	"math/bits"
+	"strings"
+)
+
+// RelSet is a bitmask over relation positions in Query.Relations. The
+// dynamic-programming algorithms of the paper (Figures 1 and 2) enumerate
+// subsets of relations; a bitmask makes subset identity, subset iteration
+// and the optPlan table cheap. Limited to 64 relations, far beyond the
+// practical reach of exhaustive search (the paper stops its analysis at
+// n = 10).
+type RelSet uint64
+
+// NewRelSet returns the set of the given positions.
+func NewRelSet(positions ...int) RelSet {
+	var s RelSet
+	for _, p := range positions {
+		s |= 1 << uint(p)
+	}
+	return s
+}
+
+// FullSet returns {0, 1, ..., n-1}.
+func FullSet(n int) RelSet {
+	if n >= 64 {
+		panic("query: RelSet supports at most 63 relations")
+	}
+	return RelSet(1)<<uint(n) - 1
+}
+
+// Has reports whether position i is in the set.
+func (s RelSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Add returns the set with position i added.
+func (s RelSet) Add(i int) RelSet { return s | 1<<uint(i) }
+
+// Remove returns the set with position i removed.
+func (s RelSet) Remove(i int) RelSet { return s &^ (1 << uint(i)) }
+
+// Union returns the union of the two sets.
+func (s RelSet) Union(t RelSet) RelSet { return s | t }
+
+// Intersect returns the intersection of the two sets.
+func (s RelSet) Intersect(t RelSet) RelSet { return s & t }
+
+// Minus returns s with all members of t removed.
+func (s RelSet) Minus(t RelSet) RelSet { return s &^ t }
+
+// Count returns the cardinality of the set.
+func (s RelSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// Empty reports whether the set has no members.
+func (s RelSet) Empty() bool { return s == 0 }
+
+// SubsetOf reports whether every member of s is in t.
+func (s RelSet) SubsetOf(t RelSet) bool { return s&^t == 0 }
+
+// Members returns the positions in ascending order.
+func (s RelSet) Members() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		out = append(out, i)
+		v &^= 1 << uint(i)
+	}
+	return out
+}
+
+// Singletons calls fn for each single-member subset.
+func (s RelSet) Singletons(fn func(i int, single RelSet)) {
+	for v := uint64(s); v != 0; {
+		i := bits.TrailingZeros64(v)
+		fn(i, RelSet(1)<<uint(i))
+		v &^= 1 << uint(i)
+	}
+}
+
+// ProperSubsets calls fn for every nonempty proper subset t of s, paired
+// with its complement within s. Each unordered partition {t, s−t} is visited
+// twice (once per side), which is what bushy-tree enumeration wants; callers
+// that want unordered partitions can filter on t < s.Minus(t).
+func (s RelSet) ProperSubsets(fn func(t, rest RelSet)) {
+	u := uint64(s)
+	for sub := (u - 1) & u; sub != 0; sub = (sub - 1) & u {
+		fn(RelSet(sub), RelSet(u&^sub))
+	}
+}
+
+// SubsetsOfSize calls fn for every subset of {0..n-1} with exactly k
+// members, in ascending numeric order, as the DP outer loop requires.
+func SubsetsOfSize(n, k int, fn func(RelSet)) {
+	if k < 0 || k > n {
+		return
+	}
+	if k == 0 {
+		fn(0)
+		return
+	}
+	// Gosper's hack: iterate k-subsets in increasing numeric order.
+	v := uint64(1)<<uint(k) - 1
+	limit := uint64(1) << uint(n)
+	for v < limit {
+		fn(RelSet(v))
+		c := v & (^v + 1)
+		r := v + c
+		v = (((r ^ v) >> 2) / c) | r
+	}
+}
+
+// String renders e.g. "{0,2,3}".
+func (s RelSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, m := range s.Members() {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(itoa(m))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}

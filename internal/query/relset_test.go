@@ -1,0 +1,185 @@
+package query
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRelSet(t *testing.T) {
+	s := NewRelSet(0, 2, 5)
+	if !s.Has(0) || !s.Has(2) || !s.Has(5) || s.Has(1) {
+		t.Fatalf("membership wrong: %v", s)
+	}
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+}
+
+func TestFullSet(t *testing.T) {
+	s := FullSet(4)
+	if s != NewRelSet(0, 1, 2, 3) {
+		t.Fatalf("FullSet(4) = %v", s)
+	}
+	if FullSet(0) != 0 {
+		t.Fatal("FullSet(0) should be empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FullSet(64) should panic")
+		}
+	}()
+	FullSet(64)
+}
+
+func TestAddRemove(t *testing.T) {
+	s := NewRelSet(1)
+	s = s.Add(3).Add(3)
+	if s.Count() != 2 {
+		t.Fatalf("Add should be idempotent: %v", s)
+	}
+	s = s.Remove(1)
+	if s.Has(1) || !s.Has(3) {
+		t.Fatalf("Remove wrong: %v", s)
+	}
+	if got := s.Remove(9); got != s {
+		t.Error("removing absent member should not change set")
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := NewRelSet(0, 1, 2)
+	b := NewRelSet(2, 3)
+	if got := a.Union(b); got != NewRelSet(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != NewRelSet(2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != NewRelSet(0, 1) {
+		t.Errorf("Minus = %v", got)
+	}
+	if !NewRelSet(1).SubsetOf(a) || b.SubsetOf(a) {
+		t.Error("SubsetOf wrong")
+	}
+	if !RelSet(0).Empty() || a.Empty() {
+		t.Error("Empty wrong")
+	}
+}
+
+func TestMembersAscending(t *testing.T) {
+	s := NewRelSet(5, 1, 3)
+	got := s.Members()
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSingletons(t *testing.T) {
+	s := NewRelSet(2, 4)
+	var seen []int
+	s.Singletons(func(i int, single RelSet) {
+		if single != NewRelSet(i) {
+			t.Errorf("singleton for %d = %v", i, single)
+		}
+		seen = append(seen, i)
+	})
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 4 {
+		t.Fatalf("Singletons visited %v", seen)
+	}
+}
+
+func TestProperSubsets(t *testing.T) {
+	s := NewRelSet(0, 1, 2)
+	count := 0
+	s.ProperSubsets(func(t2, rest RelSet) {
+		count++
+		if t2.Empty() || t2 == s {
+			t.Errorf("improper subset %v", t2)
+		}
+		if t2.Union(rest) != s || !t2.Intersect(rest).Empty() {
+			t.Errorf("partition broken: %v + %v != %v", t2, rest, s)
+		}
+	})
+	if count != 6 { // 2^3 - 2
+		t.Fatalf("visited %d proper subsets, want 6", count)
+	}
+}
+
+func TestSubsetsOfSize(t *testing.T) {
+	var got []RelSet
+	SubsetsOfSize(5, 2, func(s RelSet) { got = append(got, s) })
+	if len(got) != 10 {
+		t.Fatalf("C(5,2) = %d subsets, want 10", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatal("subsets not in ascending numeric order")
+		}
+	}
+	for _, s := range got {
+		if s.Count() != 2 {
+			t.Fatalf("subset %v has wrong size", s)
+		}
+	}
+	// Degenerate cases.
+	n := 0
+	SubsetsOfSize(3, 0, func(s RelSet) {
+		n++
+		if s != 0 {
+			t.Error("size-0 subset should be empty")
+		}
+	})
+	if n != 1 {
+		t.Error("exactly one empty subset expected")
+	}
+	SubsetsOfSize(3, 4, func(RelSet) { t.Error("no subsets of size > n") })
+	SubsetsOfSize(3, -1, func(RelSet) { t.Error("no subsets of negative size") })
+}
+
+func TestRelSetString(t *testing.T) {
+	if got := NewRelSet(0, 2, 10).String(); got != "{0,2,10}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := RelSet(0).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// Property: Count agrees with popcount, and Members round-trips.
+func TestQuickRelSetRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		v &= 1<<40 - 1
+		s := RelSet(v)
+		if s.Count() != bits.OnesCount64(v) {
+			return false
+		}
+		return NewRelSet(s.Members()...) == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ProperSubsets visits exactly 2^k - 2 partitions.
+func TestQuickProperSubsetCount(t *testing.T) {
+	f := func(v uint16) bool {
+		s := RelSet(v & 0x3FF)
+		n := 0
+		s.ProperSubsets(func(_, _ RelSet) { n++ })
+		want := 0
+		if k := s.Count(); k >= 1 {
+			want = 1<<uint(k) - 2
+		}
+		return n == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

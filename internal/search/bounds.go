@@ -1,0 +1,121 @@
+package search
+
+import "fmt"
+
+// The §2 optimization metric: minimize response time subject to a bound on
+// extra work. Two bounding policies are provided. Both need the work-optimal
+// baseline (Wo, To), obtained from a traditional work optimizer (Figure 1).
+
+// Bound is a §2 admissibility policy for plans relative to the work-optimal
+// baseline.
+type Bound interface {
+	// Name labels the policy.
+	Name() string
+	// Admissible reports whether the plan's (work, rt) is within the bound
+	// given the baseline (wo, to). Inadmissible plans cost "infinite".
+	Admissible(work, rt, wo, to float64) bool
+	// PruningLimit returns an upper bound on work usable for in-search
+	// pruning (0 if none): any partial plan already above the limit can
+	// never become admissible, because work only grows under extension.
+	PruningLimit(wo, to float64) float64
+}
+
+// ThroughputDegradation is the §2 "limit on throughput degradation": a plan
+// is admissible iff Wp ≤ k·Wo. k ≥ 1; k = 1 allows no extra work at all.
+type ThroughputDegradation struct {
+	K float64
+}
+
+// Name implements Bound.
+func (b ThroughputDegradation) Name() string { return fmt.Sprintf("throughput-degradation(k=%g)", b.K) }
+
+// Admissible implements Bound.
+func (b ThroughputDegradation) Admissible(work, _, wo, _ float64) bool {
+	return work <= b.K*wo
+}
+
+// PruningLimit implements Bound: the limit is directly usable in-search.
+func (b ThroughputDegradation) PruningLimit(wo, _ float64) float64 { return b.K * wo }
+
+// CostBenefit is the §2 "cost-benefit ratio" bound: each unit of response
+// time bought may cost at most K units of extra work, i.e. a plan is
+// admissible iff Wp − Wo ≤ K·(To − Tp). (The paper prints the fraction the
+// other way up, (To−Tp)/(Wp−Wo) ≤ k, which would penalize large
+// improvements; we implement the prose — "a limit on the ratio of the
+// decrease in response time to additional work required" — in its
+// economically sensible direction. See DESIGN.md.)
+type CostBenefit struct {
+	K float64
+}
+
+// Name implements Bound.
+func (b CostBenefit) Name() string { return fmt.Sprintf("cost-benefit(k=%g)", b.K) }
+
+// Admissible implements Bound.
+func (b CostBenefit) Admissible(work, rt, wo, to float64) bool {
+	extra := work - wo
+	if extra <= 0 {
+		return true // no extra work at all
+	}
+	saved := to - rt
+	if saved <= 0 {
+		return false // extra work with no response-time benefit
+	}
+	return extra <= b.K*saved
+}
+
+// PruningLimit implements Bound: a plan can save at most To (response time
+// cannot drop below zero), so work beyond Wo + K·To is never admissible.
+func (b CostBenefit) PruningLimit(wo, to float64) float64 { return wo + b.K*to }
+
+// OptimizeBounded runs the full §2 pipeline on this searcher's model:
+//  1. a work optimizer (Figure 1) establishes the baseline (Wo, To);
+//  2. a partial-order response-time search runs with the bound's pruning
+//     limit folded in ("work bounds ... in fact cut down the search space",
+//     §6.4);
+//  3. the frontier is filtered by the bound and the best admissible plan
+//     under Final is returned, together with the baseline.
+//
+// bushy selects the bushy-tree search space. A nil bound means unbounded.
+func OptimizeBounded(opt Options, bound Bound, bushy bool) (best, baseline *Candidate, stats Stats, err error) {
+	base := New(opt)
+	baseline, err = base.WorkOptimalBaseline()
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	wo, to := baseline.Work(), baseline.RT()
+
+	bounded := opt
+	if bound != nil {
+		bounded.WorkLimit = bound.PruningLimit(wo, to)
+	}
+	s := New(bounded)
+	var res *Result
+	if bushy {
+		res, err = s.PODPBushy()
+	} else {
+		res, err = s.PODPLeftDeep()
+	}
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	stats = res.Stats
+	final := opt.Final
+	if final == nil {
+		final = ByRT
+	}
+	for _, c := range res.Frontier {
+		if bound != nil && !bound.Admissible(c.Work(), c.RT(), wo, to) {
+			continue
+		}
+		if best == nil || final(c, best) {
+			best = c
+		}
+	}
+	if best == nil {
+		// Everything admissible was pruned; the baseline itself is always
+		// admissible under both policies (Wp = Wo).
+		best = baseline
+	}
+	return best, baseline, stats, nil
+}

@@ -1,0 +1,304 @@
+// Package search implements the paper's §6: the System R dynamic program of
+// Figure 1, its partial-order generalization of Figure 2, the bushy-tree
+// extensions sketched in §6.4 (and the companion TR [GHK92]), brute-force
+// enumerators for both shapes, the pruning metrics of §6.3 (work, response
+// time, resource vectors, interesting orders), cover sets with the Theorem 3
+// size experiment, and the work bounds of §2 folded into the search.
+package search
+
+import (
+	"fmt"
+
+	"paropt/internal/cost"
+	"paropt/internal/optree"
+	"paropt/internal/plan"
+	"paropt/internal/query"
+)
+
+// Candidate is a costed plan: an annotated join tree plus its resource
+// descriptor under the session's cost model.
+type Candidate struct {
+	Node *plan.Node
+	Desc cost.ResDescriptor
+}
+
+// RT is the response-time estimate (the paper's optimization metric).
+func (c *Candidate) RT() float64 { return c.Desc.RT() }
+
+// Work is the total-work estimate (the traditional metric, and the quantity
+// the §2 bounds constrain).
+func (c *Candidate) Work() float64 { return c.Desc.Work() }
+
+// Order is the plan's physical output ordering.
+func (c *Candidate) Order() plan.Ordering { return c.Node.Order }
+
+// String renders "plan  rt=… work=…".
+func (c *Candidate) String() string {
+	return fmt.Sprintf("%s  rt=%.2f work=%.2f", c.Node, c.RT(), c.Work())
+}
+
+// Options configures a search session.
+type Options struct {
+	// Model is the cost model (carries catalog, query, machine, params).
+	Model *cost.Model
+	// Expand and Annotate tune operator-tree generation for costing.
+	Expand   optree.ExpandOptions
+	Annotate optree.AnnotateOptions
+	// Metric is the pruning metric: for the Figure 1 algorithms it must be
+	// a total order; for the Figure 2 algorithms any partial order.
+	// Defaults to WorkMetric for DP* and ResourceVectorMetric for PODP*.
+	Metric Metric
+	// Final ranks complete plans; defaults to ByRT.
+	Final Comparator
+	// AvoidCrossProducts skips extensions with no connecting predicate
+	// whenever the relation set is connected (the System R heuristic).
+	AvoidCrossProducts bool
+	// Methods restricts the join methods enumerated; nil means all.
+	Methods []plan.JoinMethod
+	// WorkLimit, when positive, prunes any (partial or complete) plan whose
+	// work exceeds it — the §2 throughput-degradation bound folded into the
+	// search, admissible because work only grows under extension.
+	WorkLimit float64
+	// MemoryLimit, when positive, prunes plans whose peak memory demand (in
+	// pages) exceeds it. Memory is non-preemptable (§7), so it is a hard
+	// constraint rather than a resource-vector coordinate; pruning is safe
+	// because a plan's peak never shrinks under extension.
+	MemoryLimit int64
+	// ExhaustivePhysical makes the brute-force enumerators enumerate every
+	// method/access combination rather than choosing greedily per step;
+	// exact but exponentially more expensive, meant for small n.
+	ExhaustivePhysical bool
+	// Trace, when set, observes the search as it runs.
+	Trace Tracer
+	// Workers, when > 1, prices candidate plans on that many goroutines.
+	// Results are order-stable, so the chosen plan is identical at any
+	// worker count.
+	Workers int
+	// CoverCap, when > 0, bounds every cover set to that many plans (beam
+	// search): the worst member under Final is evicted when the cover
+	// overflows. Exactness is traded for bounded cost — the practical
+	// answer to cover explosion at large n.
+	CoverCap int
+}
+
+// Result is the outcome of one search.
+type Result struct {
+	// Best is the winning plan under Final (nil when everything was pruned
+	// by the work limit).
+	Best *Candidate
+	// Frontier is the root cover set (partial-order algorithms) or the
+	// single best plan (total-order algorithms).
+	Frontier []*Candidate
+	// Stats are the Table 1 counters.
+	Stats Stats
+}
+
+// Stats counts the quantities Table 1 compares across algorithms.
+type Stats struct {
+	// PlansConsidered counts joinPlan/accessPlan invocations — the "time
+	// complexity (#plans considered)" column of Table 1: one per (subplan,
+	// added relation) pair for left-deep algorithms, one per ordered subset
+	// split for bushy ones, one per permutation for brute force.
+	PlansConsidered int64
+	// PhysicalPlans counts every method × access-path combination costed.
+	PhysicalPlans int64
+	// MaxLayerPlans is the peak number of plans stored for subsets of one
+	// cardinality — the "space complexity (max #plans stored)" column.
+	MaxLayerPlans int64
+	// MaxCoverSize is the largest cover set observed (k in §6.2).
+	MaxCoverSize int
+	// MaxOrderClasses is the largest number of distinct output orderings
+	// held in one cover — the measured counterpart of the 2^b "bindings"
+	// factor Table 1 assigns to bushy DP (plans kept per physical property
+	// of the subquery).
+	MaxOrderClasses int
+	// Pruned counts candidates rejected by dominance or the work limit.
+	Pruned int64
+}
+
+// Searcher runs the §6 algorithms over one query and cost model.
+type Searcher struct {
+	opt   Options
+	est   *plan.Estimator
+	q     *query.Query
+	stats Stats
+}
+
+// New builds a Searcher. It panics if the options carry no model, since
+// every algorithm needs one; options are programmer input.
+func New(opt Options) *Searcher {
+	if opt.Model == nil {
+		panic("search: Options.Model is required")
+	}
+	if opt.Final == nil {
+		opt.Final = ByRT
+	}
+	return &Searcher{opt: opt, est: opt.Model.Est, q: opt.Model.Est.Q}
+}
+
+// cost prices a plan tree into a candidate, or nil when the work limit
+// prunes it.
+func (s *Searcher) cost(n *plan.Node) (*Candidate, error) {
+	d, op, err := s.opt.Model.PlanCost(n, s.opt.Expand, s.opt.Annotate)
+	if err != nil {
+		return nil, err
+	}
+	s.stats.PhysicalPlans++
+	if s.opt.WorkLimit > 0 && d.Work() > s.opt.WorkLimit {
+		s.stats.Pruned++
+		return nil, nil
+	}
+	if s.opt.MemoryLimit > 0 && s.opt.Model.MemoryEstimate(op).PeakPages > s.opt.MemoryLimit {
+		s.stats.Pruned++
+		return nil, nil
+	}
+	return &Candidate{Node: n, Desc: d}, nil
+}
+
+// accessCandidates enumerates every access path for the relation at the
+// given query position: the sequential scan plus one candidate per index.
+func (s *Searcher) accessCandidates(pos int) ([]*Candidate, error) {
+	rel := s.q.Relations[pos]
+	var out []*Candidate
+	leaf, err := s.est.Leaf(rel, plan.SeqScan, nil)
+	if err != nil {
+		return nil, err
+	}
+	if c, err := s.cost(leaf); err != nil {
+		return nil, err
+	} else if c != nil {
+		out = append(out, c)
+	}
+	for _, idx := range s.opt.Model.Cat.IndexesOn(rel) {
+		leaf, err := s.est.Leaf(rel, plan.IndexScan, idx)
+		if err != nil {
+			return nil, err
+		}
+		c, err := s.cost(leaf)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// joinCandidates enumerates every join method over a fixed (left, right)
+// pair of subtrees, returning the costed survivors. Sort-merge and hash
+// join require an equijoin predicate; nested loops also covers cross
+// products.
+func (s *Searcher) joinCandidates(left, right *plan.Node) ([]*Candidate, error) {
+	preds := s.q.JoinsBetween(left.Rels, right.Rels)
+	methods := s.opt.Methods
+	if methods == nil {
+		methods = plan.AllJoinMethods
+	}
+	var out []*Candidate
+	for _, m := range methods {
+		if len(preds) == 0 && m != plan.NestedLoops {
+			continue
+		}
+		j, err := s.est.Join(left, right, m)
+		if err != nil {
+			return nil, err
+		}
+		c, err := s.cost(j)
+		if err != nil {
+			return nil, err
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// extendAll builds every (access path × join method) extension of p with the
+// relation at pos — the paper's joinPlan(p', R) before its internal "best
+// possible way" choice. The candidates are priced through costAll, which
+// fans out over Options.Workers when configured.
+func (s *Searcher) extendAll(p *plan.Node, pos int) ([]*Candidate, error) {
+	leaves, err := s.leafChoices(pos)
+	if err != nil {
+		return nil, err
+	}
+	methods := s.opt.Methods
+	if methods == nil {
+		methods = plan.AllJoinMethods
+	}
+	var nodes []*plan.Node
+	for _, leaf := range leaves {
+		preds := s.q.JoinsBetween(p.Rels, leaf.Rels)
+		for _, m := range methods {
+			if len(preds) == 0 && m != plan.NestedLoops {
+				continue
+			}
+			j, err := s.est.Join(p, leaf, m)
+			if err != nil {
+				return nil, err
+			}
+			nodes = append(nodes, j)
+		}
+	}
+	return s.costAll(nodes)
+}
+
+// leafChoices returns the raw leaf nodes for a relation (uncosted).
+func (s *Searcher) leafChoices(pos int) ([]*plan.Node, error) {
+	rel := s.q.Relations[pos]
+	var out []*plan.Node
+	leaf, err := s.est.Leaf(rel, plan.SeqScan, nil)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, leaf)
+	for _, idx := range s.opt.Model.Cat.IndexesOn(rel) {
+		l, err := s.est.Leaf(rel, plan.IndexScan, idx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// skipExtension applies the cross-product heuristic: when the grown set is
+// connected there is always a predicate-connected extension, so
+// predicate-less ones are skipped.
+func (s *Searcher) skipExtension(left query.RelSet, pos int) bool {
+	if !s.opt.AvoidCrossProducts {
+		return false
+	}
+	grown := left.Add(pos)
+	if len(s.q.JoinsBetween(left, query.NewRelSet(pos))) > 0 {
+		return false
+	}
+	return s.q.Connected(grown)
+}
+
+// skipSplit is skipExtension for bushy splits.
+func (s *Searcher) skipSplit(l, r query.RelSet) bool {
+	if !s.opt.AvoidCrossProducts {
+		return false
+	}
+	if len(s.q.JoinsBetween(l, r)) > 0 {
+		return false
+	}
+	return s.q.Connected(l.Union(r))
+}
+
+// bestOf ranks candidates under the Final comparator.
+func (s *Searcher) bestOf(cands []*Candidate) *Candidate {
+	var best *Candidate
+	for _, c := range cands {
+		if best == nil || s.opt.Final(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// Stats returns the counters accumulated so far.
+func (s *Searcher) Stats() Stats { return s.stats }

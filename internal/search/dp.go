@@ -1,0 +1,163 @@
+package search
+
+import (
+	"fmt"
+
+	"paropt/internal/query"
+)
+
+// DPLeftDeep is the System R style dynamic program of Figure 1: one optimal
+// plan per relation subset under a total-order metric (default: work). Plans
+// for a set of cardinality i are built by extending the optimal plan of each
+// (i−1)-subset with the missing relation "in the best possible way".
+func (s *Searcher) DPLeftDeep() (*Result, error) {
+	n := len(s.q.Relations)
+	if n == 0 {
+		return nil, fmt.Errorf("search: query has no relations")
+	}
+	metric := s.opt.Metric
+	if metric == nil {
+		metric = WorkMetric{}
+	}
+	prev := make(map[query.RelSet]*Candidate, n)
+	for i := 0; i < n; i++ {
+		s.stats.PlansConsidered++ // accessPlan(Ri)
+		cands, err := s.accessCandidates(i)
+		if err != nil {
+			return nil, err
+		}
+		if best := pickByMetric(cands, metric, s.opt.Final); best != nil {
+			prev[query.NewRelSet(i)] = best
+		}
+	}
+	s.noteLayer(int64(len(prev)))
+	s.emitLayer(1, len(prev), int64(len(prev)))
+
+	for i := 2; i <= n; i++ {
+		cur := make(map[query.RelSet]*Candidate)
+		query.SubsetsOfSize(n, i, func(set query.RelSet) {
+			var best *Candidate
+			set.Singletons(func(j int, _ query.RelSet) {
+				rest := set.Remove(j)
+				p, ok := prev[rest]
+				if !ok || s.skipExtension(rest, j) {
+					return
+				}
+				s.stats.PlansConsidered++ // joinPlan(optPlan(S_j), R_j)
+				exts, err := s.extendAll(p.Node, j)
+				if err != nil {
+					return
+				}
+				if e := pickByMetric(exts, metric, s.opt.Final); e != nil {
+					if best == nil || metric.Dominates(e, best) {
+						best = e
+					} else {
+						s.stats.Pruned++
+					}
+				}
+			})
+			if best != nil {
+				cur[set] = best
+				s.emitSubset(set, 1, s.stats.PlansConsidered)
+			}
+		})
+		s.noteLayer(int64(len(cur)))
+		s.emitLayer(i, len(cur), int64(len(cur)))
+		prev = cur
+	}
+	best, ok := prev[query.FullSet(n)]
+	if !ok {
+		s.emitFinal(nil)
+		return &Result{Stats: s.stats}, nil
+	}
+	s.emitFinal(best)
+	return &Result{Best: best, Frontier: []*Candidate{best}, Stats: s.stats}, nil
+}
+
+// DPBushy extends Figure 1 to bushy trees: every subset's optimal plan is
+// the best join over every ordered split (S1, S2) of the subset, which is
+// what takes the plan count from O(2^n) to O(3^n) (§6.4, Table 1).
+func (s *Searcher) DPBushy() (*Result, error) {
+	n := len(s.q.Relations)
+	if n == 0 {
+		return nil, fmt.Errorf("search: query has no relations")
+	}
+	metric := s.opt.Metric
+	if metric == nil {
+		metric = WorkMetric{}
+	}
+	opt := make(map[query.RelSet]*Candidate)
+	for i := 0; i < n; i++ {
+		s.stats.PlansConsidered++
+		cands, err := s.accessCandidates(i)
+		if err != nil {
+			return nil, err
+		}
+		if best := pickByMetric(cands, metric, s.opt.Final); best != nil {
+			opt[query.NewRelSet(i)] = best
+		}
+	}
+	s.noteLayer(int64(len(opt)))
+
+	for i := 2; i <= n; i++ {
+		layer := int64(0)
+		query.SubsetsOfSize(n, i, func(set query.RelSet) {
+			var best *Candidate
+			set.ProperSubsets(func(l, r query.RelSet) {
+				pl, okL := opt[l]
+				pr, okR := opt[r]
+				if !okL || !okR || s.skipSplit(l, r) {
+					return
+				}
+				s.stats.PlansConsidered++ // one ordered split
+				cands, err := s.joinCandidates(pl.Node, pr.Node)
+				if err != nil {
+					return
+				}
+				if e := pickByMetric(cands, metric, s.opt.Final); e != nil {
+					if best == nil || metric.Dominates(e, best) {
+						best = e
+					} else {
+						s.stats.Pruned++
+					}
+				}
+			})
+			if best != nil {
+				opt[set] = best
+				layer++
+			}
+		})
+		s.noteLayer(layer)
+	}
+	best, ok := opt[query.FullSet(n)]
+	if !ok {
+		return &Result{Stats: s.stats}, nil
+	}
+	return &Result{Best: best, Frontier: []*Candidate{best}, Stats: s.stats}, nil
+}
+
+// pickByMetric selects the candidate no other dominates; ties under the
+// metric are broken by the final comparator so the choice is deterministic.
+func pickByMetric(cands []*Candidate, m Metric, final Comparator) *Candidate {
+	var best *Candidate
+	for _, c := range cands {
+		switch {
+		case best == nil:
+			best = c
+		case m.Dominates(c, best) && m.Dominates(best, c):
+			if final(c, best) {
+				best = c
+			}
+		case m.Dominates(c, best):
+			best = c
+		}
+	}
+	return best
+}
+
+// noteLayer records a layer's stored-plan count for the space statistic.
+func (s *Searcher) noteLayer(n int64) {
+	if n > s.stats.MaxLayerPlans {
+		s.stats.MaxLayerPlans = n
+	}
+}

@@ -1,0 +1,94 @@
+package search
+
+import (
+	"sync"
+
+	"paropt/internal/plan"
+)
+
+// Parallel candidate costing: plan pricing (macro-expansion + annotation +
+// descriptor evaluation) dominates search time and is read-only over the
+// catalog, estimator and machine, so batches of candidates can be priced on
+// worker goroutines. Results keep their input order, so cover insertion —
+// and therefore every tie-break and the final plan — stays deterministic
+// regardless of worker count.
+
+// costAll prices a batch of plan trees, fanning out over Options.Workers
+// goroutines when configured. Pruned candidates (work/memory limits) come
+// back nil and are filtered; the first error wins.
+func (s *Searcher) costAll(nodes []*plan.Node) ([]*Candidate, error) {
+	workers := s.opt.Workers
+	if workers <= 1 || len(nodes) < 2 {
+		out := make([]*Candidate, 0, len(nodes))
+		for _, n := range nodes {
+			c, err := s.cost(n)
+			if err != nil {
+				return nil, err
+			}
+			if c != nil {
+				out = append(out, c)
+			}
+		}
+		return out, nil
+	}
+	if workers > len(nodes) {
+		workers = len(nodes)
+	}
+	results := make([]*Candidate, len(nodes))
+	errs := make([]error, len(nodes))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	// Pricing mutates only per-call state except the shared stats counters;
+	// guard those with a mutex via costLocked.
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = s.costLocked(&mu, nodes[i])
+			}
+		}()
+	}
+	for i := range nodes {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Candidate, 0, len(nodes))
+	for _, c := range results {
+		if c != nil {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// costLocked prices one plan with the stats counters under the mutex.
+func (s *Searcher) costLocked(mu *sync.Mutex, n *plan.Node) (*Candidate, error) {
+	d, op, err := s.opt.Model.PlanCost(n, s.opt.Expand, s.opt.Annotate)
+	if err != nil {
+		return nil, err
+	}
+	mu.Lock()
+	s.stats.PhysicalPlans++
+	mu.Unlock()
+	if s.opt.WorkLimit > 0 && d.Work() > s.opt.WorkLimit {
+		mu.Lock()
+		s.stats.Pruned++
+		mu.Unlock()
+		return nil, nil
+	}
+	if s.opt.MemoryLimit > 0 && s.opt.Model.MemoryEstimate(op).PeakPages > s.opt.MemoryLimit {
+		mu.Lock()
+		s.stats.Pruned++
+		mu.Unlock()
+		return nil, nil
+	}
+	return &Candidate{Node: n, Desc: d}, nil
+}

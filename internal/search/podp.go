@@ -1,0 +1,211 @@
+package search
+
+import (
+	"fmt"
+
+	"paropt/internal/query"
+)
+
+// PODPLeftDeep is the partial-order dynamic program of Figure 2: instead of
+// one optimal plan per relation subset it keeps a cover set of incomparable
+// plans under the pruning metric (default: the resource-vector metric of
+// §6.3), and extends every plan of every cover set. The final answer is the
+// best-cost member of the full set's cover (line 14, bestCost).
+func (s *Searcher) PODPLeftDeep() (*Result, error) {
+	n := len(s.q.Relations)
+	if n == 0 {
+		return nil, fmt.Errorf("search: query has no relations")
+	}
+	metric := s.defaultPartialMetric()
+
+	prev := make(map[query.RelSet]*CoverSet, n)
+	for i := 0; i < n; i++ {
+		s.stats.PlansConsidered++ // accessPlans(Ri)
+		cands, err := s.accessCandidates(i)
+		if err != nil {
+			return nil, err
+		}
+		cs := s.newCover(metric)
+		for _, c := range cands {
+			s.insert(cs, c)
+		}
+		if !cs.Empty() {
+			prev[query.NewRelSet(i)] = cs
+		}
+	}
+	s.noteCoverLayer(prev)
+	s.emitLayer(1, len(prev), coverTotal(prev))
+
+	for i := 2; i <= n; i++ {
+		cur := make(map[query.RelSet]*CoverSet)
+		query.SubsetsOfSize(n, i, func(set query.RelSet) {
+			best := s.newCover(metric) // bestPlans := ∅ (line 5)
+			set.Singletons(func(j int, _ query.RelSet) {
+				rest := set.Remove(j)
+				cover, ok := prev[rest]
+				if !ok || s.skipExtension(rest, j) {
+					return
+				}
+				for _, p := range cover.Plans() { // line L1
+					s.stats.PlansConsidered++ // new := joinPlan(p, Rj) (L2)
+					exts, err := s.extendAll(p.Node, j)
+					if err != nil {
+						return
+					}
+					for _, e := range exts { // lines L3–L6
+						s.insert(best, e)
+					}
+				}
+			})
+			if !best.Empty() {
+				cur[set] = best
+				s.noteOrderClasses(best)
+				s.emitSubset(set, best.Len(), s.stats.PlansConsidered)
+			}
+		})
+		s.noteCoverLayer(cur)
+		s.emitLayer(i, len(cur), coverTotal(cur))
+		prev = cur
+	}
+	return s.finish(prev[query.FullSet(n)])
+}
+
+// coverTotal sums stored plans across a layer's covers.
+func coverTotal(layer map[query.RelSet]*CoverSet) int64 {
+	var n int64
+	for _, cs := range layer {
+		n += int64(cs.Len())
+	}
+	return n
+}
+
+// PODPBushy is Figure 2 generalized to bushy trees per §6.4: cover sets per
+// subset, extended over every ordered split and every pair of cover-set
+// members.
+func (s *Searcher) PODPBushy() (*Result, error) {
+	n := len(s.q.Relations)
+	if n == 0 {
+		return nil, fmt.Errorf("search: query has no relations")
+	}
+	metric := s.defaultPartialMetric()
+
+	opt := make(map[query.RelSet]*CoverSet)
+	for i := 0; i < n; i++ {
+		s.stats.PlansConsidered++
+		cands, err := s.accessCandidates(i)
+		if err != nil {
+			return nil, err
+		}
+		cs := s.newCover(metric)
+		for _, c := range cands {
+			s.insert(cs, c)
+		}
+		if !cs.Empty() {
+			opt[query.NewRelSet(i)] = cs
+		}
+	}
+	s.noteCoverLayer(opt)
+
+	for i := 2; i <= n; i++ {
+		layerSets := make(map[query.RelSet]*CoverSet)
+		query.SubsetsOfSize(n, i, func(set query.RelSet) {
+			best := s.newCover(metric)
+			set.ProperSubsets(func(l, r query.RelSet) {
+				cl, okL := opt[l]
+				cr, okR := opt[r]
+				if !okL || !okR || s.skipSplit(l, r) {
+					return
+				}
+				for _, pl := range cl.Plans() {
+					for _, pr := range cr.Plans() {
+						s.stats.PlansConsidered++
+						cands, err := s.joinCandidates(pl.Node, pr.Node)
+						if err != nil {
+							return
+						}
+						for _, e := range cands {
+							s.insert(best, e)
+						}
+					}
+				}
+			})
+			if !best.Empty() {
+				layerSets[set] = best
+				s.noteOrderClasses(best)
+			}
+		})
+		for set, cs := range layerSets {
+			opt[set] = cs
+		}
+		s.noteCoverLayer(layerSets)
+	}
+	return s.finish(opt[query.FullSet(n)])
+}
+
+// defaultPartialMetric resolves the metric for partial-order search.
+func (s *Searcher) defaultPartialMetric() Metric {
+	if s.opt.Metric != nil {
+		return s.opt.Metric
+	}
+	return OrderedMetric{Base: ResourceVectorMetric{L: s.opt.Model.Dim()}}
+}
+
+// newCover builds a cover set honoring the CoverCap option.
+func (s *Searcher) newCover(metric Metric) *CoverSet {
+	if s.opt.CoverCap > 0 {
+		// Evict the worst plan under the final comparator.
+		return NewBeamCoverSet(metric, s.opt.CoverCap, func(a, b *Candidate) bool {
+			return !s.opt.Final(b, a) // keep a if b is not strictly better
+		})
+	}
+	return NewCoverSet(metric)
+}
+
+// insert adds a candidate to a cover set, tracking statistics.
+func (s *Searcher) insert(cs *CoverSet, c *Candidate) {
+	if !cs.Insert(c) {
+		s.stats.Pruned++
+	}
+	if cs.Len() > s.stats.MaxCoverSize {
+		s.stats.MaxCoverSize = cs.Len()
+	}
+}
+
+// noteOrderClasses updates the bindings statistic: distinct orderings in a
+// finalized cover.
+func (s *Searcher) noteOrderClasses(cs *CoverSet) {
+	seen := map[string]bool{}
+	for _, c := range cs.Plans() {
+		seen[c.Order().String()] = true
+	}
+	if len(seen) > s.stats.MaxOrderClasses {
+		s.stats.MaxOrderClasses = len(seen)
+	}
+}
+
+// noteCoverLayer records the total plans stored across one layer's covers.
+func (s *Searcher) noteCoverLayer(layer map[query.RelSet]*CoverSet) {
+	var n int64
+	for _, cs := range layer {
+		n += int64(cs.Len())
+	}
+	if n > s.stats.MaxLayerPlans {
+		s.stats.MaxLayerPlans = n
+	}
+}
+
+// finish extracts the result from the full set's cover.
+func (s *Searcher) finish(cs *CoverSet) (*Result, error) {
+	if cs == nil || cs.Empty() {
+		s.emitFinal(nil)
+		return &Result{Stats: s.stats}, nil
+	}
+	frontier := append([]*Candidate(nil), cs.Plans()...)
+	best := s.bestOf(frontier)
+	s.emitFinal(best)
+	return &Result{
+		Best:     best,
+		Frontier: frontier,
+		Stats:    s.stats,
+	}, nil
+}

@@ -1,0 +1,195 @@
+package search
+
+import (
+	"math/rand"
+	"testing"
+
+	"paropt/internal/query"
+)
+
+func TestTwoPhase(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 5
+	cfg.Shape = query.Star
+	s := newSearcher(t, cfg, nil)
+	res, err := s.TwoPhase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("two-phase found no plan")
+	}
+	// Phase one fixes the join tree to the work-optimal one.
+	base, err := newSearcher(t, cfg, nil).WorkOptimalBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Node.String() != base.Node.String() {
+		t.Errorf("two-phase changed the tree: %s vs %s", res.Best.Node, base.Node)
+	}
+	// Phase two may only improve on the baseline's default annotation RT.
+	one := newSearcher(t, cfg, nil)
+	onePhase, err := one.PODPLeftDeep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onePhase.Best.RT() > res.Best.RT()+1e-9 {
+		t.Errorf("one-phase PO-DP rt %.2f must not lose to two-phase rt %.2f over the same space",
+			onePhase.Best.RT(), res.Best.RT())
+	}
+}
+
+func TestRandomizedFindsValidPlan(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 6
+	cfg.Shape = query.Chain
+	s := newSearcher(t, cfg, nil)
+	opts := DefaultRandomizedOptions()
+	opts.Restarts = 4
+	opts.Moves = 100
+	res, err := s.Randomized(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("randomized search found no plan")
+	}
+	if got := len(res.Best.Node.Leaves()); got != 6 {
+		t.Fatalf("plan covers %d relations, want 6", got)
+	}
+	seen := map[string]bool{}
+	for _, l := range res.Best.Node.Leaves() {
+		if seen[l.Relation] {
+			t.Fatalf("relation %s appears twice", l.Relation)
+		}
+		seen[l.Relation] = true
+	}
+	if res.Stats.PlansConsidered < int64(opts.Restarts) {
+		t.Error("stats not collected")
+	}
+}
+
+func TestRandomizedDeterministic(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 5
+	opts := DefaultRandomizedOptions()
+	opts.Restarts = 2
+	opts.Moves = 50
+	a, err := newSearcher(t, cfg, nil).Randomized(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := newSearcher(t, cfg, nil).Randomized(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Best.RT() != b.Best.RT() || a.Best.Node.String() != b.Best.Node.String() {
+		t.Error("same seed must find the same plan")
+	}
+}
+
+// TestRandomizedNearOptimal: on a small query where exhaustive search is
+// feasible, the randomized search should land within 2x of the optimum
+// (and usually on it).
+func TestRandomizedNearOptimal(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 4
+	cfg.Shape = query.Star
+	exact := newSearcher(t, cfg, func(o *Options) { exactOpts(o) })
+	best, err := exact.PODPBushy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := newSearcher(t, cfg, func(o *Options) {
+		o.Model.P.PipelineK = 0
+		o.Annotate.MaxDegree = 1
+	})
+	opts := DefaultRandomizedOptions()
+	opts.Restarts = 6
+	opts.Moves = 300
+	res, err := rnd.Randomized(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.RT() > 2*best.Best.RT() {
+		t.Errorf("randomized rt %.2f more than 2x optimal %.2f", res.Best.RT(), best.Best.RT())
+	}
+	if res.Best.RT() < best.Best.RT()-1e-6 {
+		t.Errorf("randomized rt %.2f beats the proven optimum %.2f — optimality bug",
+			res.Best.RT(), best.Best.RT())
+	}
+}
+
+func TestAnnealingAcceptsUphill(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 6
+	cfg.Shape = query.Cycle
+	opts := DefaultRandomizedOptions()
+	opts.Anneal = true
+	opts.Restarts = 2
+	opts.Moves = 200
+	res, err := newSearcher(t, cfg, nil).Randomized(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("annealing found no plan")
+	}
+}
+
+func TestRandomizedWithWorkLimit(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 5
+	base, err := newSearcher(t, cfg, nil).WorkOptimalBaseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := base.Work() * 1.2
+	s := newSearcher(t, cfg, func(o *Options) { o.WorkLimit = limit })
+	res, err := s.Randomized(DefaultRandomizedOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil && res.Best.Work() > limit+1e-9 {
+		t.Errorf("plan work %g exceeds limit %g", res.Best.Work(), limit)
+	}
+}
+
+// TestShapeMovesPreservePermutation: every mutation keeps the tree a valid
+// bushy tree over exactly the n relations.
+func TestShapeMovesPreservePermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	counts := []int{1, 2, 1, 3, 1}
+	sh := randomShape(5, rng, counts)
+	for i := 0; i < 500; i++ {
+		mutate(sh, rng, counts)
+		var internal, leaves []*shape
+		sh.collect(&internal, &leaves)
+		if len(leaves) != 5 || len(internal) != 4 {
+			t.Fatalf("move %d: %d leaves, %d internal", i, len(leaves), len(internal))
+		}
+		seen := map[int]bool{}
+		for _, l := range leaves {
+			if seen[l.leaf] {
+				t.Fatalf("move %d: duplicate relation %d", i, l.leaf)
+			}
+			seen[l.leaf] = true
+			if l.access < 0 || l.access >= counts[l.leaf] {
+				t.Fatalf("move %d: access %d out of range", i, l.access)
+			}
+		}
+	}
+}
+
+func TestShapeClone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sh := randomShape(4, rng, []int{1, 1, 1, 1})
+	cp := sh.clone()
+	mutate(cp, rng, []int{1, 1, 1, 1})
+	// Mutating the clone must never corrupt the original's leaf count.
+	var internal, leaves []*shape
+	sh.collect(&internal, &leaves)
+	if len(leaves) != 4 {
+		t.Fatal("clone aliased the original")
+	}
+}

@@ -1,0 +1,89 @@
+package search
+
+import (
+	"fmt"
+	"io"
+
+	"paropt/internal/query"
+)
+
+// Tracer observes the dynamic program as it runs — which subsets were
+// solved, how large their cover sets grew, what was pruned — the
+// explain-analyze of the optimizer. Implementations must be cheap; the DP
+// calls them in its inner loops.
+type Tracer interface {
+	// Layer is called after all subsets of one cardinality are solved.
+	Layer(card int, subsets int, plansStored int64)
+	// Subset is called after one relation subset's plans are finalized.
+	Subset(set query.RelSet, kept int, considered int64)
+	// Final is called with the winning plan (nil if none).
+	Final(best *Candidate, stats Stats)
+}
+
+// WriterTracer renders trace events as indented text.
+type WriterTracer struct {
+	W io.Writer
+	// Verbose additionally prints every subset line.
+	Verbose bool
+}
+
+// Layer implements Tracer.
+func (t *WriterTracer) Layer(card int, subsets int, plansStored int64) {
+	fmt.Fprintf(t.W, "layer %d: %d subsets, %d plans stored\n", card, subsets, plansStored)
+}
+
+// Subset implements Tracer.
+func (t *WriterTracer) Subset(set query.RelSet, kept int, considered int64) {
+	if t.Verbose {
+		fmt.Fprintf(t.W, "  %v: kept %d (considered %d)\n", set, kept, considered)
+	}
+}
+
+// Final implements Tracer.
+func (t *WriterTracer) Final(best *Candidate, stats Stats) {
+	if best == nil {
+		fmt.Fprintf(t.W, "no plan (all pruned)\n")
+		return
+	}
+	fmt.Fprintf(t.W, "best: %s\nconsidered=%d physical=%d maxCover=%d pruned=%d\n",
+		best, stats.PlansConsidered, stats.PhysicalPlans, stats.MaxCoverSize, stats.Pruned)
+}
+
+// CountingTracer accumulates events for tests and tooling.
+type CountingTracer struct {
+	Layers  []int64 // plans stored per layer
+	Subsets int
+	Best    *Candidate
+}
+
+// Layer implements Tracer.
+func (t *CountingTracer) Layer(_ int, _ int, plansStored int64) {
+	t.Layers = append(t.Layers, plansStored)
+}
+
+// Subset implements Tracer.
+func (t *CountingTracer) Subset(query.RelSet, int, int64) { t.Subsets++ }
+
+// Final implements Tracer.
+func (t *CountingTracer) Final(best *Candidate, _ Stats) { t.Best = best }
+
+// emitLayer forwards a layer event if a tracer is installed.
+func (s *Searcher) emitLayer(card, subsets int, stored int64) {
+	if s.opt.Trace != nil {
+		s.opt.Trace.Layer(card, subsets, stored)
+	}
+}
+
+// emitSubset forwards a subset event.
+func (s *Searcher) emitSubset(set query.RelSet, kept int, considered int64) {
+	if s.opt.Trace != nil {
+		s.opt.Trace.Subset(set, kept, considered)
+	}
+}
+
+// emitFinal forwards the final event.
+func (s *Searcher) emitFinal(best *Candidate) {
+	if s.opt.Trace != nil {
+		s.opt.Trace.Final(best, s.stats)
+	}
+}

@@ -1,0 +1,151 @@
+package search
+
+import (
+	"strings"
+	"testing"
+
+	"paropt/internal/query"
+)
+
+func TestCountingTracerOnPODP(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 4
+	cfg.Shape = query.Chain
+	tracer := &CountingTracer{}
+	s := newSearcher(t, cfg, func(o *Options) { o.Trace = tracer })
+	res, err := s.PODPLeftDeep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tracer.Layers) != 4 {
+		t.Fatalf("layers traced = %d, want 4", len(tracer.Layers))
+	}
+	if tracer.Subsets == 0 {
+		t.Error("no subset events")
+	}
+	if tracer.Best == nil || tracer.Best != res.Best {
+		t.Error("final event missing or inconsistent")
+	}
+	// Layer plan counts must be positive and the last layer holds the
+	// full-set cover.
+	for i, n := range tracer.Layers {
+		if n <= 0 {
+			t.Errorf("layer %d stored %d plans", i+1, n)
+		}
+	}
+	if int(tracer.Layers[3]) != len(res.Frontier) {
+		t.Errorf("final layer %d != frontier %d", tracer.Layers[3], len(res.Frontier))
+	}
+}
+
+func TestCountingTracerOnDP(t *testing.T) {
+	tracer := &CountingTracer{}
+	s := newSearcher(t, cliqueCfg(4), func(o *Options) { o.Trace = tracer })
+	res, err := s.DPLeftDeep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DP stores exactly C(4,i) plans per layer on a clique.
+	want := []int64{4, 6, 4, 1}
+	if len(tracer.Layers) != len(want) {
+		t.Fatalf("layers = %v", tracer.Layers)
+	}
+	for i := range want {
+		if tracer.Layers[i] != want[i] {
+			t.Errorf("layer %d stored %d, want %d", i+1, tracer.Layers[i], want[i])
+		}
+	}
+	if tracer.Best != res.Best {
+		t.Error("final mismatch")
+	}
+}
+
+func TestWriterTracer(t *testing.T) {
+	var sb strings.Builder
+	tracer := &WriterTracer{W: &sb, Verbose: true}
+	s := newSearcher(t, cliqueCfg(3), func(o *Options) { o.Trace = tracer })
+	if _, err := s.PODPLeftDeep(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"layer 1:", "layer 3:", "best:", "considered="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+	// Verbose mode prints subset lines.
+	if !strings.Contains(out, "{0,1}") && !strings.Contains(out, "kept") {
+		t.Errorf("verbose trace missing subset lines:\n%s", out)
+	}
+}
+
+func TestWriterTracerNoPlan(t *testing.T) {
+	var sb strings.Builder
+	tracer := &WriterTracer{W: &sb}
+	// An impossible work limit prunes everything.
+	s := newSearcher(t, cliqueCfg(3), func(o *Options) {
+		o.Trace = tracer
+		o.WorkLimit = 0.000001
+	})
+	res, err := s.PODPLeftDeep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best != nil {
+		t.Fatal("expected total pruning")
+	}
+	if !strings.Contains(sb.String(), "no plan") {
+		t.Errorf("trace missing no-plan marker:\n%s", sb.String())
+	}
+}
+
+// TestOrderClassesStatistic: the bindings statistic (the measured 2^b
+// factor) is collected and bounded by the cover size.
+func TestOrderClassesStatistic(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 4
+	cfg.Shape = query.Chain
+	cfg.SortedProb = 1 // every relation sorted: plenty of orderings
+	s := newSearcher(t, cfg, nil)
+	res, err := s.PODPLeftDeep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.MaxOrderClasses < 1 {
+		t.Error("order classes not collected")
+	}
+	if res.Stats.MaxOrderClasses > res.Stats.MaxCoverSize {
+		t.Errorf("order classes %d exceed max cover %d",
+			res.Stats.MaxOrderClasses, res.Stats.MaxCoverSize)
+	}
+}
+
+// TestWorkersDeterministic: parallel costing returns exactly the serial
+// search's plan and statistics that matter (the chosen plan and frontier
+// size), at any worker count.
+func TestWorkersDeterministic(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 5
+	cfg.Shape = query.Star
+	run := func(workers int) *Result {
+		s := newSearcher(t, cfg, func(o *Options) { o.Workers = workers })
+		res, err := s.PODPLeftDeep()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(0)
+	for _, w := range []int{2, 4, 8} {
+		par := run(w)
+		if par.Best.Node.String() != serial.Best.Node.String() {
+			t.Fatalf("workers=%d chose %s, serial chose %s", w, par.Best.Node, serial.Best.Node)
+		}
+		if par.Best.RT() != serial.Best.RT() {
+			t.Fatalf("workers=%d RT %g != serial %g", w, par.Best.RT(), serial.Best.RT())
+		}
+		if len(par.Frontier) != len(serial.Frontier) {
+			t.Fatalf("workers=%d frontier %d != serial %d", w, len(par.Frontier), len(serial.Frontier))
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package sim is a discrete-event simulator for parallel query execution: it
+// executes an annotated operator tree on the machine model under exactly the
+// assumptions the paper's cost model makes (§5.2.1) — preemptable resources,
+// processor-sharing (uniform usage), materialized edges as precedence
+// barriers, pipelined edges as co-running stages — and reports the realized
+// response time and per-resource work. It is the referee for the cost
+// model's predictions: the calculus estimates, the simulator executes.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"paropt/internal/cost"
+	"paropt/internal/optree"
+)
+
+// Result is the outcome of one simulated execution.
+type Result struct {
+	// RT is the makespan: the finish time of the root operator.
+	RT float64
+	// Work is the total demanded work across all resources.
+	Work float64
+	// Busy is the per-resource busy time (equals the demands: the
+	// simulator conserves work).
+	Busy cost.Vec
+	// Finish maps each operator to its completion time.
+	Finish map[*optree.Op]float64
+	// Start maps each operator to its activation time.
+	Start map[*optree.Op]float64
+	// Steps is the number of simulation events processed.
+	Steps int
+}
+
+// Utilization is Work / (RT × resources): the mean fraction of the machine
+// kept busy.
+func (r *Result) Utilization() float64 {
+	n := float64(len(r.Busy))
+	if r.RT <= 0 || n == 0 {
+		return 0
+	}
+	return r.Work / (r.RT * n)
+}
+
+// task is the simulator's view of one operator.
+type task struct {
+	op        *optree.Op
+	remaining cost.Vec
+	matDeps   []*task // must finish before this task activates
+	pipeDeps  []*task // co-run; must finish before this task can finish
+	active    bool
+	done      bool
+	start     float64
+	finish    float64
+}
+
+func (t *task) workLeft() bool {
+	for _, w := range t.remaining {
+		if w > 1e-12 {
+			return true
+		}
+	}
+	return false
+}
+
+// Policy selects how contended resources are scheduled.
+type Policy int
+
+const (
+	// ProcessorSharing time-slices each resource evenly among demanding
+	// tasks — the paper's preemptability assumption (§5.2.1), under which
+	// the stretching property holds.
+	ProcessorSharing Policy = iota
+	// RunToCompletion dedicates each resource to its earliest-activated
+	// demanding task until that task needs it no more — a non-preemptive
+	// scheduler, used to quantify what the stretching assumption buys.
+	RunToCompletion
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == RunToCompletion {
+		return "run-to-completion"
+	}
+	return "processor-sharing"
+}
+
+// Simulate executes the operator tree under the model's work demands with
+// processor sharing (the paper's assumption).
+func Simulate(root *optree.Op, m *cost.Model) (*Result, error) {
+	return SimulateWithPolicy(root, m, ProcessorSharing)
+}
+
+// SimulateWithPolicy executes the operator tree under the given scheduler.
+func SimulateWithPolicy(root *optree.Op, m *cost.Model, policy Policy) (*Result, error) {
+	if root == nil {
+		return nil, fmt.Errorf("sim: nil operator tree")
+	}
+	if err := root.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	tasks := buildTasks(root, m)
+
+	res := &Result{
+		Busy:   cost.NewVec(m.Dim()),
+		Finish: make(map[*optree.Op]float64, len(tasks)),
+		Start:  make(map[*optree.Op]float64, len(tasks)),
+	}
+	for _, t := range tasks {
+		for i, w := range t.remaining {
+			res.Busy[i] += w
+			res.Work += w
+		}
+	}
+
+	now := 0.0
+	for {
+		// Activate every task whose materialized prerequisites are done.
+		progress := true
+		for progress {
+			progress = false
+			for _, t := range tasks {
+				if t.active || t.done {
+					continue
+				}
+				ready := true
+				for _, d := range t.matDeps {
+					if !d.done {
+						ready = false
+						break
+					}
+				}
+				if ready {
+					t.active = true
+					t.start = now
+					progress = true
+				}
+			}
+			// Completion without work: drained pipelines and zero-work ops.
+			for _, t := range tasks {
+				if t.done || !t.active || t.workLeft() {
+					continue
+				}
+				if pipesDone(t) {
+					t.done = true
+					t.finish = now
+					progress = true
+				}
+			}
+		}
+
+		allDone := true
+		for _, t := range tasks {
+			if !t.done {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+
+		// Per-resource rates under the scheduling policy.
+		rates := resourceRates(tasks, m.Dim(), policy)
+		// Advance to the next (task, resource) completion.
+		dt := math.Inf(1)
+		for ti, t := range tasks {
+			if !t.active || t.done {
+				continue
+			}
+			for r, w := range t.remaining {
+				if w > 1e-12 && rates[ti][r] > 0 {
+					if need := w / rates[ti][r]; need < dt {
+						dt = need
+					}
+				}
+			}
+		}
+		if math.IsInf(dt, 1) {
+			// Active tasks exist but none can progress — they are waiting
+			// on pipelined peers that are themselves blocked; this cannot
+			// happen in a well-formed tree (children activate first).
+			return nil, fmt.Errorf("sim: deadlock at t=%g", now)
+		}
+		now += dt
+		res.Steps++
+		for ti, t := range tasks {
+			if !t.active || t.done {
+				continue
+			}
+			for r := range t.remaining {
+				if t.remaining[r] > 1e-12 && rates[ti][r] > 0 {
+					t.remaining[r] -= dt * rates[ti][r]
+					if t.remaining[r] < 1e-12 {
+						t.remaining[r] = 0
+					}
+				}
+			}
+		}
+	}
+
+	for _, t := range tasks {
+		res.Finish[t.op] = t.finish
+		res.Start[t.op] = t.start
+		if t.finish > res.RT {
+			res.RT = t.finish
+		}
+	}
+	return res, nil
+}
+
+// resourceRates assigns each (task, resource) a service rate in [0, 1].
+func resourceRates(tasks []*task, dim int, policy Policy) [][]float64 {
+	rates := make([][]float64, len(tasks))
+	for i := range rates {
+		rates[i] = make([]float64, dim)
+	}
+	switch policy {
+	case RunToCompletion:
+		// Each resource serves the earliest-activated demanding task.
+		for r := 0; r < dim; r++ {
+			chosen := -1
+			for ti, t := range tasks {
+				if !t.active || t.done || t.remaining[r] <= 1e-12 {
+					continue
+				}
+				if chosen < 0 || t.start < tasks[chosen].start {
+					chosen = ti
+				}
+			}
+			if chosen >= 0 {
+				rates[chosen][r] = 1
+			}
+		}
+	default:
+		// Processor sharing: split each resource evenly.
+		for r := 0; r < dim; r++ {
+			n := 0
+			for _, t := range tasks {
+				if t.active && !t.done && t.remaining[r] > 1e-12 {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			for ti, t := range tasks {
+				if t.active && !t.done && t.remaining[r] > 1e-12 {
+					rates[ti][r] = 1 / float64(n)
+				}
+			}
+		}
+	}
+	return rates
+}
+
+// pipesDone reports whether every pipelined dependency has finished.
+func pipesDone(t *task) bool {
+	for _, d := range t.pipeDeps {
+		if !d.done {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTasks flattens the tree into tasks with dependency edges, mirroring
+// the cost model's accounting: EffectiveInputs drops subsumed NL inners,
+// redistribution transfers add to the producing child's demands.
+func buildTasks(root *optree.Op, m *cost.Model) []*task {
+	var tasks []*task
+	var build func(op *optree.Op) *task
+	build = func(op *optree.Op) *task {
+		t := &task{op: op, remaining: m.OwnDemands(op)}
+		for _, in := range op.EffectiveInputs() {
+			child := build(in)
+			if in.Redistribute {
+				child.remaining = child.remaining.Add(m.TransferDemands(in))
+			}
+			if in.Composition == optree.Materialized {
+				t.matDeps = append(t.matDeps, child)
+			} else {
+				t.pipeDeps = append(t.pipeDeps, child)
+				// A consumer's first tuple waits for the materialized front
+				// of its whole pipelined subtree (the calculus's tf rule):
+				// inherit the child's barriers.
+				t.matDeps = append(t.matDeps, child.matDeps...)
+			}
+		}
+		tasks = append(tasks, t)
+		return t
+	}
+	build(root)
+	return tasks
+}

@@ -1,0 +1,389 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"paropt/internal/catalog"
+	"paropt/internal/cost"
+	"paropt/internal/machine"
+	"paropt/internal/optree"
+	"paropt/internal/plan"
+	"paropt/internal/query"
+)
+
+// rig builds a model over a chain query with the given machine shape.
+func rig(t testing.TB, cpus, disks int, cards ...int64) (*cost.Model, *plan.Estimator) {
+	t.Helper()
+	cat := catalog.New()
+	var rels []string
+	for i, card := range cards {
+		name := "R" + string(rune('1'+i))
+		rels = append(rels, name)
+		cat.MustAddRelation(catalog.Relation{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "id", NDV: card, Width: 8},
+				{Name: "fk", NDV: maxI(card/10, 1), Width: 8},
+			},
+			Card:  card,
+			Pages: maxI(card/50, 1),
+			Disk:  i,
+		})
+	}
+	q := &query.Query{Name: "sim", Relations: rels}
+	for i := 0; i+1 < len(rels); i++ {
+		q.Joins = append(q.Joins, query.JoinPredicate{
+			Left:  query.ColumnRef{Relation: rels[i], Column: "id"},
+			Right: query.ColumnRef{Relation: rels[i+1], Column: "fk"},
+		})
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	est := plan.NewEstimator(cat, q)
+	m := machine.New(machine.Config{CPUs: cpus, Disks: disks, Networks: 1})
+	return cost.NewModel(cat, m, est, cost.DefaultParams()), est
+}
+
+func maxI(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func expandPlan(t testing.TB, m *cost.Model, est *plan.Estimator, n *plan.Node) *optree.Op {
+	t.Helper()
+	op, err := optree.Expand(n, est, optree.DefaultExpandOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	optree.Annotate(op, m.M, est, optree.DefaultAnnotateOptions())
+	return op
+}
+
+func TestSimulateSingleScan(t *testing.T) {
+	m, est := rig(t, 2, 2, 50_000)
+	leaf, _ := est.Leaf("R1", plan.SeqScan, nil)
+	op := expandPlan(t, m, est, leaf)
+	res, err := Simulate(op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lone scan overlaps its I/O and (cloned) CPU: makespan = max demand.
+	want := m.OwnDemands(op).Max()
+	if math.Abs(res.RT-want) > 1e-6 {
+		t.Errorf("RT = %g, want %g", res.RT, want)
+	}
+	if math.Abs(res.Work-m.OwnDemands(op).Sum()) > 1e-6 {
+		t.Errorf("Work = %g", res.Work)
+	}
+	if res.Utilization() <= 0 || res.Utilization() > 1 {
+		t.Errorf("Utilization = %g", res.Utilization())
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	m, _ := rig(t, 1, 1, 100)
+	if _, err := Simulate(nil, m); err == nil {
+		t.Error("nil tree should error")
+	}
+	bad := &optree.Op{Kind: optree.Merge} // arity violation
+	if _, err := Simulate(bad, m); err == nil {
+		t.Error("invalid tree should error")
+	}
+}
+
+// TestIndependentParallelExecution: two materialized sorts on different
+// disks overlap (makespan ≈ slower side); forcing both relations onto one
+// disk serializes the I/O — the simulator realizes desideratum 1.
+func TestIndependentParallelExecution(t *testing.T) {
+	makespan := func(sameDisk bool) float64 {
+		disks := 4
+		m, est := rig(t, 4, disks, 80_000, 80_000)
+		if sameDisk {
+			m.Cat.MustRelation("R2").Disk = m.Cat.MustRelation("R1").Disk
+		}
+		r1, _ := est.Leaf("R1", plan.SeqScan, nil)
+		r2, _ := est.Leaf("R2", plan.SeqScan, nil)
+		sm, err := est.Join(r1, r2, plan.SortMerge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := expandPlan(t, m, est, sm)
+		res, err := Simulate(op, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RT
+	}
+	apart := makespan(false)
+	together := makespan(true)
+	if together <= apart*1.2 {
+		t.Errorf("contended RT %g should clearly exceed uncontended %g", together, apart)
+	}
+}
+
+// TestPipelineBarrier: a hash probe cannot start before the build finishes.
+func TestPipelineBarrier(t *testing.T) {
+	m, est := rig(t, 2, 2, 50_000, 40_000)
+	r1, _ := est.Leaf("R1", plan.SeqScan, nil)
+	r2, _ := est.Leaf("R2", plan.SeqScan, nil)
+	hj, _ := est.Join(r1, r2, plan.HashJoin)
+	op := expandPlan(t, m, est, hj)
+	res, err := Simulate(op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var build, probe *optree.Op
+	op.Walk(func(o *optree.Op) {
+		switch o.Kind {
+		case optree.Build:
+			build = o
+		case optree.Probe:
+			probe = o
+		}
+	})
+	if build == nil || probe == nil {
+		t.Fatal("expansion lacks build/probe")
+	}
+	if res.Start[probe] < res.Finish[build]-1e-9 {
+		t.Errorf("probe started at %g before build finished at %g",
+			res.Start[probe], res.Finish[build])
+	}
+	if res.Finish[probe] != res.RT {
+		t.Errorf("root should finish last: %g vs RT %g", res.Finish[probe], res.RT)
+	}
+}
+
+// TestWorkConservation: simulated busy time equals demanded work, and the
+// makespan is bracketed by the busiest resource and the total work.
+func TestWorkConservation(t *testing.T) {
+	m, est := rig(t, 4, 4, 60_000, 50_000, 40_000)
+	r1, _ := est.Leaf("R1", plan.SeqScan, nil)
+	r2, _ := est.Leaf("R2", plan.SeqScan, nil)
+	r3, _ := est.Leaf("R3", plan.SeqScan, nil)
+	hj, _ := est.Join(r1, r2, plan.HashJoin)
+	top, _ := est.Join(hj, r3, plan.SortMerge)
+	op := expandPlan(t, m, est, top)
+	res, err := Simulate(op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RT < res.Busy.Max()-1e-6 {
+		t.Errorf("RT %g below busiest resource %g", res.RT, res.Busy.Max())
+	}
+	if res.RT > res.Work+1e-6 {
+		t.Errorf("RT %g exceeds total work %g", res.RT, res.Work)
+	}
+	if math.Abs(res.Work-res.Busy.Sum()) > 1e-6 {
+		t.Errorf("work %g != busy sum %g", res.Work, res.Busy.Sum())
+	}
+}
+
+// TestMoreParallelismHelps: the same plan on a bigger machine finishes no
+// later.
+func TestMoreParallelismHelps(t *testing.T) {
+	run := func(cpus, disks int) float64 {
+		m, est := rig(t, cpus, disks, 80_000, 60_000)
+		r1, _ := est.Leaf("R1", plan.SeqScan, nil)
+		r2, _ := est.Leaf("R2", plan.SeqScan, nil)
+		sm, _ := est.Join(r1, r2, plan.SortMerge)
+		op := expandPlan(t, m, est, sm)
+		res, err := Simulate(op, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.RT
+	}
+	big := run(8, 4)
+	small := run(1, 1)
+	if big >= small {
+		t.Errorf("8-cpu RT %g should beat 1-cpu RT %g", big, small)
+	}
+}
+
+// TestCostModelTracksSimulator: over a population of random plans, the
+// calculus's RT estimate must rank plans like the simulator does (high rank
+// correlation) — §5's claim that the cost model is "judicious".
+func TestCostModelTracksSimulator(t *testing.T) {
+	cfg := query.DefaultGenConfig()
+	cfg.Relations = 5
+	cfg.Shape = query.Chain
+	cfg.Seed = 3
+	cat, q := query.Generate(cfg)
+	est := plan.NewEstimator(cat, q)
+	mach := machine.New(machine.Config{CPUs: 4, Disks: 4, Networks: 1})
+	model := cost.NewModel(cat, mach, est, cost.DefaultParams())
+
+	// Enumerate a diverse plan population: all left-deep join orders with
+	// alternating methods.
+	var modelRT, simRT []float64
+	perms := permutations([]int{0, 1, 2, 3, 4})
+	for pi, perm := range perms {
+		var cur *plan.Node
+		ok := true
+		for i, pos := range perm {
+			leaf, err := est.Leaf(q.Relations[pos], plan.SeqScan, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				cur = leaf
+				continue
+			}
+			method := plan.AllJoinMethods[(pi+i)%len(plan.AllJoinMethods)]
+			j, err := est.Join(cur, leaf, method)
+			if err != nil {
+				ok = false
+				break
+			}
+			cur = j
+		}
+		if !ok {
+			continue
+		}
+		op, err := optree.Expand(cur, est, optree.DefaultExpandOptions())
+		if err != nil {
+			continue
+		}
+		optree.Annotate(op, mach, est, optree.DefaultAnnotateOptions())
+		res, err := Simulate(op, model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modelRT = append(modelRT, model.RT(op))
+		simRT = append(simRT, res.RT)
+	}
+	if len(modelRT) < 20 {
+		t.Fatalf("only %d plans costed", len(modelRT))
+	}
+	rho := spearman(modelRT, simRT)
+	if rho < 0.8 {
+		t.Errorf("rank correlation model vs simulator = %.3f, want ≥ 0.8", rho)
+	}
+}
+
+// permutations returns all orderings of xs.
+func permutations(xs []int) [][]int {
+	if len(xs) <= 1 {
+		return [][]int{append([]int(nil), xs...)}
+	}
+	var out [][]int
+	for i := range xs {
+		rest := make([]int, 0, len(xs)-1)
+		rest = append(rest, xs[:i]...)
+		rest = append(rest, xs[i+1:]...)
+		for _, p := range permutations(rest) {
+			out = append(out, append([]int{xs[i]}, p...))
+		}
+	}
+	return out
+}
+
+// spearman computes the rank correlation of two paired samples.
+func spearman(a, b []float64) float64 {
+	ra := ranks(a)
+	rb := ranks(b)
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	r := make([]float64, len(xs))
+	for rank, i := range idx {
+		r[i] = float64(rank)
+	}
+	return r
+}
+
+// TestSimulatorDeterministic: repeated runs agree exactly.
+func TestSimulatorDeterministic(t *testing.T) {
+	m, est := rig(t, 4, 4, 50_000, 40_000)
+	r1, _ := est.Leaf("R1", plan.SeqScan, nil)
+	r2, _ := est.Leaf("R2", plan.SeqScan, nil)
+	hj, _ := est.Join(r1, r2, plan.HashJoin)
+	op := expandPlan(t, m, est, hj)
+	a, err := Simulate(op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Simulate(op, m)
+	if a.RT != b.RT || a.Work != b.Work || a.Steps != b.Steps {
+		t.Error("simulation must be deterministic")
+	}
+}
+
+// TestNLInnerSubsumed: the simulator, like the cost model, does not run a
+// base-access NL inner as its own task.
+func TestNLInnerSubsumed(t *testing.T) {
+	m, est := rig(t, 2, 2, 20_000, 500)
+	r1, _ := est.Leaf("R1", plan.SeqScan, nil)
+	r2, _ := est.Leaf("R2", plan.SeqScan, nil)
+	nl, _ := est.Join(r1, r2, plan.NestedLoops)
+	op, err := optree.Expand(nl, est, optree.ExpandOptions{}) // no create-index
+	if err != nil {
+		t.Fatal(err)
+	}
+	optree.Annotate(op, m.M, est, optree.DefaultAnnotateOptions())
+	res, err := Simulate(op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := op.Inputs[1]
+	if _, tracked := res.Finish[inner]; tracked {
+		t.Error("subsumed inner must not be a separate task")
+	}
+}
+
+// TestDeclusteredSimulation: the simulator realizes Gamma-style declustered
+// scans — parallel fragment reads shrink the makespan while work is
+// conserved.
+func TestDeclusteredSimulation(t *testing.T) {
+	m, est := rig(t, 4, 4, 80_000)
+	leaf, err := est.Leaf("R1", plan.SeqScan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := expandPlan(t, m, est, leaf)
+	base, err := Simulate(op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Cat.MustRelation("R1").Decluster = 4
+	defer func() { m.Cat.MustRelation("R1").Decluster = 0 }()
+	spread, err := Simulate(op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spread.RT >= base.RT {
+		t.Errorf("declustered RT %g should beat single-disk %g", spread.RT, base.RT)
+	}
+	if d := spread.Work - base.Work; d > 1e-9 || d < -1e-9 {
+		t.Errorf("declustering changed simulated work: %g vs %g", spread.Work, base.Work)
+	}
+}

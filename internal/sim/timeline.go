@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"paropt/internal/optree"
+)
+
+// Timeline renders the simulated execution as a text Gantt chart, one line
+// per operator ordered by start time, with '=' spanning [start, finish]
+// scaled to the given width. It makes pipelining and materialization
+// barriers visible at a glance.
+func (r *Result) Timeline(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	type row struct {
+		op            *optree.Op
+		start, finish float64
+	}
+	rows := make([]row, 0, len(r.Start))
+	for op, s := range r.Start {
+		rows = append(rows, row{op: op, start: s, finish: r.Finish[op]})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].start != rows[j].start {
+			return rows[i].start < rows[j].start
+		}
+		if rows[i].finish != rows[j].finish {
+			return rows[i].finish < rows[j].finish
+		}
+		return opLabel(rows[i].op) < opLabel(rows[j].op)
+	})
+	scale := float64(width) / r.RT
+	if r.RT == 0 {
+		scale = 0
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline (rt=%.2f, %d operators)\n", r.RT, len(rows))
+	for _, row := range rows {
+		from := int(row.start * scale)
+		to := int(row.finish * scale)
+		if to > width {
+			to = width
+		}
+		if to <= from {
+			to = from + 1
+			if to > width {
+				from, to = width-1, width
+			}
+		}
+		bar := strings.Repeat(" ", from) + strings.Repeat("=", to-from) +
+			strings.Repeat(" ", width-to)
+		fmt.Fprintf(&b, "%-26s |%s| %8.1f → %-8.1f\n", opLabel(row.op), bar, row.start, row.finish)
+	}
+	return b.String()
+}
+
+// opLabel names an operator for display.
+func opLabel(op *optree.Op) string {
+	if op.Relation != "" {
+		return fmt.Sprintf("%s(%s)", op.Kind, op.Relation)
+	}
+	return op.Kind.String()
+}

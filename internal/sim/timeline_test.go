@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"paropt/internal/plan"
+)
+
+func TestTimeline(t *testing.T) {
+	m, est := rig(t, 2, 2, 50_000, 40_000)
+	r1, _ := est.Leaf("R1", plan.SeqScan, nil)
+	r2, _ := est.Leaf("R2", plan.SeqScan, nil)
+	hj, _ := est.Join(r1, r2, plan.HashJoin)
+	op := expandPlan(t, m, est, hj)
+	res, err := Simulate(op, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := res.Timeline(40)
+	for _, want := range []string{"timeline (rt=", "scan(R1)", "scan(R2)", "build", "probe", "="} {
+		if !strings.Contains(tl, want) {
+			t.Errorf("timeline missing %q:\n%s", want, tl)
+		}
+	}
+	// One line per operator plus the header.
+	lines := strings.Count(strings.TrimSpace(tl), "\n")
+	if lines != op.Count() {
+		t.Errorf("timeline has %d rows, want %d operators", lines, op.Count())
+	}
+	// Tiny width is clamped rather than panicking.
+	if got := res.Timeline(1); !strings.Contains(got, "probe") {
+		t.Error("clamped-width timeline broken")
+	}
+}
+
+func TestTimelineBarrierVisible(t *testing.T) {
+	m, est := rig(t, 2, 2, 50_000, 40_000)
+	r1, _ := est.Leaf("R1", plan.SeqScan, nil)
+	r2, _ := est.Leaf("R2", plan.SeqScan, nil)
+	hj, _ := est.Join(r1, r2, plan.HashJoin)
+	op := expandPlan(t, m, est, hj)
+	res, _ := Simulate(op, m)
+	tl := res.Timeline(60)
+	// The probe line must start strictly after column zero (it waits for
+	// the build): its bar is indented.
+	for _, line := range strings.Split(tl, "\n") {
+		if strings.HasPrefix(line, "probe") {
+			bar := line[strings.Index(line, "|")+1:]
+			if strings.HasPrefix(bar, "=") {
+				t.Errorf("probe bar starts at t=0 despite the build barrier:\n%s", tl)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package stats provides the small statistical helpers the experiment
+// harness and tools share: rank correlation, permutation enumeration, and
+// summary aggregates.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Ranks assigns 0-based ranks by ascending value (ties broken by index).
+func Ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return xs[idx[i]] < xs[idx[j]] })
+	r := make([]float64, len(xs))
+	for rank, i := range idx {
+		r[i] = float64(rank)
+	}
+	return r
+}
+
+// Spearman computes the rank correlation coefficient of paired samples;
+// zero for degenerate inputs.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra, rb := Ranks(a), Ranks(b)
+	n := float64(len(a))
+	var ma, mb float64
+	for i := range ra {
+		ma += ra[i]
+		mb += rb[i]
+	}
+	ma /= n
+	mb /= n
+	var cov, va, vb float64
+	for i := range ra {
+		da, db := ra[i]-ma, rb[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Permutations enumerates all orderings of 0..n-1. Factorial growth; meant
+// for n ≤ 8.
+func Permutations(n int) [][]int {
+	base := make([]int, n)
+	for i := range base {
+		base[i] = i
+	}
+	var out [][]int
+	var rec func(prefix, rest []int)
+	rec = func(prefix, rest []int) {
+		if len(rest) == 0 {
+			out = append(out, append([]int(nil), prefix...))
+			return
+		}
+		for i := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			rec(append(prefix, rest[i]), next)
+		}
+	}
+	rec(nil, base)
+	return out
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MaxAbsRelErr returns max_i |a_i − b_i| / max(|b_i|, eps).
+func MaxAbsRelErr(a, b []float64) float64 {
+	const eps = 1e-12
+	worst := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		den := math.Abs(b[i])
+		if den < eps {
+			den = eps
+		}
+		if r := d / den; r > worst {
+			worst = r
+		}
+	}
+	return worst
+}

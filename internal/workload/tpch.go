@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"paropt/internal/catalog"
+	"paropt/internal/query"
+)
+
+// TPCHLike builds a schema shaped like the TPC-H decision-support benchmark
+// (the modern descendant of the workloads the paper motivates) at the given
+// scale factor, spread over the given disks, together with three SPJ
+// queries modeled on Q3, Q5 and Q10's join cores. Scale 1.0 approximates
+// SF-0.01 of the real benchmark so optimizer experiments stay fast; cards
+// scale linearly.
+func TPCHLike(disks int, scale float64) (*catalog.Catalog, []*query.Query) {
+	if disks < 1 {
+		disks = 1
+	}
+	if scale <= 0 {
+		scale = 1
+	}
+	card := func(base int64) int64 {
+		c := int64(float64(base) * scale)
+		if c < 1 {
+			c = 1
+		}
+		return c
+	}
+	cat := catalog.New()
+	add := func(name string, base int64, disk int, cols ...catalog.Column) {
+		c := card(base)
+		for i := range cols {
+			if cols[i].NDV > c {
+				cols[i].NDV = c
+			}
+			if cols[i].Width == 0 {
+				cols[i].Width = 8
+			}
+		}
+		cat.MustAddRelation(catalog.Relation{
+			Name: name, Columns: cols, Card: c,
+			Pages: c/100 + 1, Disk: disk % disks,
+		})
+	}
+
+	add("region", 5, 0, catalog.Column{Name: "r_regionkey", NDV: 5})
+	add("nation", 25, 1,
+		catalog.Column{Name: "n_nationkey", NDV: 25},
+		catalog.Column{Name: "n_regionkey", NDV: 5})
+	add("supplier", 100, 2,
+		catalog.Column{Name: "s_suppkey", NDV: 100},
+		catalog.Column{Name: "s_nationkey", NDV: 25})
+	add("customer", 1500, 3,
+		catalog.Column{Name: "c_custkey", NDV: 1500},
+		catalog.Column{Name: "c_nationkey", NDV: 25},
+		catalog.Column{Name: "c_mktsegment", NDV: 5})
+	add("orders", 15000, 0,
+		catalog.Column{Name: "o_orderkey", NDV: 15000},
+		catalog.Column{Name: "o_custkey", NDV: 1500},
+		catalog.Column{Name: "o_orderdate", NDV: 2400})
+	add("lineitem", 60000, 1,
+		catalog.Column{Name: "l_orderkey", NDV: 15000},
+		catalog.Column{Name: "l_suppkey", NDV: 100},
+		catalog.Column{Name: "l_extendedprice", NDV: 10000})
+
+	cat.MustAddIndex(catalog.Index{
+		Name: "orders_pk", Relation: "orders", Columns: []string{"o_orderkey"},
+		Clustered: true, Disk: 0 % disks,
+	})
+	cat.MustAddIndex(catalog.Index{
+		Name: "lineitem_ok", Relation: "lineitem", Columns: []string{"l_orderkey"},
+		Clustered: true, Disk: 1 % disks,
+	})
+	cat.MustAddIndex(catalog.Index{
+		Name: "customer_pk", Relation: "customer", Columns: []string{"c_custkey"},
+		Disk: 3 % disks,
+	})
+
+	col := func(r, c string) query.ColumnRef { return query.ColumnRef{Relation: r, Column: c} }
+	q3 := &query.Query{
+		Name:      "q3-shipping-priority",
+		Relations: []string{"customer", "orders", "lineitem"},
+		Joins: []query.JoinPredicate{
+			{Left: col("customer", "c_custkey"), Right: col("orders", "o_custkey")},
+			{Left: col("orders", "o_orderkey"), Right: col("lineitem", "l_orderkey")},
+		},
+		Selections: []query.Selection{{Column: col("customer", "c_mktsegment"), Value: 2}},
+		Projection: []query.ColumnRef{
+			col("orders", "o_orderkey"), col("lineitem", "l_extendedprice"),
+		},
+	}
+	q5 := &query.Query{
+		Name:      "q5-local-supplier-volume",
+		Relations: []string{"customer", "orders", "lineitem", "supplier", "nation", "region"},
+		Joins: []query.JoinPredicate{
+			{Left: col("customer", "c_custkey"), Right: col("orders", "o_custkey")},
+			{Left: col("orders", "o_orderkey"), Right: col("lineitem", "l_orderkey")},
+			{Left: col("lineitem", "l_suppkey"), Right: col("supplier", "s_suppkey")},
+			{Left: col("supplier", "s_nationkey"), Right: col("nation", "n_nationkey")},
+			{Left: col("nation", "n_regionkey"), Right: col("region", "r_regionkey")},
+		},
+		Projection: []query.ColumnRef{
+			col("nation", "n_nationkey"), col("lineitem", "l_extendedprice"),
+		},
+	}
+	q10 := &query.Query{
+		Name:      "q10-returned-items",
+		Relations: []string{"customer", "orders", "lineitem", "nation"},
+		Joins: []query.JoinPredicate{
+			{Left: col("customer", "c_custkey"), Right: col("orders", "o_custkey")},
+			{Left: col("orders", "o_orderkey"), Right: col("lineitem", "l_orderkey")},
+			{Left: col("customer", "c_nationkey"), Right: col("nation", "n_nationkey")},
+		},
+		Projection: []query.ColumnRef{
+			col("customer", "c_custkey"), col("lineitem", "l_extendedprice"),
+		},
+	}
+	return cat, []*query.Query{q3, q5, q10}
+}
