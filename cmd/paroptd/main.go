@@ -1,0 +1,139 @@
+// Command paroptd runs the optimizer as a long-lived HTTP daemon: a
+// fingerprint-keyed plan cache over the partial-order DP, a bounded worker
+// pool with admission control, and Prometheus-style metrics.
+//
+// Usage:
+//
+//	paroptd [-addr :7077] [-schema schema.ddl | -workload portfolio]
+//	        [-alg podp|podp-bushy] [-cpus 4] [-disks 4] [-aggdisks]
+//	        [-workers N] [-queue 64] [-cache 512] [-shards 8]
+//	        [-timeout 30s] [-beam 0]
+//
+// Endpoints:
+//
+//	POST /optimize  {"query": "SELECT ...", "k": 1.5}        → plan JSON
+//	POST /explain   same request                              → plan + report
+//	POST /schema    {"ddl": "relation R card=1000 ..."}       → catalog version
+//	GET  /healthz                                             → liveness
+//	GET  /metrics                                             → Prometheus text
+//
+// The default catalog comes from -schema (DDL file) or -workload; requests
+// can also carry inline "schema" DDL or a registered "catalog" version.
+// SIGINT/SIGTERM drain in-flight requests before exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paropt"
+	"paropt/internal/machine"
+	"paropt/internal/parser"
+)
+
+func main() {
+	addr := flag.String("addr", ":7077", "listen address")
+	schemaFile := flag.String("schema", "", "schema DDL file for the default catalog")
+	wl := flag.String("workload", "portfolio", "built-in default catalog when -schema is absent (portfolio, tpch or none)")
+	alg := flag.String("alg", "podp", "podp or podp-bushy (partial-order algorithms only)")
+	cpus := flag.Int("cpus", 4, "machine CPUs")
+	disks := flag.Int("disks", 4, "machine disks")
+	networks := flag.Int("networks", 1, "machine network links")
+	aggDisks := flag.Bool("aggdisks", false, "model all disks as one RAID resource (§6.3 aggregation)")
+	workers := flag.Int("workers", 0, "concurrent searches (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "search queue depth before 429s")
+	cacheCap := flag.Int("cache", 512, "plan-cache capacity (entries)")
+	shards := flag.Int("shards", 8, "plan-cache shards")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	beam := flag.Int("beam", 0, "cap cover sets at this many plans (0 = exact search)")
+	flag.Parse()
+
+	algorithm := paropt.PartialOrderDP
+	switch *alg {
+	case "podp":
+	case "podp-bushy":
+		algorithm = paropt.PartialOrderDPBushy
+	default:
+		log.Fatalf("paroptd: -alg must be podp or podp-bushy (got %q): only partial-order searches produce a reusable cover set", *alg)
+	}
+
+	cat, err := defaultCatalog(*schemaFile, *wl, *disks)
+	if err != nil {
+		log.Fatalf("paroptd: %v", err)
+	}
+
+	svc, err := paropt.NewService(paropt.ServiceConfig{
+		Catalog:        cat,
+		Machine:        machine.Config{CPUs: *cpus, Disks: *disks, Networks: *networks, AggregateDisks: *aggDisks},
+		Algorithm:      algorithm,
+		CoverCap:       *beam,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheShards:    *shards,
+		CacheCapacity:  *cacheCap,
+		RequestTimeout: *timeout,
+	})
+	if err != nil {
+		log.Fatalf("paroptd: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	if cat != nil {
+		log.Printf("paroptd: serving on %s (default catalog: %d relations)", *addr, cat.NumRelations())
+	} else {
+		log.Printf("paroptd: serving on %s (no default catalog; use /schema)", *addr)
+	}
+
+	select {
+	case err := <-errc:
+		log.Fatalf("paroptd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Printf("paroptd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("paroptd: shutdown: %v", err)
+	}
+	svc.Close()
+}
+
+// defaultCatalog loads the daemon's default catalog: a DDL file, a built-in
+// workload, or none.
+func defaultCatalog(schemaFile, workload string, disks int) (*paropt.Catalog, error) {
+	if schemaFile != "" {
+		src, err := os.ReadFile(schemaFile)
+		if err != nil {
+			return nil, err
+		}
+		return parser.ParseSchema(string(src))
+	}
+	switch workload {
+	case "portfolio":
+		cat, _ := paropt.PortfolioWorkload(disks)
+		return cat, nil
+	case "tpch":
+		cat, _ := paropt.TPCHWorkload(disks, 1)
+		return cat, nil
+	case "none", "":
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (portfolio, tpch or none)", workload)
+	}
+}

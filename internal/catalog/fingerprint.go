@@ -1,0 +1,47 @@
+package catalog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint hashes everything the optimizer reads from the catalog —
+// relations with their statistics and placement, column NDVs and widths,
+// and index metadata — into a stable hex digest. It serves as the catalog
+// *version* in plan-cache keys: any statistics refresh, schema change, or
+// re-placement yields a new fingerprint and therefore invalidates cached
+// plans derived from the old statistics.
+//
+// The digest is independent of declaration order for relations and indexes
+// (both are rendered sorted by name); column order within a relation is
+// part of the schema and is preserved. Column Skew is included even though
+// the estimator ignores it, because the execution substrates read it.
+func (c *Catalog) Fingerprint() string {
+	var b strings.Builder
+	names := c.RelationNames()
+	sort.Strings(names)
+	for _, name := range names {
+		r := c.MustRelation(name)
+		fmt.Fprintf(&b, "rel %s card=%d pages=%d disk=%d decluster=%d sorted=%s\n",
+			r.Name, r.Card, r.Pages, r.Disk, r.Decluster, r.SortedBy)
+		for _, col := range r.Columns {
+			fmt.Fprintf(&b, "col %s.%s ndv=%d width=%d skew=%g\n",
+				r.Name, col.Name, col.NDV, col.Width, col.Skew)
+		}
+	}
+	idxNames := make([]string, 0, len(c.indexes))
+	for n := range c.indexes {
+		idxNames = append(idxNames, n)
+	}
+	sort.Strings(idxNames)
+	for _, name := range idxNames {
+		ix := c.indexes[name]
+		fmt.Fprintf(&b, "idx %s on %s(%s) clustered=%t covering=%t disk=%d pages=%d\n",
+			ix.Name, ix.Relation, strings.Join(ix.Columns, ","), ix.Clustered, ix.Covering, ix.Disk, ix.Pages)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+
+	"paropt/internal/search"
+)
+
+// Cover-set reuse: the serving layer (internal/service) amortizes search
+// cost across requests by caching the root cover set — the Pareto frontier
+// of incomparable plans (§6.2) — together with the §2 work-optimal
+// baseline. Any later request for the same query shape but a *different*
+// work bound (throughput-degradation k, cost–benefit k, or no bound at
+// all) is answered by re-filtering the cached frontier; the DP search never
+// re-runs.
+
+// CoverSet is a reusable search result: the work-optimal baseline, the full
+// root cover set from an unbounded partial-order search, and the search
+// counters that produced it. It is immutable once built and safe to share
+// across goroutines.
+type CoverSet struct {
+	// Baseline is the Figure 1 work optimum (Wo, To) the §2 bounds are
+	// relative to.
+	Baseline *search.Candidate
+	// Frontier is the complete root cover set (no bound folded in).
+	Frontier []*search.Candidate
+	// Stats are the counters of the partial-order search.
+	Stats search.Stats
+}
+
+// CoverSet runs the work-optimal baseline plus an unbounded partial-order
+// search and returns both for caching. Only the partial-order algorithms
+// produce a reusable frontier; other algorithms return an error.
+func (o *Optimizer) CoverSet() (*CoverSet, error) {
+	switch o.alg {
+	case PartialOrderDP, PartialOrderDPBushy:
+	default:
+		return nil, fmt.Errorf("core: algorithm %v has no reusable cover set (use PartialOrderDP or PartialOrderDPBushy)", o.alg)
+	}
+	baseline, frontier, stats, err := search.FullCoverSet(o.opts, o.alg == PartialOrderDPBushy)
+	if err != nil {
+		return nil, err
+	}
+	return &CoverSet{Baseline: baseline, Frontier: frontier, Stats: stats}, nil
+}
+
+// SelectBounded answers one request from a cover set: it re-filters the
+// frontier under the bound (nil means unbounded, i.e. minimum response
+// time), falls back to the baseline when nothing is admissible, and
+// materializes the winner into a full Plan with the baseline attached.
+// It runs no search and is safe to call concurrently on a shared CoverSet.
+func (o *Optimizer) SelectBounded(cs *CoverSet, bound search.Bound) (*Plan, error) {
+	if cs == nil || cs.Baseline == nil {
+		return nil, fmt.Errorf("core: empty cover set")
+	}
+	wo, to := cs.Baseline.Work(), cs.Baseline.RT()
+	best := search.FilterFrontier(cs.Frontier, bound, wo, to, o.opts.Final)
+	if best == nil {
+		best = cs.Baseline
+	}
+	bp, err := o.finish(cs.Baseline, nil, cs.Stats)
+	if err != nil {
+		return nil, err
+	}
+	p, err := o.finish(best, cs.Frontier, cs.Stats)
+	if err != nil {
+		return nil, err
+	}
+	p.Baseline = bp
+	return p, nil
+}

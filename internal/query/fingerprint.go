@@ -1,0 +1,90 @@
+package query
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query fingerprints: a deterministic canonical form that identifies an SPJ
+// query up to the permutations that do not change its optimization problem.
+// Two queries share a fingerprint exactly when they have the same relation
+// multiset, the same join graph, the same selection columns, and the same
+// projection — regardless of
+//
+//   - relation declaration order (the Relations list fixes enumeration order
+//     only; semantically the FROM clause is a set),
+//   - predicate order and predicate side (R.a = S.b vs S.b = R.a),
+//   - selection literal values (column = 7 and column = 42 strip to
+//     "column = ?", so parameter-varying instances of one query template
+//     share a plan-cache entry; the optimizer's 1/NDV selectivity estimate
+//     is literal-independent, so the shared plan is the right one),
+//   - the Name label.
+//
+// Explicit Selectivity overrides on joins or selections DO enter the
+// fingerprint: they change the estimates and hence the plan.
+//
+// The fingerprint deliberately does not cover the catalog, the machine, or
+// optimizer options: serving layers compose it with a catalog version (see
+// catalog.Fingerprint) and their own configuration hash to form cache keys.
+
+// CanonicalString renders the query's canonical form. It is the preimage of
+// Fingerprint and is exposed for debugging and tests; cache keys should use
+// Fingerprint.
+func CanonicalString(q *Query) string {
+	rels := append([]string(nil), q.Relations...)
+	sort.Strings(rels)
+
+	joins := make([]string, 0, len(q.Joins))
+	for _, j := range q.Joins {
+		a, b := j.Left.String(), j.Right.String()
+		if b < a {
+			a, b = b, a
+		}
+		s := a + "=" + b
+		if j.Selectivity > 0 {
+			s += fmt.Sprintf("@%g", j.Selectivity)
+		}
+		joins = append(joins, s)
+	}
+	sort.Strings(joins)
+
+	sels := make([]string, 0, len(q.Selections))
+	for _, s := range q.Selections {
+		t := s.Column.String() + "=?"
+		if s.Selectivity > 0 {
+			t += fmt.Sprintf("@%g", s.Selectivity)
+		}
+		sels = append(sels, t)
+	}
+	sort.Strings(sels)
+
+	proj := make([]string, 0, len(q.Projection))
+	for _, p := range q.Projection {
+		proj = append(proj, p.String())
+	}
+	sort.Strings(proj)
+	projStr := "*"
+	if len(proj) > 0 {
+		projStr = strings.Join(proj, ",")
+	}
+
+	var b strings.Builder
+	b.WriteString("select ")
+	b.WriteString(projStr)
+	b.WriteString(" from ")
+	b.WriteString(strings.Join(rels, ","))
+	b.WriteString(" join ")
+	b.WriteString(strings.Join(joins, "&"))
+	b.WriteString(" where ")
+	b.WriteString(strings.Join(sels, "&"))
+	return b.String()
+}
+
+// Fingerprint hashes the canonical form into a fixed-length hex digest.
+func Fingerprint(q *Query) string {
+	sum := sha256.Sum256([]byte(CanonicalString(q)))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,157 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"paropt/internal/catalog"
+)
+
+// fpChainCatalog builds R1–R4 with a/b columns for fingerprint tests.
+func fpChainCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, name := range []string{"R1", "R2", "R3", "R4"} {
+		cat.MustAddRelation(catalog.Relation{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "a", NDV: 1000, Width: 8},
+				{Name: "b", NDV: 100, Width: 8},
+			},
+			Card:  10000,
+			Pages: 100,
+		})
+	}
+	return cat
+}
+
+func fpCol(rel, c string) ColumnRef { return ColumnRef{Relation: rel, Column: c} }
+
+func fpChainQuery() *Query {
+	return &Query{
+		Name:      "chain",
+		Relations: []string{"R1", "R2", "R3"},
+		Joins: []JoinPredicate{
+			{Left: fpCol("R1", "b"), Right: fpCol("R2", "a")},
+			{Left: fpCol("R2", "b"), Right: fpCol("R3", "a")},
+		},
+		Selections: []Selection{{Column: fpCol("R1", "a"), Value: 7}},
+	}
+}
+
+func TestFingerprintInvariantUnderRelationReorderAndPredicateFlips(t *testing.T) {
+	cat := fpChainCatalog(t)
+	base := fpChainQuery()
+	if err := base.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	want := Fingerprint(base)
+
+	// Same query with the FROM list reordered, both join predicates
+	// flipped, the join list reversed, and a different name + literal.
+	renamed := &Query{
+		Name:      "other-label",
+		Relations: []string{"R3", "R1", "R2"},
+		Joins: []JoinPredicate{
+			{Left: fpCol("R3", "a"), Right: fpCol("R2", "b")},
+			{Left: fpCol("R2", "a"), Right: fpCol("R1", "b")},
+		},
+		Selections: []Selection{{Column: fpCol("R1", "a"), Value: 99}},
+	}
+	if err := renamed.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	if got := Fingerprint(renamed); got != want {
+		t.Errorf("reordered/flipped/relabeled query changed fingerprint:\n  base    %s\n  renamed %s\ncanon base:    %s\ncanon renamed: %s",
+			want, got, CanonicalString(base), CanonicalString(renamed))
+	}
+}
+
+func TestFingerprintStripsLiterals(t *testing.T) {
+	a, b := fpChainQuery(), fpChainQuery()
+	b.Selections[0].Value = 123456
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("queries differing only in the selection literal should share a fingerprint")
+	}
+	if !strings.Contains(CanonicalString(a), "R1.a=?") {
+		t.Errorf("canonical form should strip the literal: %s", CanonicalString(a))
+	}
+}
+
+func TestFingerprintDistinguishesStructure(t *testing.T) {
+	base := fpChainQuery()
+	fps := map[string]string{"base": Fingerprint(base)}
+
+	// Different join graph: star instead of chain.
+	star := fpChainQuery()
+	star.Joins[1] = JoinPredicate{Left: fpCol("R1", "b"), Right: fpCol("R3", "a")}
+	fps["star"] = Fingerprint(star)
+
+	// Extra relation.
+	wider := fpChainQuery()
+	wider.Relations = append(wider.Relations, "R4")
+	wider.Joins = append(wider.Joins, JoinPredicate{Left: fpCol("R3", "b"), Right: fpCol("R4", "a")})
+	fps["wider"] = Fingerprint(wider)
+
+	// Different selection column.
+	sel := fpChainQuery()
+	sel.Selections[0].Column = fpCol("R2", "b")
+	fps["sel"] = Fingerprint(sel)
+
+	// No selection at all.
+	nosel := fpChainQuery()
+	nosel.Selections = nil
+	fps["nosel"] = Fingerprint(nosel)
+
+	// Explicit selectivity override must change the fingerprint.
+	selOverride := fpChainQuery()
+	selOverride.Joins[0].Selectivity = 0.5
+	fps["selOverride"] = Fingerprint(selOverride)
+
+	// Projection differs.
+	proj := fpChainQuery()
+	proj.Projection = []ColumnRef{fpCol("R1", "a")}
+	fps["proj"] = Fingerprint(proj)
+
+	seen := map[string]string{}
+	for name, fp := range fps {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("distinct queries %s and %s collide on fingerprint %s", prev, name, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+func TestCatalogFingerprintTracksStatistics(t *testing.T) {
+	a := fpChainCatalog(t)
+	b := fpChainCatalog(t)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical catalogs should share a fingerprint")
+	}
+	// A statistics refresh must version the catalog.
+	c := catalog.New()
+	for _, name := range []string{"R1", "R2", "R3", "R4"} {
+		card := int64(10000)
+		if name == "R2" {
+			card = 20000
+		}
+		c.MustAddRelation(catalog.Relation{
+			Name: name,
+			Columns: []catalog.Column{
+				{Name: "a", NDV: 1000, Width: 8},
+				{Name: "b", NDV: 100, Width: 8},
+			},
+			Card:  card,
+			Pages: 100,
+		})
+	}
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Error("cardinality change should change the catalog fingerprint")
+	}
+	// An added index must version the catalog too.
+	d := fpChainCatalog(t)
+	d.MustAddIndex(catalog.Index{Name: "r1a", Relation: "R1", Columns: []string{"a"}})
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Error("added index should change the catalog fingerprint")
+	}
+}

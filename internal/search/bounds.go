@@ -68,6 +68,56 @@ func (b CostBenefit) Admissible(work, rt, wo, to float64) bool {
 // cannot drop below zero), so work beyond Wo + K·To is never admissible.
 func (b CostBenefit) PruningLimit(wo, to float64) float64 { return wo + b.K*to }
 
+// FilterFrontier picks the best plan under final among the frontier members
+// admissible under bound, given the work-optimal baseline (wo, to). A nil
+// bound admits everything; a nil final defaults to ByRT. It returns nil when
+// no member is admissible (the §2 fallback is then the baseline itself,
+// which is always admissible under both policies since Wp = Wo).
+//
+// This is the serving-layer entry point for cover-set reuse: a cached root
+// cover set answers later requests with *different* bound knobs by
+// re-filtering the stored Pareto frontier — no new search runs.
+func FilterFrontier(frontier []*Candidate, bound Bound, wo, to float64, final Comparator) *Candidate {
+	if final == nil {
+		final = ByRT
+	}
+	var best *Candidate
+	for _, c := range frontier {
+		if bound != nil && !bound.Admissible(c.Work(), c.RT(), wo, to) {
+			continue
+		}
+		if best == nil || final(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// FullCoverSet runs the work-optimal baseline (Figure 1) and an *unbounded*
+// partial-order search, returning the baseline and the complete root cover
+// set. Unlike OptimizeBounded it folds no bound into the search, so the
+// frontier is the full Pareto set and can be re-filtered under any later
+// bound via FilterFrontier — the amortization a plan cache relies on.
+// bushy selects the bushy-tree space.
+func FullCoverSet(opt Options, bushy bool) (baseline *Candidate, frontier []*Candidate, stats Stats, err error) {
+	base := New(opt)
+	baseline, err = base.WorkOptimalBaseline()
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	s := New(opt)
+	var res *Result
+	if bushy {
+		res, err = s.PODPBushy()
+	} else {
+		res, err = s.PODPLeftDeep()
+	}
+	if err != nil {
+		return nil, nil, Stats{}, err
+	}
+	return baseline, res.Frontier, res.Stats, nil
+}
+
 // OptimizeBounded runs the full §2 pipeline on this searcher's model:
 //  1. a work optimizer (Figure 1) establishes the baseline (Wo, To);
 //  2. a partial-order response-time search runs with the bound's pruning
@@ -100,18 +150,7 @@ func OptimizeBounded(opt Options, bound Bound, bushy bool) (best, baseline *Cand
 		return nil, nil, Stats{}, err
 	}
 	stats = res.Stats
-	final := opt.Final
-	if final == nil {
-		final = ByRT
-	}
-	for _, c := range res.Frontier {
-		if bound != nil && !bound.Admissible(c.Work(), c.RT(), wo, to) {
-			continue
-		}
-		if best == nil || final(c, best) {
-			best = c
-		}
-	}
+	best = FilterFrontier(res.Frontier, bound, wo, to, opt.Final)
 	if best == nil {
 		// Everything admissible was pruned; the baseline itself is always
 		// admissible under both policies (Wp = Wo).

@@ -1,0 +1,113 @@
+package service
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+)
+
+// planCache is a sharded, size-bounded LRU over cache entries. Sharding
+// keeps lock contention off the serving hot path: each key hashes to one
+// shard, and shards evict independently so a burst of distinct queries
+// cannot serialize the whole cache behind one mutex.
+type planCache struct {
+	shards  []cacheShard
+	onEvict func()
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	val *cacheEntry
+}
+
+// newPlanCache builds a cache with the given shard count and *total*
+// capacity, split evenly across shards (each shard holds at least one
+// entry).
+func newPlanCache(shards, capacity int, onEvict func()) *planCache {
+	if shards < 1 {
+		shards = 1
+	}
+	per := capacity / shards
+	if per < 1 {
+		per = 1
+	}
+	c := &planCache{shards: make([]cacheShard, shards), onEvict: onEvict}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].ll = list.New()
+		c.shards[i].items = make(map[string]*list.Element)
+	}
+	return c
+}
+
+func (c *planCache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &c.shards[h.Sum32()%uint32(len(c.shards))]
+}
+
+// Get returns the entry and refreshes its recency.
+func (c *planCache) Get(key string) (*cacheEntry, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[key]
+	if !ok {
+		return nil, false
+	}
+	s.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+// Put inserts or refreshes an entry, evicting the least-recently-used one
+// when the shard overflows.
+func (c *planCache) Put(key string, val *cacheEntry) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		el.Value.(*cacheItem).val = val
+		s.ll.MoveToFront(el)
+		return
+	}
+	s.items[key] = s.ll.PushFront(&cacheItem{key: key, val: val})
+	for s.ll.Len() > s.cap {
+		back := s.ll.Back()
+		s.ll.Remove(back)
+		delete(s.items, back.Value.(*cacheItem).key)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
+	}
+}
+
+// Len is the resident entry count across shards.
+func (c *planCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Purge drops every entry (e.g. after a statistics refresh makes whole
+// catalog versions stale). Purged entries do not count as evictions.
+func (c *planCache) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.ll.Init()
+		s.items = make(map[string]*list.Element)
+		s.mu.Unlock()
+	}
+}

@@ -1,0 +1,101 @@
+package service
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestPlanCacheLRUEviction(t *testing.T) {
+	evicted := 0
+	c := newPlanCache(1, 3, func() { evicted++ })
+	e := func() *cacheEntry { return &cacheEntry{} }
+	for i := 0; i < 3; i++ {
+		c.Put(fmt.Sprintf("k%d", i), e())
+	}
+	if c.Len() != 3 || evicted != 0 {
+		t.Fatalf("len=%d evicted=%d after 3 puts at cap 3", c.Len(), evicted)
+	}
+	// Touch k0 so k1 becomes the LRU victim.
+	if _, ok := c.Get("k0"); !ok {
+		t.Fatal("k0 should be resident")
+	}
+	c.Put("k3", e())
+	if evicted != 1 {
+		t.Fatalf("expected 1 eviction, got %d", evicted)
+	}
+	if _, ok := c.Get("k1"); ok {
+		t.Error("k1 should have been evicted (LRU)")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s should be resident", k)
+		}
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("purge should empty the cache, len=%d", c.Len())
+	}
+}
+
+func TestPlanCacheShardingIsConcurrencySafe(t *testing.T) {
+	c := newPlanCache(8, 64, nil)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("g%d-i%d", g, i%20)
+				c.Put(k, &cacheEntry{})
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n == 0 || n > 64 {
+		t.Errorf("cache len %d out of bounds (0, 64]", n)
+	}
+}
+
+func TestPlanCacheOverwriteRefreshes(t *testing.T) {
+	c := newPlanCache(1, 2, nil)
+	a, b := &cacheEntry{}, &cacheEntry{}
+	c.Put("k", a)
+	c.Put("k", b)
+	if c.Len() != 1 {
+		t.Fatalf("overwrite should not grow the cache, len=%d", c.Len())
+	}
+	got, _ := c.Get("k")
+	if got != b {
+		t.Error("overwrite should replace the value")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+	// 100 observations at ~1ms, 10 at ~100ms: p50 in the 1ms bucket, p99
+	// in the 100ms bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(0.0009)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.09)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 < 0.0005 || p50 > 0.001 {
+		t.Errorf("p50 = %g, want within (0.0005, 0.001]", p50)
+	}
+	if p99 < 0.05 || p99 > 0.1 {
+		t.Errorf("p99 = %g, want within (0.05, 0.1]", p99)
+	}
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+}

@@ -1,0 +1,158 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// HTTP surface of the daemon (stdlib net/http only):
+//
+//	POST /optimize  OptimizeRequest JSON  → OptimizeResponse JSON
+//	POST /explain   OptimizeRequest JSON  → ExplainResponse JSON
+//	POST /schema    {"ddl": "..."}        → {"catalog": "<version>"}
+//	GET  /healthz                         → liveness + uptime
+//	GET  /metrics                         → Prometheus text format
+//
+// Error mapping: client errors (parse/validation/unknown catalog) → 400,
+// queue-full admission rejection → 429 with Retry-After, request timeout →
+// 504, shutdown → 503.
+
+// Handler returns the daemon's HTTP mux.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /optimize", s.handleOptimize)
+	mux.HandleFunc("POST /explain", s.handleExplain)
+	mux.HandleFunc("POST /schema", s.handleSchema)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// maxBodyBytes bounds request bodies (schemas can be large; queries are
+// small).
+const maxBodyBytes = 4 << 20
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a failed write
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeServiceError maps service errors to HTTP statuses.
+func writeServiceError(w http.ResponseWriter, err error) {
+	var bad badRequestError
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err)
+	case errors.As(err, &bad):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Service) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.Optimize(r.Context(), req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var req OptimizeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.Explain(r.Context(), req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SchemaRequest registers a catalog from DDL text.
+type SchemaRequest struct {
+	DDL string `json:"ddl"`
+}
+
+// SchemaResponse returns the registered catalog version.
+type SchemaResponse struct {
+	Catalog   string `json:"catalog"`
+	Relations int    `json:"relations"`
+}
+
+func (s *Service) handleSchema(w http.ResponseWriter, r *http.Request) {
+	s.met.SchemaRequests.Add(1)
+	var req SchemaRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	version, err := s.RegisterSchema(req.DDL)
+	if err != nil {
+		s.met.Errors.Add(1)
+		writeServiceError(w, err)
+		return
+	}
+	s.mu.RLock()
+	n := s.catalogs[version].NumRelations()
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, SchemaResponse{Catalog: version, Relations: n})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	catalogs := len(s.catalogs)
+	closed := s.closed
+	s.mu.RUnlock()
+	status := "ok"
+	code := http.StatusOK
+	if closed {
+		status = "shutting-down"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":        status,
+		"uptimeSeconds": int64(time.Since(s.start).Seconds()),
+		"catalogs":      catalogs,
+		"cacheEntries":  s.cache.Len(),
+		"queueDepth":    s.pool.QueueDepth(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.met.WritePrometheus(w, s.pool.QueueDepth(), s.cache.Len())
+}

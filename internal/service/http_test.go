@@ -1,0 +1,286 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func newTestServer(t *testing.T, mutate func(*Config)) (*Service, *httptest.Server) {
+	t.Helper()
+	s := newTestService(t, mutate)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+	return s, srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// metricValue extracts one sample value from Prometheus text output.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found in:\n%s", name, text)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestHTTPOptimizeExplainHealthzMetrics(t *testing.T) {
+	_, srv := newTestServer(t, nil)
+
+	// Miss, then a changed-k hit: the acceptance path asserted through the
+	// public HTTP surface, including the cover-set-reuse counter.
+	resp, body := postJSON(t, srv.URL+"/optimize", OptimizeRequest{Query: chainSQL(6, 7)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize: %d: %s", resp.StatusCode, body)
+	}
+	var first OptimizeResponse
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Cache != "miss" || first.Fingerprint == "" || len(first.Plan) == 0 {
+		t.Errorf("unexpected first response: cache=%s fp=%q planBytes=%d", first.Cache, first.Fingerprint, len(first.Plan))
+	}
+
+	resp, body = postJSON(t, srv.URL+"/optimize", OptimizeRequest{Query: chainSQL(6, 99), K: 1.5})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize(k=1.5): %d: %s", resp.StatusCode, body)
+	}
+	var second OptimizeResponse
+	if err := json.Unmarshal(body, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.CoverSetReused || second.Cache != "hit" {
+		t.Errorf("changed-k request should re-use the cover set: %s", body)
+	}
+
+	// /explain returns the text report and the cost breakdown.
+	resp, body = postJSON(t, srv.URL+"/explain", OptimizeRequest{Query: chainSQL(6, 7), K: 2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: %d: %s", resp.StatusCode, body)
+	}
+	var exp ExplainResponse
+	if err := json.Unmarshal(body, &exp); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(exp.Text, "operator tree:") || !strings.Contains(exp.Text, "response time:") {
+		t.Errorf("explain text missing sections:\n%s", exp.Text)
+	}
+	if exp.Breakdown == "" {
+		t.Error("explain should include the cost breakdown table")
+	}
+
+	// /healthz liveness.
+	resp, body = getBody(t, srv.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"status": "ok"`) {
+		t.Errorf("healthz: %d: %s", resp.StatusCode, body)
+	}
+
+	// /metrics: the acceptance counters. 3 requests so far: 1 full search,
+	// 2 answered from the cached cover set (changed-k optimize + explain).
+	resp, body = getBody(t, srv.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+	if got := metricValue(t, text, "paroptd_full_search_total"); got != 1 {
+		t.Errorf("full_search_total = %g, want 1", got)
+	}
+	if got := metricValue(t, text, "paroptd_cover_reuse_total"); got != 2 {
+		t.Errorf("cover_reuse_total = %g, want 2", got)
+	}
+	if got := metricValue(t, text, "paroptd_cache_hits_total"); got != 2 {
+		t.Errorf("cache_hits_total = %g, want 2", got)
+	}
+	if got := metricValue(t, text, "paroptd_optimize_latency_seconds_count"); got != 3 {
+		t.Errorf("latency count = %g, want 3", got)
+	}
+	for _, q := range []string{"0.5", "0.95", "0.99"} {
+		if !strings.Contains(text, fmt.Sprintf(`paroptd_optimize_latency_seconds{quantile="%s"}`, q)) {
+			t.Errorf("missing p%s latency quantile", q)
+		}
+	}
+}
+
+func TestHTTPSchemaRegistrationAndUse(t *testing.T) {
+	// No default catalog: everything goes through /schema.
+	s, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	srv := httptest.NewServer(s.Handler())
+	t.Cleanup(srv.Close)
+
+	// Query without any catalog → 400.
+	resp, body := postJSON(t, srv.URL+"/optimize", OptimizeRequest{Query: chainSQL(3, 1)})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("expected 400 without a catalog, got %d: %s", resp.StatusCode, body)
+	}
+
+	resp, body = postJSON(t, srv.URL+"/schema", SchemaRequest{DDL: testDDL})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schema: %d: %s", resp.StatusCode, body)
+	}
+	var sr SchemaResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Relations != 6 || sr.Catalog == "" {
+		t.Fatalf("unexpected schema response: %+v", sr)
+	}
+
+	// Optimize against the registered version explicitly.
+	resp, body = postJSON(t, srv.URL+"/optimize", OptimizeRequest{Query: chainSQL(3, 1), Catalog: sr.Catalog})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("optimize with catalog version: %d: %s", resp.StatusCode, body)
+	}
+	var or OptimizeResponse
+	if err := json.Unmarshal(body, &or); err != nil {
+		t.Fatal(err)
+	}
+	if or.Catalog != sr.Catalog {
+		t.Errorf("response catalog %q should echo registered version %q", or.Catalog, sr.Catalog)
+	}
+
+	// Unknown version → 400.
+	resp, _ = postJSON(t, srv.URL+"/optimize", OptimizeRequest{Query: chainSQL(3, 1), Catalog: "nope"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown catalog version should be 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPConcurrentIdenticalRequestsSearchOnce(t *testing.T) {
+	s, srv := newTestServer(t, func(c *Config) { c.Workers = 4 })
+	const n = 12
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, _ := postJSON(t, srv.URL+"/optimize", OptimizeRequest{Query: chainSQL(6, i+1)})
+			codes[i] = resp.StatusCode
+		}(i)
+	}
+	wg.Wait()
+	for i, c := range codes {
+		if c != http.StatusOK {
+			t.Errorf("request %d: status %d", i, c)
+		}
+	}
+	if got := s.met.FullSearch.Load(); got != 1 {
+		t.Errorf("%d concurrent identical requests ran %d searches, want exactly 1 (singleflight)", n, got)
+	}
+}
+
+func TestHTTPOverloadReturns429AndQueueMetric(t *testing.T) {
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	s, srv := newTestServer(t, func(c *Config) { c.Workers = 1; c.QueueDepth = 1 })
+	s.searchHook = func() {
+		started <- struct{}{}
+		<-gate
+	}
+
+	done := make(chan int, 2)
+	post := func(sql string) {
+		resp, _ := postJSON(t, srv.URL+"/optimize", OptimizeRequest{Query: sql})
+		done <- resp.StatusCode
+	}
+	go post(chainSQL(2, 1)) // occupies the worker
+	<-started
+	go post(chainSQL(3, 1)) // occupies the queue slot
+	waitFor(t, func() bool { return s.pool.QueueDepth() == 1 })
+
+	// Queue-depth gauge is visible while the system is saturated.
+	_, body := getBody(t, srv.URL+"/metrics")
+	if got := metricValue(t, string(body), "paroptd_queue_depth"); got != 1 {
+		t.Errorf("queue_depth = %g, want 1", got)
+	}
+
+	resp, _ := postJSON(t, srv.URL+"/optimize", OptimizeRequest{Query: chainSQL(4, 1)})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("expected 429 under overload, got %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 should carry Retry-After")
+	}
+
+	close(gate)
+	for i := 0; i < 2; i++ {
+		if c := <-done; c != http.StatusOK {
+			t.Errorf("gated request finished with %d", c)
+		}
+	}
+	_, body = getBody(t, srv.URL+"/metrics")
+	if got := metricValue(t, string(body), "paroptd_rejected_total"); got != 1 {
+		t.Errorf("rejected_total = %g, want 1", got)
+	}
+}
+
+func TestHTTPMethodAndBodyErrors(t *testing.T) {
+	_, srv := newTestServer(t, nil)
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/optimize")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /optimize should be 405, got %d", resp.StatusCode)
+	}
+	// Malformed body.
+	resp, err = http.Post(srv.URL+"/optimize", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body should be 400, got %d", resp.StatusCode)
+	}
+}

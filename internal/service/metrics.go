@@ -1,0 +1,153 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, chosen around
+// the expected serving profile: cache hits in the tens of microseconds,
+// full searches from hundreds of microseconds (small chains) to seconds
+// (large cliques).
+var latencyBuckets = []float64{
+	0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// numLatencyBuckets must track len(latencyBuckets); checked in init.
+const numLatencyBuckets = 18
+
+func init() {
+	if len(latencyBuckets) != numLatencyBuckets {
+		panic("service: numLatencyBuckets out of sync with latencyBuckets")
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram with atomic counters. The
+// zero value is ready to use.
+type Histogram struct {
+	counts [numLatencyBuckets + 1]atomic.Int64 // last bucket is +Inf
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// Observe records one latency in seconds.
+func (h *Histogram) Observe(seconds float64) {
+	i := 0
+	for i < len(latencyBuckets) && seconds > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(seconds * 1e9))
+}
+
+// Count is the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum is the total observed time in seconds.
+func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / 1e9 }
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
+// within the bucket containing it; 0 when nothing was observed. The +Inf
+// bucket reports its lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if float64(cum)+float64(n) >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			if i >= len(latencyBuckets) {
+				return lo
+			}
+			hi := latencyBuckets[i]
+			if n == 0 {
+				return hi
+			}
+			frac := (target - float64(cum)) / float64(n)
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}
+
+// Metrics aggregates the service counters exported at /metrics. All fields
+// are safe for concurrent use.
+type Metrics struct {
+	// Per-endpoint request counters.
+	OptimizeRequests atomic.Int64
+	ExplainRequests  atomic.Int64
+	SchemaRequests   atomic.Int64
+
+	// Plan-cache traffic.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	Evictions   atomic.Int64
+
+	// CoverReuse counts requests answered by re-filtering a cached cover
+	// set (no DP search); FullSearch counts DP searches actually run;
+	// Deduped counts requests that joined an identical in-flight search
+	// via singleflight instead of running their own.
+	CoverReuse atomic.Int64
+	FullSearch atomic.Int64
+	Deduped    atomic.Int64
+
+	// Admission control and failures.
+	Rejected atomic.Int64 // 429s: queue full
+	Errors   atomic.Int64
+
+	// Latency is the end-to-end /optimize latency histogram.
+	Latency Histogram
+}
+
+// WritePrometheus renders the metrics in Prometheus text exposition format.
+// queueDepth and cacheLen are sampled gauges supplied by the service.
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen int) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP paroptd_requests_total Requests by endpoint.\n# TYPE paroptd_requests_total counter\n")
+	fmt.Fprintf(w, "paroptd_requests_total{endpoint=\"optimize\"} %d\n", m.OptimizeRequests.Load())
+	fmt.Fprintf(w, "paroptd_requests_total{endpoint=\"explain\"} %d\n", m.ExplainRequests.Load())
+	fmt.Fprintf(w, "paroptd_requests_total{endpoint=\"schema\"} %d\n", m.SchemaRequests.Load())
+	counter("paroptd_cache_hits_total", "Plan-cache hits.", m.CacheHits.Load())
+	counter("paroptd_cache_misses_total", "Plan-cache misses.", m.CacheMisses.Load())
+	counter("paroptd_cache_evictions_total", "Plan-cache LRU evictions.", m.Evictions.Load())
+	counter("paroptd_cover_reuse_total", "Requests answered by re-filtering a cached cover set (no search).", m.CoverReuse.Load())
+	counter("paroptd_full_search_total", "Partial-order DP searches run.", m.FullSearch.Load())
+	counter("paroptd_deduped_total", "Requests deduplicated onto an identical in-flight search.", m.Deduped.Load())
+	counter("paroptd_rejected_total", "Requests rejected by admission control (429).", m.Rejected.Load())
+	counter("paroptd_errors_total", "Requests that failed.", m.Errors.Load())
+	gauge("paroptd_queue_depth", "Optimization jobs waiting in the worker-pool queue.", int64(queueDepth))
+	gauge("paroptd_cache_entries", "Plan-cache entries resident.", int64(cacheLen))
+
+	h := &m.Latency
+	fmt.Fprintf(w, "# HELP paroptd_optimize_latency_seconds End-to-end /optimize latency.\n")
+	fmt.Fprintf(w, "# TYPE paroptd_optimize_latency_seconds histogram\n")
+	var cum int64
+	for i, ub := range latencyBuckets {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "paroptd_optimize_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
+	}
+	cum += h.counts[len(latencyBuckets)].Load()
+	fmt.Fprintf(w, "paroptd_optimize_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "paroptd_optimize_latency_seconds_sum %g\n", h.Sum())
+	fmt.Fprintf(w, "paroptd_optimize_latency_seconds_count %d\n", h.Count())
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		fmt.Fprintf(w, "paroptd_optimize_latency_seconds{quantile=\"%g\"} %g\n", q, h.Quantile(q))
+	}
+}

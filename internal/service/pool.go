@@ -1,0 +1,64 @@
+package service
+
+import "sync"
+
+// workerPool runs optimization jobs on a fixed set of goroutines fed by a
+// bounded queue. A full queue rejects the job immediately — admission
+// control in favor of fast 429s over unbounded latency under overload.
+type workerPool struct {
+	mu     sync.RWMutex
+	closed bool
+	jobs   chan func()
+	wg     sync.WaitGroup
+}
+
+func newWorkerPool(workers, queue int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	p := &workerPool{jobs: make(chan func(), queue)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.jobs {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues f, reporting false when the queue is full or the pool
+// is closed.
+func (p *workerPool) TrySubmit(f func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.jobs <- f:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth is the number of jobs waiting (not yet picked up by a worker).
+func (p *workerPool) QueueDepth() int { return len(p.jobs) }
+
+// Close stops accepting jobs, drains the queue, and waits for workers —
+// the graceful-shutdown half-close.
+func (p *workerPool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

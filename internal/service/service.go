@@ -1,0 +1,467 @@
+// Package service runs the optimizer as a long-lived daemon: a serving
+// layer that amortizes partial-order DP search cost across queries. One-shot
+// use (the CLIs) pays full catalog setup and a fresh search per query; the
+// service instead
+//
+//   - canonicalizes each query into a fingerprint (internal/query), so
+//     parameter-varying instances of one template share a plan;
+//   - caches the *full cover set* — the root Pareto frontier plus the §2
+//     work-optimal baseline — in a sharded LRU keyed by (fingerprint,
+//     catalog version, machine config, optimizer options), so a later
+//     request with a different work bound (throughput-degradation k,
+//     cost–benefit k) is answered by re-filtering the cached frontier
+//     without re-running the search;
+//   - deduplicates identical in-flight searches (singleflight), bounds
+//     concurrent searches with a worker pool, and rejects on a full queue
+//     (HTTP 429) instead of queueing unboundedly;
+//   - exports counters and latency histograms at /metrics.
+//
+// The HTTP surface (stdlib net/http only) is in http.go; cmd/paroptd wires
+// it to a listener with graceful shutdown.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"paropt/internal/catalog"
+	"paropt/internal/core"
+	"paropt/internal/machine"
+	"paropt/internal/parser"
+	"paropt/internal/query"
+	"paropt/internal/search"
+)
+
+// ErrOverloaded is returned when the worker-pool queue is full; HTTP maps
+// it to 429 Too Many Requests.
+var ErrOverloaded = errors.New("service: optimizer overloaded")
+
+// ErrClosed is returned after Close; HTTP maps it to 503.
+var ErrClosed = errors.New("service: shutting down")
+
+// badRequestError marks client errors (parse/validation); HTTP maps it to
+// 400.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+// Config sizes the service. Zero values select the documented defaults.
+type Config struct {
+	// Catalog is the default catalog served when a request names none.
+	// Optional: requests can carry inline schema DDL or a registered
+	// catalog version instead.
+	Catalog *catalog.Catalog
+	// Machine is the target machine; zero value means the default
+	// 4-CPU/4-disk/1-net node.
+	Machine machine.Config
+	// Algorithm must be a partial-order algorithm (the only ones with a
+	// reusable cover set); default PartialOrderDP.
+	Algorithm core.Algorithm
+	// CoverCap bounds cover sets (beam search) when > 0.
+	CoverCap int
+	// MemoryPages constrains plans' peak memory when > 0.
+	MemoryPages int64
+	// Workers bounds concurrent searches; default GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds searches waiting for a worker; beyond it requests
+	// are rejected with ErrOverloaded. Default 64.
+	QueueDepth int
+	// CacheShards and CacheCapacity size the plan cache; defaults 8 shards,
+	// 512 entries total.
+	CacheShards   int
+	CacheCapacity int
+	// RequestTimeout bounds each request (queue wait + search); default
+	// 30s. The search itself is not preempted on timeout — it completes in
+	// the worker and populates the cache for later requests.
+	RequestTimeout time.Duration
+}
+
+// cacheEntry is one plan-cache value: the optimization session pinned to
+// the canonical query instance the cover set was computed for, plus the
+// reusable cover set. Materialization must go through entry.opt (not a
+// per-request optimizer) because the frontier's plan nodes index relations
+// in that query instance's declaration order.
+type cacheEntry struct {
+	opt   *core.Optimizer
+	cover *core.CoverSet
+}
+
+// Service is the optimizer daemon. Safe for concurrent use.
+type Service struct {
+	cfg     Config
+	mcfg    machine.Config
+	sessKey string // machine + optimizer-options component of cache keys
+
+	mu             sync.RWMutex
+	catalogs       map[string]*catalog.Catalog // keyed by version fingerprint
+	defaultVersion string
+
+	cache   *planCache
+	flights flightGroup
+	pool    *workerPool
+	met     Metrics
+	start   time.Time
+	closed  bool
+
+	// searchHook, when non-nil, runs at the start of every search on the
+	// worker goroutine — a test hook that makes overload and timeout
+	// scenarios deterministic. Set it before serving traffic.
+	searchHook func()
+}
+
+// New builds and starts a service (its worker pool runs until Close).
+func New(cfg Config) (*Service, error) {
+	switch cfg.Algorithm {
+	case core.PartialOrderDP, core.PartialOrderDPBushy:
+	default:
+		return nil, fmt.Errorf("service: algorithm %v has no reusable cover set (use PartialOrderDP or PartialOrderDPBushy)", cfg.Algorithm)
+	}
+	mcfg := cfg.Machine
+	if mcfg.CPUs == 0 && mcfg.Disks == 0 {
+		mcfg = machine.DefaultConfig()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.CacheShards <= 0 {
+		cfg.CacheShards = 8
+	}
+	if cfg.CacheCapacity <= 0 {
+		cfg.CacheCapacity = 512
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	s := &Service{
+		cfg:      cfg,
+		mcfg:     mcfg,
+		catalogs: make(map[string]*catalog.Catalog),
+		pool:     newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		start:    time.Now(),
+	}
+	s.cache = newPlanCache(cfg.CacheShards, cfg.CacheCapacity, func() { s.met.Evictions.Add(1) })
+	s.sessKey = fmt.Sprintf("m=%dc%dd%dn,cs%g,ds%g,ns%g,agg%t|alg=%d,cover=%d,mem=%d",
+		mcfg.CPUs, mcfg.Disks, mcfg.Networks, mcfg.CPUSpeed, mcfg.DiskSpeed, mcfg.NetSpeed,
+		mcfg.AggregateDisks, cfg.Algorithm, cfg.CoverCap, cfg.MemoryPages)
+	if cfg.Catalog != nil {
+		s.defaultVersion = s.RegisterCatalog(cfg.Catalog)
+	}
+	return s, nil
+}
+
+// Close stops accepting requests and drains in-flight searches.
+func (s *Service) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		s.pool.Close()
+	}
+}
+
+// Metrics exposes the service counters (read-only use expected).
+func (s *Service) Metrics() *Metrics { return &s.met }
+
+// CacheLen is the resident plan-cache entry count.
+func (s *Service) CacheLen() int { return s.cache.Len() }
+
+// InvalidateCache drops every cached plan — for operators, after an
+// out-of-band statistics refresh, and for benchmarks that need a cold
+// cache. (In-band refreshes need no invalidation: a changed catalog has a
+// new fingerprint and misses naturally.)
+func (s *Service) InvalidateCache() { s.cache.Purge() }
+
+// RegisterCatalog registers a catalog under its version fingerprint and
+// returns the version. Idempotent.
+func (s *Service) RegisterCatalog(cat *catalog.Catalog) string {
+	v := cat.Fingerprint()
+	s.mu.Lock()
+	if _, ok := s.catalogs[v]; !ok {
+		s.catalogs[v] = cat
+	}
+	if s.defaultVersion == "" {
+		s.defaultVersion = v
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// RegisterSchema parses schema DDL (internal/parser grammar) and registers
+// the resulting catalog, returning its version.
+func (s *Service) RegisterSchema(ddl string) (string, error) {
+	cat, err := parser.ParseSchema(ddl)
+	if err != nil {
+		return "", badRequestError{err}
+	}
+	return s.RegisterCatalog(cat), nil
+}
+
+// OptimizeRequest is one optimization request. Exactly one catalog source
+// applies: inline Schema DDL, a registered Catalog version, or the service
+// default.
+type OptimizeRequest struct {
+	// Query is the SQL-ish SELECT text (internal/parser grammar).
+	Query string `json:"query"`
+	// Schema optionally carries inline DDL; it is registered on the fly
+	// (idempotently) and used for this request.
+	Schema string `json:"schema,omitempty"`
+	// Catalog optionally names a registered catalog version (from /schema).
+	Catalog string `json:"catalog,omitempty"`
+	// K, when > 0, applies the §2 throughput-degradation bound Wp ≤ K·Wo.
+	K float64 `json:"k,omitempty"`
+	// CostBenefit, when > 0, applies the §2 cost–benefit bound instead.
+	CostBenefit float64 `json:"costBenefit,omitempty"`
+}
+
+// bound maps the request knobs to a §2 bound (nil = unbounded).
+func (r *OptimizeRequest) bound() search.Bound {
+	switch {
+	case r.K > 0:
+		return search.ThroughputDegradation{K: r.K}
+	case r.CostBenefit > 0:
+		return search.CostBenefit{K: r.CostBenefit}
+	}
+	return nil
+}
+
+// PlanSummary is the cost summary of a served plan.
+type PlanSummary struct {
+	ResponseTime float64 `json:"responseTime"`
+	Work         float64 `json:"work"`
+}
+
+// OptimizeResponse is the service's answer.
+type OptimizeResponse struct {
+	// Fingerprint is the query's canonical fingerprint; Catalog the catalog
+	// version — together with the daemon's machine/options they key the
+	// plan cache.
+	Fingerprint string `json:"fingerprint"`
+	Catalog     string `json:"catalog"`
+	// Cache is "hit" or "miss"; Deduped marks misses that joined another
+	// request's in-flight search. CoverSetReused is true when the plan came
+	// from re-filtering a cached cover set rather than a fresh search.
+	Cache          string `json:"cache"`
+	Deduped        bool   `json:"deduped,omitempty"`
+	CoverSetReused bool   `json:"coverSetReused"`
+	// CoverSize is the cached Pareto-frontier size; Bound names the §2
+	// bound applied during re-filtering, if any.
+	CoverSize int    `json:"coverSize"`
+	Bound     string `json:"bound,omitempty"`
+	// Summary and Baseline give the chosen plan's costs and the
+	// work-optimal baseline it is bounded against.
+	Summary  PlanSummary  `json:"summary"`
+	Baseline *PlanSummary `json:"baseline,omitempty"`
+	// Plan is the full plan rendering (core.PlanJSON shape).
+	Plan json.RawMessage `json:"plan"`
+	// ElapsedMicros is the service-side latency.
+	ElapsedMicros int64 `json:"elapsedMicros"`
+}
+
+// ExplainResponse extends OptimizeResponse with human-readable renderings.
+type ExplainResponse struct {
+	OptimizeResponse
+	// Text is the full Explain report: query, join tree, operator tree with
+	// Example 1 style annotations, cost summary.
+	Text string `json:"text"`
+	// Breakdown is the per-operator cost-breakdown table (resource demands
+	// and cumulative descriptors).
+	Breakdown string `json:"breakdown"`
+}
+
+// resolve parses the request against its catalog and builds the cache key.
+func (s *Service) resolve(req *OptimizeRequest) (cat *catalog.Catalog, version string, q *query.Query, fp, key string, err error) {
+	switch {
+	case req.Schema != "":
+		version, err = s.RegisterSchema(req.Schema)
+		if err != nil {
+			return nil, "", nil, "", "", err
+		}
+	case req.Catalog != "":
+		version = req.Catalog
+	default:
+		s.mu.RLock()
+		version = s.defaultVersion
+		s.mu.RUnlock()
+		if version == "" {
+			return nil, "", nil, "", "", badRequestError{errors.New("service: no default catalog; supply schema DDL or a catalog version")}
+		}
+	}
+	s.mu.RLock()
+	cat = s.catalogs[version]
+	s.mu.RUnlock()
+	if cat == nil {
+		return nil, "", nil, "", "", badRequestError{fmt.Errorf("service: unknown catalog version %q", version)}
+	}
+	if req.Query == "" {
+		return nil, "", nil, "", "", badRequestError{errors.New("service: empty query")}
+	}
+	q, err = parser.ParseQuery(req.Query, cat)
+	if err != nil {
+		return nil, "", nil, "", "", badRequestError{err}
+	}
+	fp = query.Fingerprint(q)
+	return cat, version, q, fp, fp + "|" + version + "|" + s.sessKey, nil
+}
+
+// entryFor returns the cache entry for the key, running (or joining) a
+// search on miss. hit reports a cache hit, deduped a joined search.
+func (s *Service) entryFor(ctx context.Context, key string, cat *catalog.Catalog, q *query.Query) (e *cacheEntry, hit, deduped bool, err error) {
+	if e, ok := s.cache.Get(key); ok {
+		s.met.CacheHits.Add(1)
+		s.met.CoverReuse.Add(1)
+		return e, true, false, nil
+	}
+	s.met.CacheMisses.Add(1)
+	e, deduped, err = s.flights.Do(ctx, key, func() (*cacheEntry, error) {
+		// Re-check under the flight: the entry may have landed between the
+		// miss above and this leader starting.
+		if e, ok := s.cache.Get(key); ok {
+			return e, nil
+		}
+		type result struct {
+			e   *cacheEntry
+			err error
+		}
+		ch := make(chan result, 1)
+		if !s.pool.TrySubmit(func() {
+			e, err := s.runSearch(cat, q)
+			if err == nil {
+				s.cache.Put(key, e)
+			}
+			ch <- result{e, err}
+		}) {
+			s.met.Rejected.Add(1)
+			return nil, ErrOverloaded
+		}
+		select {
+		case r := <-ch:
+			return r.e, r.err
+		case <-ctx.Done():
+			// The worker keeps searching and still populates the cache;
+			// only this request gives up.
+			return nil, ctx.Err()
+		}
+	})
+	if deduped && err == nil {
+		s.met.Deduped.Add(1)
+	}
+	return e, false, deduped, err
+}
+
+// runSearch builds a session and computes the reusable cover set.
+func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query) (*cacheEntry, error) {
+	if hook := s.searchHook; hook != nil {
+		hook()
+	}
+	s.met.FullSearch.Add(1)
+	opt, err := core.NewOptimizer(cat, q, core.Config{
+		Machine:     s.mcfg,
+		Algorithm:   s.cfg.Algorithm,
+		CoverCap:    s.cfg.CoverCap,
+		MemoryPages: s.cfg.MemoryPages,
+	})
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	cover, err := opt.CoverSet()
+	if err != nil {
+		return nil, err
+	}
+	return &cacheEntry{opt: opt, cover: cover}, nil
+}
+
+// Optimize serves one request: parse, fingerprint, cache lookup or search,
+// then re-filter the cover set under the request's bound.
+func (s *Service) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeResponse, error) {
+	start := time.Now()
+	s.met.OptimizeRequests.Add(1)
+	resp, _, err := s.serve(ctx, &req, start)
+	return resp, err
+}
+
+// Explain serves one request and additionally renders the chosen operator
+// tree with its cost breakdown.
+func (s *Service) Explain(ctx context.Context, req OptimizeRequest) (*ExplainResponse, error) {
+	start := time.Now()
+	s.met.ExplainRequests.Add(1)
+	resp, plan, err := s.serve(ctx, &req, start)
+	if err != nil {
+		return nil, err
+	}
+	return &ExplainResponse{
+		OptimizeResponse: *resp,
+		Text:             plan.entry.opt.Explain(plan.plan),
+		Breakdown:        plan.entry.opt.Mod.BreakdownTable(plan.plan.Op),
+	}, nil
+}
+
+// servedPlan carries the materialized plan alongside the response for
+// Explain.
+type servedPlan struct {
+	plan  *core.Plan
+	entry *cacheEntry
+}
+
+func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Time) (*OptimizeResponse, *servedPlan, error) {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	if closed {
+		return nil, nil, ErrClosed
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	defer cancel()
+
+	fail := func(err error) (*OptimizeResponse, *servedPlan, error) {
+		s.met.Errors.Add(1)
+		return nil, nil, err
+	}
+	cat, version, q, fp, key, err := s.resolve(req)
+	if err != nil {
+		return fail(err)
+	}
+	entry, hit, deduped, err := s.entryFor(ctx, key, cat, q)
+	if err != nil {
+		return fail(err)
+	}
+	plan, err := entry.opt.SelectBounded(entry.cover, req.bound())
+	if err != nil {
+		return fail(err)
+	}
+	planJSON, err := entry.opt.ExplainJSON(plan)
+	if err != nil {
+		return fail(err)
+	}
+	resp := &OptimizeResponse{
+		Fingerprint:    fp,
+		Catalog:        version,
+		Cache:          "miss",
+		Deduped:        deduped,
+		CoverSetReused: hit,
+		CoverSize:      len(entry.cover.Frontier),
+		Summary:        PlanSummary{ResponseTime: plan.RT(), Work: plan.Work()},
+		Plan:           planJSON,
+	}
+	if hit {
+		resp.Cache = "hit"
+	}
+	if b := req.bound(); b != nil {
+		resp.Bound = b.Name()
+	}
+	if plan.Baseline != nil {
+		resp.Baseline = &PlanSummary{ResponseTime: plan.Baseline.RT(), Work: plan.Baseline.Work()}
+	}
+	resp.ElapsedMicros = time.Since(start).Microseconds()
+	s.met.Latency.Observe(time.Since(start).Seconds())
+	return resp, &servedPlan{plan: plan, entry: entry}, nil
+}

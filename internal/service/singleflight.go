@@ -1,0 +1,52 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent searches for the same cache key: the
+// first caller (the leader) runs the search; followers block until the
+// leader finishes and share its result. Unlike x/sync/singleflight,
+// followers honor their own context — a follower whose deadline fires
+// stops waiting without cancelling the leader's search (which completes
+// and populates the cache for everyone else).
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+}
+
+type flightCall struct {
+	done  chan struct{}
+	entry *cacheEntry
+	err   error
+}
+
+// Do runs fn once per key among concurrent callers. shared reports whether
+// this caller was a follower (joined another caller's execution).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*cacheEntry, error)) (entry *cacheEntry, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.entry, true, c.err
+		case <-ctx.Done():
+			return nil, true, ctx.Err()
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.entry, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.entry, false, c.err
+}

@@ -10,6 +10,7 @@ import (
 	"paropt/internal/plan"
 	"paropt/internal/query"
 	"paropt/internal/search"
+	"paropt/internal/service"
 	"paropt/internal/sim"
 	"paropt/internal/storage"
 	"paropt/internal/workload"
@@ -146,6 +147,35 @@ const (
 func NewOptimizer(cat *Catalog, q *Query, cfg Config) (*Optimizer, error) {
 	return core.NewOptimizer(cat, q, cfg)
 }
+
+// Serving layer (the optimizer as a daemon).
+type (
+	// Service is the long-running optimizer daemon: fingerprint-keyed plan
+	// cache over cover sets, bounded worker pool, singleflight dedup, and
+	// /metrics. Expose it over HTTP with Service.Handler (cmd/paroptd).
+	Service = service.Service
+	// ServiceConfig sizes the daemon.
+	ServiceConfig = service.Config
+	// OptimizeRequest is one serving request (query text + §2 bound knobs).
+	OptimizeRequest = service.OptimizeRequest
+	// OptimizeResponse is the served plan with cache provenance.
+	OptimizeResponse = service.OptimizeResponse
+	// CoverSet is a reusable search result: baseline + root Pareto
+	// frontier, re-filterable under any §2 bound.
+	CoverSet = core.CoverSet
+)
+
+// NewService builds and starts an optimizer daemon.
+func NewService(cfg ServiceConfig) (*Service, error) { return service.New(cfg) }
+
+// Fingerprint canonicalizes a query (relation order, predicate order and
+// side, literals stripped) and hashes it — the plan-cache identity of the
+// query template.
+func Fingerprint(q *Query) string { return query.Fingerprint(q) }
+
+// CatalogFingerprint hashes everything the optimizer reads from a catalog;
+// it versions plan-cache entries so statistics refreshes invalidate them.
+func CatalogFingerprint(cat *Catalog) string { return cat.Fingerprint() }
 
 // Execution substrates.
 type (
