@@ -46,9 +46,13 @@ func serviceChainSQL(literal int) string {
 	return "SELECT * FROM R1, R2, R3, R4, R5, R6 WHERE " + strings.Join(preds, " AND ")
 }
 
-func newBenchService(b *testing.B) *paropt.Service {
+func newBenchService(b *testing.B, mutate func(*paropt.ServiceConfig)) *paropt.Service {
 	b.Helper()
-	svc, err := paropt.NewService(paropt.ServiceConfig{Catalog: serviceChainCatalog()})
+	cfg := paropt.ServiceConfig{Catalog: serviceChainCatalog()}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	svc, err := paropt.NewService(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -56,10 +60,13 @@ func newBenchService(b *testing.B) *paropt.Service {
 	return svc
 }
 
-// BenchmarkServiceCacheMiss is the cold path: every request runs the DP
-// search and the work-optimal baseline from scratch.
-func BenchmarkServiceCacheMiss(b *testing.B) {
-	svc := newBenchService(b)
+// tracingOff disables the request tracer; the headline benchmarks measure
+// the untraced fast path, the *Traced variants measure the overhead of the
+// default (tracing-on) configuration.
+func tracingOff(cfg *paropt.ServiceConfig) { cfg.TraceCapacity = -1 }
+
+func benchServiceCacheMiss(b *testing.B, mutate func(*paropt.ServiceConfig)) {
+	svc := newBenchService(b, mutate)
 	ctx := context.Background()
 	req := paropt.OptimizeRequest{Query: serviceChainSQL(7)}
 	b.ResetTimer()
@@ -73,11 +80,8 @@ func BenchmarkServiceCacheMiss(b *testing.B) {
 	b.ReportMetric(float64(svc.Metrics().FullSearch.Load())/float64(b.N), "searches/op")
 }
 
-// BenchmarkServiceCacheHit is the warm path: parameter-varying instances of
-// one template with per-request work bounds, every one answered by
-// re-filtering the cached cover set.
-func BenchmarkServiceCacheHit(b *testing.B) {
-	svc := newBenchService(b)
+func benchServiceCacheHit(b *testing.B, mutate func(*paropt.ServiceConfig)) {
+	svc := newBenchService(b, mutate)
 	ctx := context.Background()
 	if _, err := svc.Optimize(ctx, paropt.OptimizeRequest{Query: serviceChainSQL(0)}); err != nil {
 		b.Fatal(err) // warm the cache
@@ -100,3 +104,20 @@ func BenchmarkServiceCacheHit(b *testing.B) {
 	}
 	b.ReportMetric(float64(svc.Metrics().CoverReuse.Load())/float64(b.N), "reuses/op")
 }
+
+// BenchmarkServiceCacheMiss is the cold path: every request runs the DP
+// search and the work-optimal baseline from scratch. Tracing off.
+func BenchmarkServiceCacheMiss(b *testing.B) { benchServiceCacheMiss(b, tracingOff) }
+
+// BenchmarkServiceCacheMissTraced is the same cold path with the default
+// request tracer recording a span tree per request.
+func BenchmarkServiceCacheMissTraced(b *testing.B) { benchServiceCacheMiss(b, nil) }
+
+// BenchmarkServiceCacheHit is the warm path: parameter-varying instances of
+// one template with per-request work bounds, every one answered by
+// re-filtering the cached cover set. Tracing off.
+func BenchmarkServiceCacheHit(b *testing.B) { benchServiceCacheHit(b, tracingOff) }
+
+// BenchmarkServiceCacheHitTraced is the same warm path with the default
+// request tracer recording a span tree per request.
+func BenchmarkServiceCacheHitTraced(b *testing.B) { benchServiceCacheHit(b, nil) }

@@ -4,13 +4,16 @@
 //
 //	paropt [-workload portfolio|chain|star|cycle|clique] [-n 5] [-seed 1]
 //	       [-alg podp|podp-bushy|work|naive-rt|brute|brute-bushy|two-phase|anneal]
-//	       [-cpus 4] [-disks 4] [-k 0] [-costbenefit 0] [-simulate]
+//	       [-cpus 4] [-disks 4] [-k 0] [-costbenefit 0] [-simulate] [-analyze]
 //	       [-schema schema.ddl -query "SELECT ... FROM ... WHERE ..."]
 //
 // -k sets the §2 throughput-degradation factor (0 = unbounded);
 // -costbenefit sets the cost–benefit ratio bound instead. With -schema and
 // -query, the catalog and query are parsed from text instead of a built-in
-// workload (see internal/parser for the grammar).
+// workload (see internal/parser for the grammar). -analyze executes the
+// chosen plan on synthetic data (seeded by -seed) and prints an EXPLAIN
+// ANALYZE style table joining the cost model's predicted (tf, tl)
+// descriptors against the measured ones (text mode only).
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"paropt/internal/machine"
 	"paropt/internal/parser"
 	"paropt/internal/search"
+	"paropt/internal/storage"
 )
 
 func main() {
@@ -42,6 +46,8 @@ func main() {
 	dot := flag.Bool("dot", false, "print the operator tree as Graphviz DOT")
 	trace := flag.Bool("trace", false, "trace the search as it runs")
 	jsonOut := flag.Bool("json", false, "print the plan as JSON instead of text")
+	analyze := flag.Bool("analyze", false, "execute the plan on deterministic synthetic data and print per-operator predicted-vs-actual (tf, tl) descriptors")
+	analyzePar := flag.Int("analyze-parallel", 0, "engine parallelism for -analyze (0 = machine CPUs)")
 	flag.Parse()
 
 	var cat *paropt.Catalog
@@ -104,6 +110,19 @@ func main() {
 			fmt.Println()
 			fmt.Print(res.Timeline(64))
 		}
+	}
+
+	if *analyze {
+		par := *analyzePar
+		if par <= 0 {
+			par = *cpus
+		}
+		rep, _, err := opt.Analyze(p, storage.NewDatabase(cat, *seed), par)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(rep.Table())
 	}
 }
 

@@ -7,19 +7,26 @@
 //	paroptd [-addr :7077] [-schema schema.ddl | -workload portfolio]
 //	        [-alg podp|podp-bushy] [-cpus 4] [-disks 4] [-aggdisks]
 //	        [-workers N] [-queue 64] [-cache 512] [-shards 8]
-//	        [-timeout 30s] [-beam 0]
+//	        [-timeout 30s] [-beam 0] [-traces 256] [-log text|json|none]
+//	        [-debug-addr localhost:7078]
 //
 // Endpoints:
 //
-//	POST /optimize  {"query": "SELECT ...", "k": 1.5}        → plan JSON
-//	POST /explain   same request                              → plan + report
-//	POST /schema    {"ddl": "relation R card=1000 ..."}       → catalog version
-//	GET  /healthz                                             → liveness
-//	GET  /metrics                                             → Prometheus text
+//	POST /optimize          {"query": "SELECT ...", "k": 1.5}  → plan JSON
+//	POST /explain           same request (?trace=1 ?analyze=1) → plan + report
+//	POST /schema            {"ddl": "relation R card=1000 ..."}→ catalog version
+//	GET  /healthz                                              → liveness
+//	GET  /metrics                                              → Prometheus text
+//	GET  /debug/traces                                         → trace IDs
+//	GET  /debug/trace/{id}                                     → one span tree
 //
 // The default catalog comes from -schema (DDL file) or -workload; requests
 // can also carry inline "schema" DDL or a registered "catalog" version.
 // SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// -debug-addr starts a second listener serving net/http/pprof under
+// /debug/pprof/ — kept off the service port so profiling is never exposed
+// where the optimizer API is.
 package main
 
 import (
@@ -27,7 +34,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,7 +62,22 @@ func main() {
 	shards := flag.Int("shards", 8, "plan-cache shards")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	beam := flag.Int("beam", 0, "cap cover sets at this many plans (0 = exact search)")
+	traces := flag.Int("traces", 0, "request traces retained for /debug/trace (0 = default 256, negative disables tracing)")
+	logMode := flag.String("log", "text", "request log format on stderr: text, json or none")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = disabled)")
+	dataSeed := flag.Int64("data-seed", 1, "seed for the synthetic data analyze requests execute against")
 	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logMode {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "none":
+	default:
+		log.Fatalf("paroptd: -log must be text, json or none (got %q)", *logMode)
+	}
 
 	algorithm := paropt.PartialOrderDP
 	switch *alg {
@@ -79,9 +103,27 @@ func main() {
 		CacheShards:    *shards,
 		CacheCapacity:  *cacheCap,
 		RequestTimeout: *timeout,
+		TraceCapacity:  *traces,
+		Logger:         logger,
+		DataSeed:       *dataSeed,
 	})
 	if err != nil {
 		log.Fatalf("paroptd: %v", err)
+	}
+
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("paroptd: debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+		log.Printf("paroptd: pprof on %s/debug/pprof/", *debugAddr)
 	}
 
 	srv := &http.Server{
@@ -112,6 +154,18 @@ func main() {
 		log.Printf("paroptd: shutdown: %v", err)
 	}
 	svc.Close()
+}
+
+// pprofMux serves net/http/pprof on its own mux, so profiling stays off the
+// service handler (and off http.DefaultServeMux).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 // defaultCatalog loads the daemon's default catalog: a DDL file, a built-in

@@ -14,6 +14,7 @@ import (
 	"paropt/internal/cost"
 	"paropt/internal/engine"
 	"paropt/internal/machine"
+	"paropt/internal/obs/accuracy"
 	"paropt/internal/optree"
 	"paropt/internal/plan"
 	"paropt/internal/query"
@@ -300,6 +301,19 @@ func (o *Optimizer) Simulate(p *Plan) (*sim.Result, error) {
 func (o *Optimizer) Execute(p *Plan, db *storage.Database, parallel int) (*engine.Resultset, error) {
 	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel}
 	return e.Execute(p.Tree)
+}
+
+// Analyze executes the plan with runtime-descriptor instrumentation and
+// joins the measured per-operator (tf, tl) against the cost model's
+// predictions — EXPLAIN ANALYZE for the §5 calculus. It returns the
+// accuracy report alongside the raw execution stats.
+func (o *Optimizer) Analyze(p *Plan, db *storage.Database, parallel int) (*accuracy.Report, *engine.ExecStats, error) {
+	stats := &engine.ExecStats{}
+	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel, Stats: stats}
+	if _, err := e.Execute(p.Tree); err != nil {
+		return nil, nil, err
+	}
+	return accuracy.Analyze(o.Mod, p.Op, stats), stats, nil
 }
 
 // Explain renders a report: query, plan tree with derived properties, the

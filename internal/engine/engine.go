@@ -48,6 +48,9 @@ type Executor struct {
 	Parallel int
 	// BatchSize tunes channel granularity; 0 means 256.
 	BatchSize int
+	// Stats, when non-nil, records each node's runtime descriptor — actual
+	// (tf, tl) and row counts — as the plan executes. Nil costs nothing.
+	Stats *ExecStats
 }
 
 // Resultset is a fully materialized query result.
@@ -155,8 +158,18 @@ func (e *Executor) batchSize() int {
 	return 256
 }
 
-// run recursively builds the operator pipeline for a subtree.
+// run recursively builds the operator pipeline for a subtree, wrapping each
+// node's stream in a runtime-descriptor recorder when Stats is installed.
 func (e *Executor) run(n *plan.Node) (Stream, Schema, error) {
+	s, schema, err := e.build(n)
+	if err != nil || e.Stats == nil {
+		return s, schema, err
+	}
+	return e.instrument(n, s), schema, nil
+}
+
+// build constructs the uninstrumented operator pipeline for a subtree.
+func (e *Executor) build(n *plan.Node) (Stream, Schema, error) {
 	if n.IsLeaf() {
 		return e.scan(n)
 	}

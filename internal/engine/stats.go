@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"paropt/internal/plan"
+)
+
+// Runtime descriptors: the execution-time counterpart of the paper's §5
+// cost calculus. The optimizer predicts a two-part descriptor (tf, tl) per
+// operator; an instrumented execution measures the same two timestamps —
+// when a node's stream produced its first row and when it closed — plus the
+// rows that actually flowed, so predicted and actual descriptors can be
+// joined per node (internal/obs/accuracy). Granularity is the join-tree
+// node: exactly the unit the engine pipelines through one channel.
+
+// NodeStat is one node's measured runtime descriptor. Times are relative to
+// the execution start (ExecStats.T0).
+type NodeStat struct {
+	// Node is the join-tree node the stream belongs to (identity for the
+	// predicted-vs-actual join).
+	Node *plan.Node
+	// Label is a human-readable node name ("scan(R1)", "hash-join{R1,R2}").
+	Label string
+	// Start is when the node's stream was opened.
+	Start time.Duration
+	// First is when the first row was produced — the actual tf. Zero when
+	// the node produced no rows.
+	First time.Duration
+	// Last is when the stream closed — the actual tl.
+	Last time.Duration
+	// Rows and Batches count the node's actual output — the per-node work
+	// the cardinality model predicted as plan.Node.Card.
+	Rows, Batches int64
+}
+
+// ExecStats collects runtime descriptors for one instrumented execution.
+// Install it on Executor.Stats before Execute; read it after Execute
+// returns (the stream-close chain orders all writes before the read).
+type ExecStats struct {
+	mu sync.Mutex
+	// T0 is the time base; set when the first node starts (or pre-set).
+	T0    time.Time
+	nodes []*NodeStat
+}
+
+// Nodes returns the collected descriptors in stream-open (bottom-up,
+// left-to-right) order.
+func (s *ExecStats) Nodes() []*NodeStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*NodeStat(nil), s.nodes...)
+}
+
+// ByNode indexes the descriptors by join-tree node.
+func (s *ExecStats) ByNode() map[*plan.Node]*NodeStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := make(map[*plan.Node]*NodeStat, len(s.nodes))
+	for _, n := range s.nodes {
+		m[n.Node] = n
+	}
+	return m
+}
+
+// Wall is the total measured execution time: the latest node Last.
+func (s *ExecStats) Wall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var w time.Duration
+	for _, n := range s.nodes {
+		if n.Last > w {
+			w = n.Last
+		}
+	}
+	return w
+}
+
+// open registers a node at stream-open time and returns its stat.
+func (s *ExecStats) open(n *plan.Node, label string) *NodeStat {
+	now := time.Now()
+	s.mu.Lock()
+	if s.T0.IsZero() {
+		s.T0 = now
+	}
+	st := &NodeStat{Node: n, Label: label, Start: now.Sub(s.T0)}
+	s.nodes = append(s.nodes, st)
+	s.mu.Unlock()
+	return st
+}
+
+// nodeLabel renders a compact node name, e.g. "scan(R1)" or
+// "hash-join{R1,R2}".
+func (e *Executor) nodeLabel(n *plan.Node) string {
+	if n.IsLeaf() {
+		return n.Access.String() + "(" + n.Relation + ")"
+	}
+	members := n.Rels.Members()
+	names := make([]string, 0, len(members))
+	for _, i := range members {
+		if i < len(e.Q.Relations) {
+			names = append(names, e.Q.Relations[i])
+		}
+	}
+	return n.Method.String() + "{" + strings.Join(names, ",") + "}"
+}
+
+// instrument wraps a node's stream in a recorder: it forwards batches
+// unchanged while noting first-output and close times and counting rows.
+// The added goroutine and channel hop exist only when stats are installed;
+// the uninstrumented path is untouched.
+func (e *Executor) instrument(n *plan.Node, in Stream) Stream {
+	st := e.Stats.open(n, e.nodeLabel(n))
+	out := make(chan Batch, 1)
+	go func() {
+		defer close(out)
+		var rows, batches int64
+		var first time.Duration
+		for b := range in {
+			if rows == 0 && len(b) > 0 {
+				first = time.Since(e.Stats.T0)
+			}
+			rows += int64(len(b))
+			batches++
+			out <- b
+		}
+		last := time.Since(e.Stats.T0)
+		e.Stats.mu.Lock()
+		st.First, st.Last, st.Rows, st.Batches = first, last, rows, batches
+		e.Stats.mu.Unlock()
+	}()
+	return out
+}

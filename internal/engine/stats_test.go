@@ -1,0 +1,125 @@
+package engine
+
+import (
+	"testing"
+
+	"paropt/internal/catalog"
+	"paropt/internal/plan"
+	"paropt/internal/query"
+	"paropt/internal/storage"
+)
+
+// statsFixture builds a 3-relation chain with data, a left-deep hash-join
+// plan, and an executor.
+func statsFixture(t *testing.T) (*Executor, *plan.Node) {
+	t.Helper()
+	cat := catalog.New()
+	for _, r := range []catalog.Relation{
+		{Name: "A", Columns: []catalog.Column{{Name: "x", NDV: 50}, {Name: "y", NDV: 20}}, Card: 500, Pages: 5},
+		{Name: "B", Columns: []catalog.Column{{Name: "y", NDV: 20}, {Name: "z", NDV: 30}}, Card: 400, Pages: 4},
+		{Name: "C", Columns: []catalog.Column{{Name: "z", NDV: 30}, {Name: "w", NDV: 10}}, Card: 300, Pages: 3},
+	} {
+		cat.MustAddRelation(r)
+	}
+	q := &query.Query{
+		Name:      "chain3",
+		Relations: []string{"A", "B", "C"},
+		Joins: []query.JoinPredicate{
+			{Left: query.ColumnRef{Relation: "A", Column: "y"}, Right: query.ColumnRef{Relation: "B", Column: "y"}},
+			{Left: query.ColumnRef{Relation: "B", Column: "z"}, Right: query.ColumnRef{Relation: "C", Column: "z"}},
+		},
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	est := plan.NewEstimator(cat, q)
+	leaf := func(rel string) *plan.Node {
+		n, err := est.Leaf(rel, plan.SeqScan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	join := func(l, r *plan.Node) *plan.Node {
+		n, err := est.Join(l, r, plan.HashJoin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	abc := join(join(leaf("A"), leaf("B")), leaf("C"))
+	db := storage.NewDatabase(cat, 42)
+	return &Executor{DB: db, Q: q}, abc
+}
+
+func TestExecStatsRecordsPerNodeDescriptors(t *testing.T) {
+	e, root := statsFixture(t)
+	stats := &ExecStats{}
+	e.Stats = stats
+	res, err := e.Execute(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := stats.Nodes()
+	if len(nodes) != 5 {
+		t.Fatalf("3 leaves + 2 joins should record 5 descriptors, got %d", len(nodes))
+	}
+	by := stats.ByNode()
+	rootStat := by[root]
+	if rootStat == nil {
+		t.Fatal("root node missing from stats")
+	}
+	if rootStat.Rows != int64(res.Len()) {
+		t.Errorf("root rows %d != result rows %d", rootStat.Rows, res.Len())
+	}
+	for _, st := range nodes {
+		if st.Last < st.Start {
+			t.Errorf("%s: last %v before start %v", st.Label, st.Last, st.Start)
+		}
+		if st.Rows > 0 && (st.First < st.Start || st.First > st.Last) {
+			t.Errorf("%s: first-output %v outside [start %v, last %v]", st.Label, st.First, st.Start, st.Last)
+		}
+		if st.Rows > 0 && st.Batches == 0 {
+			t.Errorf("%s: %d rows in 0 batches", st.Label, st.Rows)
+		}
+	}
+	// The root's tl is the execution wall time.
+	if stats.Wall() != rootStat.Last {
+		t.Errorf("wall %v != root last %v", stats.Wall(), rootStat.Last)
+	}
+	// Labels are stable and human-readable.
+	if by[root].Label != "hash-join{A,B,C}" {
+		t.Errorf("root label = %q", by[root].Label)
+	}
+}
+
+// TestExecStatsMatchesUninstrumentedResult guards the forwarding wrapper:
+// instrumentation must not change the result multiset, serial or parallel.
+func TestExecStatsMatchesUninstrumentedResult(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		e, root := statsFixture(t)
+		e.Parallel = par
+		plainRes, err := e.Execute(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Stats = &ExecStats{}
+		instrRes, err := e.Execute(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plainRes.Fingerprint() != instrRes.Fingerprint() {
+			t.Errorf("parallel=%d: instrumented result differs from plain", par)
+		}
+	}
+}
+
+func TestExecStatsDisabledIsNil(t *testing.T) {
+	e, root := statsFixture(t)
+	if e.Stats != nil {
+		t.Fatal("stats should default to nil")
+	}
+	if _, err := e.Execute(root); err != nil {
+		t.Fatal(err)
+	}
+}

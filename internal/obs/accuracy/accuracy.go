@@ -1,0 +1,200 @@
+// Package accuracy joins the cost model's predicted two-part descriptors
+// (tf, tl) against descriptors measured by an instrumented execution
+// (engine.ExecStats) — an "explain analyze" for the paper's §5 calculus.
+//
+// Predicted times are in abstract model units, actual times in seconds, so
+// the two are joined through a single calibration scale: the ratio of
+// actual to predicted response time at the plan root. After scaling, the
+// root's last-tuple error is zero by construction and every other entry's
+// relative error measures how well the model predicted the *shape* of the
+// execution — which operators dominate, where pipelines stall, how early
+// first tuples flow. Per-operator cardinality error (the classic q-error)
+// rides along, since misestimated sizes are the usual root cause of
+// misestimated times.
+package accuracy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"paropt/internal/cost"
+	"paropt/internal/engine"
+	"paropt/internal/optree"
+	"paropt/internal/plan"
+)
+
+// OpAccuracy is the predicted-vs-actual join for one join-tree node.
+type OpAccuracy struct {
+	// Label names the node ("scan(R1)", "hash-join{R1,R2}").
+	Label string `json:"label"`
+	// PredFirst and PredLast are the model's (tf, tl) in model units.
+	PredFirst float64 `json:"predFirst"`
+	PredLast  float64 `json:"predLast"`
+	// ActFirst and ActLast are the measured (tf, tl) in seconds. ActFirst
+	// is 0 when the node produced no rows.
+	ActFirst float64 `json:"actFirstSeconds"`
+	ActLast  float64 `json:"actLastSeconds"`
+	// PredFirstSec and PredLastSec are the predictions calibrated into
+	// seconds with the report scale.
+	PredFirstSec float64 `json:"predFirstSeconds"`
+	PredLastSec  float64 `json:"predLastSeconds"`
+	// RelErrFirst and RelErrLast are signed relative errors of the
+	// calibrated predictions: (pred − act)/act. Zero when unmeasurable.
+	RelErrFirst float64 `json:"relErrFirst"`
+	RelErrLast  float64 `json:"relErrLast"`
+	// EstRows and ActRows compare the cardinality model against reality;
+	// QErrRows is the q-error max(est/act, act/est) (0 when unmeasurable).
+	EstRows  int64   `json:"estRows"`
+	ActRows  int64   `json:"actRows"`
+	QErrRows float64 `json:"qErrRows"`
+	// Root marks the plan root (its RelErrLast is 0 by calibration).
+	Root bool `json:"root,omitempty"`
+}
+
+// Report is the whole plan's accuracy join.
+type Report struct {
+	// Scale is the calibration factor: seconds of actual execution per
+	// model time unit, fixed at the root.
+	Scale float64 `json:"scaleSecondsPerUnit"`
+	// WallSeconds is the measured end-to-end execution time.
+	WallSeconds float64 `json:"wallSeconds"`
+	// PredictedRT is the model's root response time (model units).
+	PredictedRT float64 `json:"predictedRT"`
+	// Ops lists per-node rows in execution (bottom-up) order.
+	Ops []OpAccuracy `json:"ops"`
+	// MeanAbsRelErr averages |RelErr| over every measurable non-root
+	// entry — the single number tracking cost-model fidelity.
+	MeanAbsRelErr float64 `json:"meanAbsRelErr"`
+	// MaxQErrRows is the worst cardinality q-error in the plan.
+	MaxQErrRows float64 `json:"maxQErrRows"`
+}
+
+// Analyze joins predicted descriptors against measured ones. mod prices the
+// operator tree root (the expansion of the executed join tree); stats is
+// the instrumented execution's collector.
+func Analyze(mod *cost.Model, root *optree.Op, stats *engine.ExecStats) *Report {
+	// Topmost operator per join-tree node: Walk visits children before
+	// parents, so the last op written for a Source is the subtree root
+	// whose cumulative descriptor corresponds to that node's output stream.
+	topOp := make(map[*plan.Node]*optree.Op)
+	root.Walk(func(op *optree.Op) {
+		if op.Source != nil {
+			topOp[op.Source] = op
+		}
+	})
+
+	nodes := stats.Nodes()
+	rep := &Report{WallSeconds: stats.Wall().Seconds()}
+
+	// Calibrate on the root: the executed tree's own node is the op tree
+	// root's Source.
+	rootDesc := mod.Descriptor(root)
+	rep.PredictedRT = rootDesc.RT()
+	var rootStat *engine.NodeStat
+	for _, st := range nodes {
+		if st.Node == root.Source {
+			rootStat = st
+		}
+	}
+	if rootStat != nil && rep.PredictedRT > 0 {
+		rep.Scale = rootStat.Last.Seconds() / rep.PredictedRT
+	}
+
+	var errSum float64
+	var errN int
+	for _, st := range nodes {
+		op := topOp[st.Node]
+		if op == nil {
+			continue
+		}
+		desc := mod.Descriptor(op)
+		oa := OpAccuracy{
+			Label:     st.Label,
+			PredFirst: desc.First.T,
+			PredLast:  desc.Last.T,
+			ActFirst:  st.First.Seconds(),
+			ActLast:   st.Last.Seconds(),
+			EstRows:   st.Node.Card,
+			ActRows:   st.Rows,
+			Root:      st.Node == root.Source,
+		}
+		if rep.Scale > 0 {
+			oa.PredFirstSec = desc.First.T * rep.Scale
+			oa.PredLastSec = desc.Last.T * rep.Scale
+			if oa.ActLast > 0 {
+				oa.RelErrLast = (oa.PredLastSec - oa.ActLast) / oa.ActLast
+			}
+			if oa.ActFirst > 0 {
+				oa.RelErrFirst = (oa.PredFirstSec - oa.ActFirst) / oa.ActFirst
+			}
+		}
+		if oa.EstRows > 0 && oa.ActRows > 0 {
+			e, a := float64(oa.EstRows), float64(oa.ActRows)
+			oa.QErrRows = math.Max(e/a, a/e)
+			if oa.QErrRows > rep.MaxQErrRows {
+				rep.MaxQErrRows = oa.QErrRows
+			}
+		}
+		if !oa.Root {
+			if oa.ActLast > 0 {
+				errSum += math.Abs(oa.RelErrLast)
+				errN++
+			}
+			if oa.ActFirst > 0 {
+				errSum += math.Abs(oa.RelErrFirst)
+				errN++
+			}
+		}
+		rep.Ops = append(rep.Ops, oa)
+	}
+	if errN > 0 {
+		rep.MeanAbsRelErr = errSum / float64(errN)
+	}
+	return rep
+}
+
+// Errors returns the |relative error| samples of the report — the values a
+// cost-model-error histogram observes. Root last-tuple error is excluded
+// (zero by calibration); unmeasurable entries are skipped.
+func (r *Report) Errors() []float64 {
+	var out []float64
+	for _, oa := range r.Ops {
+		if oa.ActLast > 0 && !oa.Root {
+			out = append(out, math.Abs(oa.RelErrLast))
+		}
+		if oa.ActFirst > 0 {
+			out = append(out, math.Abs(oa.RelErrFirst))
+		}
+	}
+	return out
+}
+
+// Table renders the report as an EXPLAIN ANALYZE style text table.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cost-model accuracy (scale: %.3g s/unit, wall %.1f ms, mean |rel err| %.2f, max q-err %.2f)\n",
+		r.Scale, r.WallSeconds*1e3, r.MeanAbsRelErr, r.MaxQErrRows)
+	fmt.Fprintf(&b, "%-24s %13s %13s %13s %13s %8s %10s %10s %8s\n",
+		"node", "pred tf (ms)", "act tf (ms)", "pred tl (ms)", "act tl (ms)", "err tl", "est rows", "act rows", "q-err")
+	ms := func(s float64) string {
+		if s == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.3f", s*1e3)
+	}
+	for _, oa := range r.Ops {
+		errTl := "-"
+		if oa.ActLast > 0 && !oa.Root {
+			errTl = fmt.Sprintf("%+.0f%%", 100*oa.RelErrLast)
+		}
+		qe := "-"
+		if oa.QErrRows > 0 {
+			qe = fmt.Sprintf("%.2f", oa.QErrRows)
+		}
+		fmt.Fprintf(&b, "%-24s %13s %13s %13s %13s %8s %10d %10d %8s\n",
+			oa.Label, ms(oa.PredFirstSec), ms(oa.ActFirst), ms(oa.PredLastSec), ms(oa.ActLast),
+			errTl, oa.EstRows, oa.ActRows, qe)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramZeroValueDefaults(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report 0")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(0.0009)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.09)
+	}
+	if h.Count() != 110 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if p50 < 0.0005 || p50 > 0.001 {
+		t.Errorf("p50 = %g, want within (0.0005, 0.001]", p50)
+	}
+	if p99 < 0.05 || p99 > 0.1 {
+		t.Errorf("p99 = %g, want within (0.05, 0.1]", p99)
+	}
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles not monotone: p50=%g p95=%g p99=%g", p50, p95, p99)
+	}
+}
+
+func TestHistogramCustomBucketsAndExposition(t *testing.T) {
+	h := NewHistogram(RelErrorBuckets)
+	h.Observe(0.3)  // le=0.5
+	h.Observe(0.02) // le=0.025
+	h.Observe(42)   // +Inf
+	var b strings.Builder
+	h.WritePrometheus(&b, "x_err", "")
+	out := b.String()
+	for _, want := range []string{
+		`x_err_bucket{le="0.025"} 1`,
+		`x_err_bucket{le="0.5"} 2`,
+		`x_err_bucket{le="10"} 2`,
+		`x_err_bucket{le="+Inf"} 3`,
+		`x_err_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Labeled form places extra labels before le and on sum/count.
+	var lb strings.Builder
+	h.WritePrometheus(&lb, "x_err", `phase="search"`)
+	lout := lb.String()
+	for _, want := range []string{
+		`x_err_bucket{phase="search",le="+Inf"} 3`,
+		`x_err_sum{phase="search"}`,
+		`x_err_count{phase="search"} 3`,
+	} {
+		if !strings.Contains(lout, want) {
+			t.Errorf("missing %q in:\n%s", want, lout)
+		}
+	}
+}
+
+func TestHistogramSum(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	if s := h.Sum(); s < 1.99 || s > 2.01 {
+		t.Errorf("sum = %g, want ~2", s)
+	}
+}

@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// discardHandler drops every record. slog.DiscardHandler exists only from
+// go1.24; this keeps the module's go1.22 floor.
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// DiscardLogger returns a logger that drops everything — the default for
+// components whose caller supplied no logger, so logging call sites need no
+// nil checks.
+func DiscardLogger() *slog.Logger { return slog.New(discardHandler{}) }

@@ -49,6 +49,32 @@ func (t *WriterTracer) Final(best *Candidate, stats Stats) {
 		best, stats.PlansConsidered, stats.PhysicalPlans, stats.MaxCoverSize, stats.Pruned)
 }
 
+// MultiTracer fans every event out to several tracers — e.g. a WriterTracer
+// capturing text for the service's explain endpoint plus a span adapter
+// feeding the request trace.
+type MultiTracer []Tracer
+
+// Layer implements Tracer.
+func (m MultiTracer) Layer(card int, subsets int, plansStored int64) {
+	for _, t := range m {
+		t.Layer(card, subsets, plansStored)
+	}
+}
+
+// Subset implements Tracer.
+func (m MultiTracer) Subset(set query.RelSet, kept int, considered int64) {
+	for _, t := range m {
+		t.Subset(set, kept, considered)
+	}
+}
+
+// Final implements Tracer.
+func (m MultiTracer) Final(best *Candidate, stats Stats) {
+	for _, t := range m {
+		t.Final(best, stats)
+	}
+}
+
 // CountingTracer accumulates events for tests and tooling.
 type CountingTracer struct {
 	Layers  []int64 // plans stored per layer

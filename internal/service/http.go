@@ -11,11 +11,15 @@ import (
 
 // HTTP surface of the daemon (stdlib net/http only):
 //
-//	POST /optimize  OptimizeRequest JSON  → OptimizeResponse JSON
-//	POST /explain   OptimizeRequest JSON  → ExplainResponse JSON
-//	POST /schema    {"ddl": "..."}        → {"catalog": "<version>"}
-//	GET  /healthz                         → liveness + uptime
-//	GET  /metrics                         → Prometheus text format
+//	POST /optimize          OptimizeRequest JSON  → OptimizeResponse JSON
+//	POST /explain           OptimizeRequest JSON  → ExplainResponse JSON
+//	                        (?trace=1 adds the DP search trace,
+//	                         ?analyze=1 executes + reports accuracy)
+//	POST /schema            {"ddl": "..."}        → {"catalog": "<version>"}
+//	GET  /healthz                                 → liveness + uptime
+//	GET  /metrics                                 → Prometheus text format
+//	GET  /debug/traces                            → retained trace IDs
+//	GET  /debug/trace/{id}                        → one request's span tree
 //
 // Error mapping: client errors (parse/validation/unknown catalog) → 400,
 // queue-full admission rejection → 429 with Retry-After, request timeout →
@@ -29,6 +33,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /schema", s.handleSchema)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	return mux
 }
 
@@ -95,6 +101,14 @@ func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
+	// URL query flags are the curl-friendly spelling of the body fields.
+	q := r.URL.Query()
+	if q.Get("trace") == "1" {
+		req.Trace = true
+	}
+	if q.Get("analyze") == "1" {
+		req.Analyze = true
+	}
 	resp, err := s.Explain(r.Context(), req)
 	if err != nil {
 		writeServiceError(w, err)
@@ -154,5 +168,22 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.WritePrometheus(w, s.pool.QueueDepth(), s.cache.Len())
+	s.met.WritePrometheus(w, s.pool.QueueDepth(), s.cache.Len(), s.tracer.Len(), time.Since(s.start))
+}
+
+func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
+	ids := s.tracer.IDs()
+	if ids == nil {
+		ids = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": ids})
+}
+
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	tr := s.tracer.Get(r.PathValue("id"))
+	if tr == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown trace %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.JSON())
 }

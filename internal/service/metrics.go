@@ -3,83 +3,27 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime"
+	"runtime/debug"
 	"sync/atomic"
+	"time"
+
+	"paropt/internal/obs"
 )
 
-// latencyBuckets are the histogram upper bounds in seconds, chosen around
-// the expected serving profile: cache hits in the tens of microseconds,
-// full searches from hundreds of microseconds (small chains) to seconds
-// (large cliques).
-var latencyBuckets = []float64{
-	0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
-	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-	0.1, 0.25, 0.5, 1, 2.5, 5, 10,
-}
+// Histogram is the general bucketed histogram (internal/obs). The zero value
+// is ready to use and adopts the default latency buckets.
+type Histogram = obs.Histogram
 
-// numLatencyBuckets must track len(latencyBuckets); checked in init.
-const numLatencyBuckets = 18
-
-func init() {
-	if len(latencyBuckets) != numLatencyBuckets {
-		panic("service: numLatencyBuckets out of sync with latencyBuckets")
-	}
-}
-
-// Histogram is a fixed-bucket latency histogram with atomic counters. The
-// zero value is ready to use.
-type Histogram struct {
-	counts [numLatencyBuckets + 1]atomic.Int64 // last bucket is +Inf
-	count  atomic.Int64
-	sumNs  atomic.Int64
-}
-
-// Observe records one latency in seconds.
-func (h *Histogram) Observe(seconds float64) {
-	i := 0
-	for i < len(latencyBuckets) && seconds > latencyBuckets[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sumNs.Add(int64(seconds * 1e9))
-}
-
-// Count is the number of observations.
-func (h *Histogram) Count() int64 { return h.count.Load() }
-
-// Sum is the total observed time in seconds.
-func (h *Histogram) Sum() float64 { return float64(h.sumNs.Load()) / 1e9 }
-
-// Quantile estimates the q-quantile (0 < q < 1) by linear interpolation
-// within the bucket containing it; 0 when nothing was observed. The +Inf
-// bucket reports its lower bound.
-func (h *Histogram) Quantile(q float64) float64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := q * float64(total)
-	var cum int64
-	for i := range h.counts {
-		n := h.counts[i].Load()
-		if float64(cum)+float64(n) >= target {
-			lo := 0.0
-			if i > 0 {
-				lo = latencyBuckets[i-1]
-			}
-			if i >= len(latencyBuckets) {
-				return lo
-			}
-			hi := latencyBuckets[i]
-			if n == 0 {
-				return hi
-			}
-			frac := (target - float64(cum)) / float64(n)
-			return lo + frac*(hi-lo)
+// buildVersion resolves the module version stamped into the binary, or
+// "dev" for test binaries and plain `go build` without VCS info.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
 		}
-		cum += n
 	}
-	return latencyBuckets[len(latencyBuckets)-1]
+	return "dev"
 }
 
 // Metrics aggregates the service counters exported at /metrics. All fields
@@ -103,23 +47,53 @@ type Metrics struct {
 	FullSearch atomic.Int64
 	Deduped    atomic.Int64
 
+	// AnalyzeRuns counts explain-analyze executions against synthetic data.
+	AnalyzeRuns atomic.Int64
+
 	// Admission control and failures.
 	Rejected atomic.Int64 // 429s: queue full
 	Errors   atomic.Int64
 
-	// Latency is the end-to-end /optimize latency histogram.
+	// Latency is the end-to-end request latency histogram.
 	Latency Histogram
+
+	// Per-phase latency: one request decomposes into parse (resolve +
+	// fingerprint), search (cache lookup through cover-set computation),
+	// select (§2 re-filtering + plan materialization), render (JSON), and —
+	// for analyze requests — execute (instrumented engine run).
+	PhaseParse   Histogram
+	PhaseSearch  Histogram
+	PhaseSelect  Histogram
+	PhaseRender  Histogram
+	PhaseExecute Histogram
+
+	// CostRelErr observes |relative error| of calibrated per-operator
+	// (tf, tl) predictions from analyze runs — the live fidelity signal of
+	// the §5 cost model. Buckets are obs.RelErrorBuckets.
+	CostRelErr Histogram
+}
+
+// ensureInit pins non-default bucket bounds; called from New and defensively
+// before rendering (a zero-value Metrics must still expose correct buckets).
+func (m *Metrics) ensureInit() {
+	m.CostRelErr.EnsureBuckets(obs.RelErrorBuckets)
 }
 
 // WritePrometheus renders the metrics in Prometheus text exposition format.
-// queueDepth and cacheLen are sampled gauges supplied by the service.
-func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen int) {
+// queueDepth, cacheLen and traces are sampled gauges supplied by the
+// service; uptime is time since the service started.
+func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen, traces int, uptime time.Duration) {
+	m.ensureInit()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 	gauge := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
 	}
+	fmt.Fprintf(w, "# HELP paroptd_build_info Build metadata; the value is always 1.\n# TYPE paroptd_build_info gauge\n")
+	fmt.Fprintf(w, "paroptd_build_info{version=%q,goversion=%q} 1\n", buildVersion(), runtime.Version())
+	fmt.Fprintf(w, "# HELP paroptd_uptime_seconds Seconds since the service started.\n# TYPE paroptd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "paroptd_uptime_seconds %g\n", uptime.Seconds())
 	fmt.Fprintf(w, "# HELP paroptd_requests_total Requests by endpoint.\n# TYPE paroptd_requests_total counter\n")
 	fmt.Fprintf(w, "paroptd_requests_total{endpoint=\"optimize\"} %d\n", m.OptimizeRequests.Load())
 	fmt.Fprintf(w, "paroptd_requests_total{endpoint=\"explain\"} %d\n", m.ExplainRequests.Load())
@@ -130,24 +104,36 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen int) {
 	counter("paroptd_cover_reuse_total", "Requests answered by re-filtering a cached cover set (no search).", m.CoverReuse.Load())
 	counter("paroptd_full_search_total", "Partial-order DP searches run.", m.FullSearch.Load())
 	counter("paroptd_deduped_total", "Requests deduplicated onto an identical in-flight search.", m.Deduped.Load())
+	counter("paroptd_analyze_total", "Explain-analyze executions against synthetic data.", m.AnalyzeRuns.Load())
 	counter("paroptd_rejected_total", "Requests rejected by admission control (429).", m.Rejected.Load())
 	counter("paroptd_errors_total", "Requests that failed.", m.Errors.Load())
 	gauge("paroptd_queue_depth", "Optimization jobs waiting in the worker-pool queue.", int64(queueDepth))
 	gauge("paroptd_cache_entries", "Plan-cache entries resident.", int64(cacheLen))
+	gauge("paroptd_traces_retained", "Request traces retained for /debug/trace.", int64(traces))
 
-	h := &m.Latency
-	fmt.Fprintf(w, "# HELP paroptd_optimize_latency_seconds End-to-end /optimize latency.\n")
+	fmt.Fprintf(w, "# HELP paroptd_optimize_latency_seconds End-to-end request latency.\n")
 	fmt.Fprintf(w, "# TYPE paroptd_optimize_latency_seconds histogram\n")
-	var cum int64
-	for i, ub := range latencyBuckets {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "paroptd_optimize_latency_seconds_bucket{le=\"%g\"} %d\n", ub, cum)
-	}
-	cum += h.counts[len(latencyBuckets)].Load()
-	fmt.Fprintf(w, "paroptd_optimize_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum)
-	fmt.Fprintf(w, "paroptd_optimize_latency_seconds_sum %g\n", h.Sum())
-	fmt.Fprintf(w, "paroptd_optimize_latency_seconds_count %d\n", h.Count())
+	m.Latency.WritePrometheus(w, "paroptd_optimize_latency_seconds", "")
 	for _, q := range []float64{0.5, 0.95, 0.99} {
-		fmt.Fprintf(w, "paroptd_optimize_latency_seconds{quantile=\"%g\"} %g\n", q, h.Quantile(q))
+		fmt.Fprintf(w, "paroptd_optimize_latency_seconds{quantile=\"%g\"} %g\n", q, m.Latency.Quantile(q))
 	}
+
+	fmt.Fprintf(w, "# HELP paroptd_phase_seconds Request latency by phase.\n")
+	fmt.Fprintf(w, "# TYPE paroptd_phase_seconds histogram\n")
+	for _, ph := range []struct {
+		name string
+		h    *Histogram
+	}{
+		{"parse", &m.PhaseParse},
+		{"search", &m.PhaseSearch},
+		{"select", &m.PhaseSelect},
+		{"render", &m.PhaseRender},
+		{"execute", &m.PhaseExecute},
+	} {
+		ph.h.WritePrometheus(w, "paroptd_phase_seconds", fmt.Sprintf("phase=%q", ph.name))
+	}
+
+	fmt.Fprintf(w, "# HELP paroptd_cost_rel_error Absolute relative error of calibrated per-operator (tf, tl) predictions, from analyze runs.\n")
+	fmt.Fprintf(w, "# TYPE paroptd_cost_rel_error histogram\n")
+	m.CostRelErr.WritePrometheus(w, "paroptd_cost_rel_error", "")
 }

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"fmt"
+	"time"
+
+	"paropt/internal/engine"
+	"paropt/internal/obs"
+	"paropt/internal/obs/accuracy"
+	"paropt/internal/query"
+	"paropt/internal/search"
+)
+
+// spanTracer bridges search.Tracer events into the request's span tree: each
+// DP layer becomes a zero-duration event span carrying its counters, and the
+// final search statistics land as attributes on the search span itself.
+type spanTracer struct{ sp *obs.Span }
+
+// Layer implements search.Tracer.
+func (t spanTracer) Layer(card int, subsets int, plansStored int64) {
+	c := t.sp.Child(fmt.Sprintf("dp-layer-%d", card))
+	c.SetAttr("subsets", subsets)
+	c.SetAttr("plansStored", plansStored)
+	c.End()
+}
+
+// Subset implements search.Tracer. Per-subset events fire in the DP's inner
+// loop; they are deliberately not recorded.
+func (t spanTracer) Subset(query.RelSet, int, int64) {}
+
+// Final implements search.Tracer.
+func (t spanTracer) Final(best *search.Candidate, stats search.Stats) {
+	t.sp.SetAttr("plansConsidered", stats.PlansConsidered)
+	t.sp.SetAttr("physicalPlans", stats.PhysicalPlans)
+	t.sp.SetAttr("maxCoverSize", stats.MaxCoverSize)
+	t.sp.SetAttr("pruned", stats.Pruned)
+}
+
+// graftAnalyze grafts an instrumented execution under the execute span: one
+// child span per join-tree node whose (start, first-output, end) are the
+// measured runtime descriptor, annotated with the calibrated predictions so
+// the trace tree shows predicted vs actual (tf, tl) side by side.
+func graftAnalyze(sp *obs.Span, rep *accuracy.Report, stats *engine.ExecStats) {
+	if sp == nil {
+		return
+	}
+	byLabel := make(map[string]accuracy.OpAccuracy, len(rep.Ops))
+	for _, oa := range rep.Ops {
+		byLabel[oa.Label] = oa
+	}
+	t0 := stats.T0
+	for _, st := range stats.Nodes() {
+		c := sp.Child(st.Label)
+		var first time.Time
+		if st.Rows > 0 {
+			first = t0.Add(st.First)
+		}
+		c.SetTimes(t0.Add(st.Start), first, t0.Add(st.Last))
+		c.SetAttr("rows", st.Rows)
+		c.SetAttr("batches", st.Batches)
+		if oa, ok := byLabel[st.Label]; ok {
+			c.SetAttr("predTfMicros", int64(oa.PredFirstSec*1e6))
+			c.SetAttr("predTlMicros", int64(oa.PredLastSec*1e6))
+			c.SetAttr("estRows", oa.EstRows)
+			if !oa.Root && oa.ActLast > 0 {
+				c.SetAttr("relErrTl", fmt.Sprintf("%+.2f", oa.RelErrLast))
+			}
+		}
+	}
+}

@@ -21,10 +21,12 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"time"
@@ -32,9 +34,12 @@ import (
 	"paropt/internal/catalog"
 	"paropt/internal/core"
 	"paropt/internal/machine"
+	"paropt/internal/obs"
+	"paropt/internal/obs/accuracy"
 	"paropt/internal/parser"
 	"paropt/internal/query"
 	"paropt/internal/search"
+	"paropt/internal/storage"
 )
 
 // ErrOverloaded is returned when the worker-pool queue is full; HTTP maps
@@ -80,16 +85,31 @@ type Config struct {
 	// 30s. The search itself is not preempted on timeout — it completes in
 	// the worker and populates the cache for later requests.
 	RequestTimeout time.Duration
+	// TraceCapacity sizes the ring of request traces retained for the
+	// /debug/trace endpoints. 0 means the default (256); negative disables
+	// tracing entirely (requests then carry no trace ID and the traced
+	// code paths allocate nothing).
+	TraceCapacity int
+	// Logger receives structured per-request log lines (request ID,
+	// fingerprint, cache outcome, latency). Nil discards them.
+	Logger *slog.Logger
+	// DataSeed seeds the deterministic synthetic database analyze requests
+	// execute against; 0 means 1. One database is generated per catalog
+	// version on first use.
+	DataSeed int64
 }
 
 // cacheEntry is one plan-cache value: the optimization session pinned to
 // the canonical query instance the cover set was computed for, plus the
 // reusable cover set. Materialization must go through entry.opt (not a
 // per-request optimizer) because the frontier's plan nodes index relations
-// in that query instance's declaration order.
+// in that query instance's declaration order. searchTrace is the DP trace
+// text captured while the cover set was computed, so trace-requesting
+// explains are answered on cache hits too.
 type cacheEntry struct {
-	opt   *core.Optimizer
-	cover *core.CoverSet
+	opt         *core.Optimizer
+	cover       *core.CoverSet
+	searchTrace string
 }
 
 // Service is the optimizer daemon. Safe for concurrent use.
@@ -106,8 +126,16 @@ type Service struct {
 	flights flightGroup
 	pool    *workerPool
 	met     Metrics
+	tracer  *obs.Tracer
+	logger  *slog.Logger
 	start   time.Time
 	closed  bool
+
+	// dbMu guards dbs, the per-catalog-version synthetic databases analyze
+	// requests execute against (generated lazily, kept for reuse). A
+	// separate mutex so generation never blocks the serving path's s.mu.
+	dbMu sync.Mutex
+	dbs  map[string]*storage.Database
 
 	// searchHook, when non-nil, runs at the start of every search on the
 	// worker goroutine — a test hook that makes overload and timeout
@@ -141,13 +169,25 @@ func New(cfg Config) (*Service, error) {
 	if cfg.RequestTimeout <= 0 {
 		cfg.RequestTimeout = 30 * time.Second
 	}
+	if cfg.DataSeed == 0 {
+		cfg.DataSeed = 1
+	}
 	s := &Service{
 		cfg:      cfg,
 		mcfg:     mcfg,
 		catalogs: make(map[string]*catalog.Catalog),
 		pool:     newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		logger:   cfg.Logger,
+		dbs:      make(map[string]*storage.Database),
 		start:    time.Now(),
 	}
+	if s.logger == nil {
+		s.logger = obs.DiscardLogger()
+	}
+	if cfg.TraceCapacity >= 0 {
+		s.tracer = obs.NewTracer(cfg.TraceCapacity)
+	}
+	s.met.ensureInit()
 	s.cache = newPlanCache(cfg.CacheShards, cfg.CacheCapacity, func() { s.met.Evictions.Add(1) })
 	s.sessKey = fmt.Sprintf("m=%dc%dd%dn,cs%g,ds%g,ns%g,agg%t|alg=%d,cover=%d,mem=%d",
 		mcfg.CPUs, mcfg.Disks, mcfg.Networks, mcfg.CPUSpeed, mcfg.DiskSpeed, mcfg.NetSpeed,
@@ -171,6 +211,9 @@ func (s *Service) Close() {
 
 // Metrics exposes the service counters (read-only use expected).
 func (s *Service) Metrics() *Metrics { return &s.met }
+
+// Tracer exposes the request-trace ring, or nil when tracing is disabled.
+func (s *Service) Tracer() *obs.Tracer { return s.tracer }
 
 // CacheLen is the resident plan-cache entry count.
 func (s *Service) CacheLen() int { return s.cache.Len() }
@@ -221,6 +264,17 @@ type OptimizeRequest struct {
 	K float64 `json:"k,omitempty"`
 	// CostBenefit, when > 0, applies the §2 cost–benefit bound instead.
 	CostBenefit float64 `json:"costBenefit,omitempty"`
+	// Trace includes the DP search trace text in Explain responses (also
+	// settable as ?trace=1 on POST /explain). Cache hits return the trace
+	// captured when the cover set was computed.
+	Trace bool `json:"trace,omitempty"`
+	// Analyze (Explain only; ?analyze=1) executes the chosen plan against
+	// deterministic synthetic data and reports per-operator predicted vs
+	// actual (tf, tl) descriptors with relative errors.
+	Analyze bool `json:"analyze,omitempty"`
+	// AnalyzeParallel is the engine parallelism for Analyze; 0 means the
+	// machine's CPU count.
+	AnalyzeParallel int `json:"analyzeParallel,omitempty"`
 }
 
 // bound maps the request knobs to a §2 bound (nil = unbounded).
@@ -265,6 +319,9 @@ type OptimizeResponse struct {
 	Plan json.RawMessage `json:"plan"`
 	// ElapsedMicros is the service-side latency.
 	ElapsedMicros int64 `json:"elapsedMicros"`
+	// TraceID identifies this request's span tree; fetch it from
+	// /debug/trace/{id}. Empty when tracing is disabled.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // ExplainResponse extends OptimizeResponse with human-readable renderings.
@@ -276,6 +333,12 @@ type ExplainResponse struct {
 	// Breakdown is the per-operator cost-breakdown table (resource demands
 	// and cumulative descriptors).
 	Breakdown string `json:"breakdown"`
+	// SearchTrace is the DP search trace text (requests with Trace set).
+	SearchTrace string `json:"searchTrace,omitempty"`
+	// Analyze is the predicted-vs-actual accuracy report and AnalyzeTable
+	// its text rendering (requests with Analyze set).
+	Analyze      *accuracy.Report `json:"analyze,omitempty"`
+	AnalyzeTable string           `json:"analyzeTable,omitempty"`
 }
 
 // resolve parses the request against its catalog and builds the cache key.
@@ -328,19 +391,27 @@ func (s *Service) entryFor(ctx context.Context, key string, cat *catalog.Catalog
 		if e, ok := s.cache.Get(key); ok {
 			return e, nil
 		}
+		// The search span lives on the flight leader's trace; followers
+		// see only their own wait. The worker ends it, so a leader that
+		// times out still gets the span's true extent recorded.
+		_, sp := obs.StartSpan(ctx, "search")
 		type result struct {
 			e   *cacheEntry
 			err error
 		}
 		ch := make(chan result, 1)
 		if !s.pool.TrySubmit(func() {
-			e, err := s.runSearch(cat, q)
+			e, err := s.runSearch(cat, q, sp)
+			sp.Err(err)
+			sp.End()
 			if err == nil {
 				s.cache.Put(key, e)
 			}
 			ch <- result{e, err}
 		}) {
 			s.met.Rejected.Add(1)
+			sp.Err(ErrOverloaded)
+			sp.End()
 			return nil, ErrOverloaded
 		}
 		select {
@@ -358,17 +429,26 @@ func (s *Service) entryFor(ctx context.Context, key string, cat *catalog.Catalog
 	return e, false, deduped, err
 }
 
-// runSearch builds a session and computes the reusable cover set.
-func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query) (*cacheEntry, error) {
+// runSearch builds a session and computes the reusable cover set. The DP is
+// always observed by a text tracer (the trace rides the cache entry for
+// trace-requesting explains) and, when sp is live, by a span adapter feeding
+// the request trace.
+func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query, sp *obs.Span) (*cacheEntry, error) {
 	if hook := s.searchHook; hook != nil {
 		hook()
 	}
 	s.met.FullSearch.Add(1)
+	var buf bytes.Buffer
+	trace := search.MultiTracer{&search.WriterTracer{W: &buf}}
+	if sp != nil {
+		trace = append(trace, spanTracer{sp})
+	}
 	opt, err := core.NewOptimizer(cat, q, core.Config{
 		Machine:     s.mcfg,
 		Algorithm:   s.cfg.Algorithm,
 		CoverCap:    s.cfg.CoverCap,
 		MemoryPages: s.cfg.MemoryPages,
+		Trace:       trace,
 	})
 	if err != nil {
 		return nil, badRequestError{err}
@@ -377,7 +457,8 @@ func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query) (*cacheEntry, 
 	if err != nil {
 		return nil, err
 	}
-	return &cacheEntry{opt: opt, cover: cover}, nil
+	sp.SetAttr("frontier", len(cover.Frontier))
+	return &cacheEntry{opt: opt, cover: cover, searchTrace: buf.String()}, nil
 }
 
 // Optimize serves one request: parse, fingerprint, cache lookup or search,
@@ -385,34 +466,70 @@ func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query) (*cacheEntry, 
 func (s *Service) Optimize(ctx context.Context, req OptimizeRequest) (*OptimizeResponse, error) {
 	start := time.Now()
 	s.met.OptimizeRequests.Add(1)
-	resp, _, err := s.serve(ctx, &req, start)
-	return resp, err
-}
-
-// Explain serves one request and additionally renders the chosen operator
-// tree with its cost breakdown.
-func (s *Service) Explain(ctx context.Context, req OptimizeRequest) (*ExplainResponse, error) {
-	start := time.Now()
-	s.met.ExplainRequests.Add(1)
-	resp, plan, err := s.serve(ctx, &req, start)
+	resp, served, err := s.serve(ctx, &req, start, "optimize")
 	if err != nil {
 		return nil, err
 	}
-	return &ExplainResponse{
-		OptimizeResponse: *resp,
-		Text:             plan.entry.opt.Explain(plan.plan),
-		Breakdown:        plan.entry.opt.Mod.BreakdownTable(plan.plan.Op),
-	}, nil
+	s.finishRequest(served, "optimize", resp)
+	return resp, nil
 }
 
-// servedPlan carries the materialized plan alongside the response for
-// Explain.
+// Explain serves one request and additionally renders the chosen operator
+// tree with its cost breakdown, the DP search trace (req.Trace), and the
+// predicted-vs-actual accuracy report of an instrumented execution
+// (req.Analyze).
+func (s *Service) Explain(ctx context.Context, req OptimizeRequest) (*ExplainResponse, error) {
+	start := time.Now()
+	s.met.ExplainRequests.Add(1)
+	resp, served, err := s.serve(ctx, &req, start, "explain")
+	if err != nil {
+		return nil, err
+	}
+	out := &ExplainResponse{
+		OptimizeResponse: *resp,
+		Text:             served.entry.opt.Explain(served.plan),
+		Breakdown:        served.entry.opt.Mod.BreakdownTable(served.plan.Op),
+	}
+	if req.Trace {
+		out.SearchTrace = served.entry.searchTrace
+	}
+	if req.Analyze {
+		if err := s.analyze(&req, served, out); err != nil {
+			s.met.Errors.Add(1)
+			served.root.Err(err)
+			served.root.End()
+			s.logger.Warn("explain analyze failed", "id", resp.TraceID, "err", err)
+			return nil, err
+		}
+	}
+	out.ElapsedMicros = time.Since(start).Microseconds()
+	s.finishRequest(served, "explain", &out.OptimizeResponse)
+	return out, nil
+}
+
+// servedPlan carries the materialized plan — and the request's trace — from
+// serve to the endpoint finishing the response.
 type servedPlan struct {
 	plan  *core.Plan
 	entry *cacheEntry
+	trace *obs.Trace
+	root  *obs.Span
 }
 
-func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Time) (*OptimizeResponse, *servedPlan, error) {
+// finishRequest closes the request's root span and emits the structured
+// per-request log line.
+func (s *Service) finishRequest(p *servedPlan, kind string, resp *OptimizeResponse) {
+	p.root.End()
+	s.logger.Info(kind,
+		"id", resp.TraceID,
+		"fingerprint", resp.Fingerprint,
+		"catalog", resp.Catalog,
+		"cache", resp.Cache,
+		"coverSize", resp.CoverSize,
+		"elapsedMicros", resp.ElapsedMicros)
+}
+
+func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Time, kind string) (*OptimizeResponse, *servedPlan, error) {
 	s.mu.RLock()
 	closed := s.closed
 	s.mu.RUnlock()
@@ -422,23 +539,59 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
 	defer cancel()
 
+	// Root span of the request; phase child spans hang off it and the
+	// search span joins via the context (entryFor). Everything is nil-safe,
+	// so a disabled tracer costs nothing here.
+	tr, root := s.tracer.Start(kind)
+	ctx = obs.ContextWithSpan(ctx, root)
+
 	fail := func(err error) (*OptimizeResponse, *servedPlan, error) {
 		s.met.Errors.Add(1)
+		root.Err(err)
+		root.End()
+		s.logger.Warn(kind+" failed", "id", tr.ID(), "err", err)
 		return nil, nil, err
 	}
+	t := time.Now()
+	sp := root.Child("parse")
 	cat, version, q, fp, key, err := s.resolve(req)
+	sp.End()
+	s.met.PhaseParse.Observe(time.Since(t).Seconds())
 	if err != nil {
 		return fail(err)
 	}
+	root.SetAttr("fingerprint", fp)
+	root.SetAttr("catalog", version)
+
+	t = time.Now()
 	entry, hit, deduped, err := s.entryFor(ctx, key, cat, q)
+	s.met.PhaseSearch.Observe(time.Since(t).Seconds())
 	if err != nil {
 		return fail(err)
 	}
+	if hit {
+		root.SetAttr("cache", "hit")
+	} else {
+		root.SetAttr("cache", "miss")
+	}
+	if deduped {
+		root.SetAttr("deduped", true)
+	}
+
+	t = time.Now()
+	sp = root.Child("select")
 	plan, err := entry.opt.SelectBounded(entry.cover, req.bound())
+	sp.End()
+	s.met.PhaseSelect.Observe(time.Since(t).Seconds())
 	if err != nil {
 		return fail(err)
 	}
+
+	t = time.Now()
+	sp = root.Child("render")
 	planJSON, err := entry.opt.ExplainJSON(plan)
+	sp.End()
+	s.met.PhaseRender.Observe(time.Since(t).Seconds())
 	if err != nil {
 		return fail(err)
 	}
@@ -451,6 +604,7 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 		CoverSize:      len(entry.cover.Frontier),
 		Summary:        PlanSummary{ResponseTime: plan.RT(), Work: plan.Work()},
 		Plan:           planJSON,
+		TraceID:        tr.ID(),
 	}
 	if hit {
 		resp.Cache = "hit"
@@ -463,5 +617,67 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 	}
 	resp.ElapsedMicros = time.Since(start).Microseconds()
 	s.met.Latency.Observe(time.Since(start).Seconds())
-	return resp, &servedPlan{plan: plan, entry: entry}, nil
+	return resp, &servedPlan{plan: plan, entry: entry, trace: tr, root: root}, nil
+}
+
+// analyzeMaxRows bounds the synthetic data an analyze request may generate
+// and join — an admission guard, since execution happens inline.
+const analyzeMaxRows = 4 << 20
+
+// analyzeDB returns the synthetic database for a catalog version, generating
+// it on first use.
+func (s *Service) analyzeDB(version string, cat *catalog.Catalog) (*storage.Database, error) {
+	var rows int64
+	for _, name := range cat.RelationNames() {
+		rows += cat.MustRelation(name).Card
+	}
+	if rows > analyzeMaxRows {
+		return nil, badRequestError{fmt.Errorf("service: analyze refused: catalog has %d base rows (limit %d)", rows, int64(analyzeMaxRows))}
+	}
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	if db, ok := s.dbs[version]; ok {
+		return db, nil
+	}
+	db := storage.NewDatabase(cat, s.cfg.DataSeed)
+	s.dbs[version] = db
+	return db, nil
+}
+
+// analyze executes the served plan with engine instrumentation, joins the
+// measured descriptors against the cost model's predictions, grafts the
+// per-operator timings into the request trace, and feeds the cost-model
+// error histogram.
+func (s *Service) analyze(req *OptimizeRequest, served *servedPlan, out *ExplainResponse) error {
+	t := time.Now()
+	sp := served.root.Child("execute")
+	db, err := s.analyzeDB(out.Catalog, served.entry.opt.Cat)
+	if err != nil {
+		sp.Err(err)
+		sp.End()
+		return err
+	}
+	par := req.AnalyzeParallel
+	if par <= 0 {
+		par = s.mcfg.CPUs
+	}
+	if par < 1 {
+		par = 1
+	}
+	sp.SetAttr("parallel", par)
+	rep, stats, err := served.entry.opt.Analyze(served.plan, db, par)
+	sp.Err(err)
+	sp.End()
+	s.met.PhaseExecute.Observe(time.Since(t).Seconds())
+	if err != nil {
+		return err
+	}
+	graftAnalyze(sp, rep, stats)
+	for _, e := range rep.Errors() {
+		s.met.CostRelErr.Observe(e)
+	}
+	s.met.AnalyzeRuns.Add(1)
+	out.Analyze = rep
+	out.AnalyzeTable = rep.Table()
+	return nil
 }

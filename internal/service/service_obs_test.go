@@ -1,0 +1,292 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"paropt/internal/obs"
+)
+
+// findSpan walks a rendered trace tree for a span by name (depth-first).
+func findSpan(s *obs.SpanJSON, name string) *obs.SpanJSON {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if hit := findSpan(c, name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
+func TestOptimizeProducesTraceTree(t *testing.T) {
+	s := newTestService(t, nil)
+	ctx := context.Background()
+
+	miss, err := s.Optimize(ctx, OptimizeRequest{Query: chainSQL(6, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.TraceID == "" {
+		t.Fatal("tracing is on by default; response should carry a trace ID")
+	}
+	tr := s.Tracer().Get(miss.TraceID)
+	if tr == nil {
+		t.Fatalf("trace %q not retained", miss.TraceID)
+	}
+	j := tr.JSON()
+	if j.Root.Name != "optimize" {
+		t.Errorf("root span = %q, want optimize", j.Root.Name)
+	}
+	if j.Root.EndMicros < 0 {
+		t.Error("root span should be closed after the response")
+	}
+	for _, phase := range []string{"parse", "search", "select", "render"} {
+		sp := findSpan(j.Root, phase)
+		if sp == nil {
+			t.Errorf("trace missing %q span", phase)
+			continue
+		}
+		if sp.EndMicros < 0 {
+			t.Errorf("%q span left open", phase)
+		}
+	}
+	// The search span carries DP events and counters from the span tracer.
+	search := findSpan(j.Root, "search")
+	if search != nil {
+		if search.Attrs["plansConsidered"] == "" || search.Attrs["frontier"] == "" {
+			t.Errorf("search span missing DP counters: %v", search.Attrs)
+		}
+		if findSpan(search, "dp-layer-2") == nil {
+			t.Error("search span should contain per-layer DP event spans")
+		}
+	}
+	if j.Root.Attrs["cache"] != "miss" || j.Root.Attrs["fingerprint"] == "" {
+		t.Errorf("root attrs = %v", j.Root.Attrs)
+	}
+
+	hit, err := s.Optimize(ctx, OptimizeRequest{Query: chainSQL(6, 8), K: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.TraceID == miss.TraceID {
+		t.Error("each request gets its own trace")
+	}
+	hj := s.Tracer().Get(hit.TraceID).JSON()
+	if hj.Root.Attrs["cache"] != "hit" {
+		t.Errorf("second request should trace as a hit: %v", hj.Root.Attrs)
+	}
+	if findSpan(hj.Root, "search") != nil {
+		t.Error("cache hit should not contain a search span")
+	}
+	if got := s.Tracer().Len(); got != 2 {
+		t.Errorf("tracer retains %d traces, want 2", got)
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	s := newTestService(t, func(c *Config) { c.TraceCapacity = -1 })
+	resp, err := s.Optimize(context.Background(), OptimizeRequest{Query: chainSQL(3, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != "" {
+		t.Errorf("disabled tracing should yield no trace ID, got %q", resp.TraceID)
+	}
+	if s.Tracer() != nil {
+		t.Error("Tracer() should be nil when disabled")
+	}
+	// Phase metrics still work without a tracer.
+	if s.met.PhaseParse.Count() == 0 || s.met.PhaseSearch.Count() == 0 {
+		t.Error("phase histograms should observe even with tracing disabled")
+	}
+}
+
+func TestExplainSearchTraceSurvivesCacheHits(t *testing.T) {
+	s := newTestService(t, nil)
+	ctx := context.Background()
+	req := OptimizeRequest{Query: chainSQL(6, 7), Trace: true}
+
+	miss, err := s.Explain(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(miss.SearchTrace, "layer 2:") || !strings.Contains(miss.SearchTrace, "best:") {
+		t.Errorf("search trace missing DP layers/final:\n%s", miss.SearchTrace)
+	}
+	hit, err := s.Explain(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Cache != "hit" {
+		t.Fatalf("second explain should hit the cache, got %q", hit.Cache)
+	}
+	if hit.SearchTrace != miss.SearchTrace {
+		t.Error("cache hits should return the trace captured at search time")
+	}
+	// Without the flag the trace stays out of the payload.
+	plain, err := s.Explain(ctx, OptimizeRequest{Query: chainSQL(6, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.SearchTrace != "" {
+		t.Error("trace text should be opt-in")
+	}
+}
+
+func TestExplainAnalyzeJoinsPredictedAndActual(t *testing.T) {
+	s := newTestService(t, nil)
+	ctx := context.Background()
+
+	out, err := s.Explain(ctx, OptimizeRequest{Query: chainSQL(6, 7), Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.Analyze
+	if rep == nil {
+		t.Fatal("analyze=1 should attach an accuracy report")
+	}
+	if len(rep.Ops) != 11 {
+		t.Errorf("6-relation chain: 6 scans + 5 joins = 11 ops, got %d", len(rep.Ops))
+	}
+	if rep.Scale <= 0 || rep.WallSeconds <= 0 {
+		t.Errorf("degenerate calibration: scale %g, wall %gs", rep.Scale, rep.WallSeconds)
+	}
+	if !strings.Contains(out.AnalyzeTable, "cost-model accuracy") {
+		t.Errorf("analyze table missing header:\n%s", out.AnalyzeTable)
+	}
+	// The error histogram saw the report's samples.
+	if got := s.met.CostRelErr.Count(); got != int64(len(rep.Errors())) {
+		t.Errorf("cost-error histogram has %d samples, report has %d", got, len(rep.Errors()))
+	}
+	if s.met.CostRelErr.Count() == 0 {
+		t.Error("a real execution should produce error samples")
+	}
+	if s.met.PhaseExecute.Count() != 1 || s.met.AnalyzeRuns.Load() != 1 {
+		t.Error("execute phase and analyze counter should record the run")
+	}
+
+	// The trace tree shows per-operator predicted vs actual descriptors.
+	j := s.Tracer().Get(out.TraceID).JSON()
+	exec := findSpan(j.Root, "execute")
+	if exec == nil {
+		t.Fatal("trace missing execute span")
+	}
+	if len(exec.Children) != len(rep.Ops) {
+		t.Fatalf("execute span has %d operator children, want %d", len(exec.Children), len(rep.Ops))
+	}
+	scan := findSpan(exec, "scan(R1)")
+	if scan == nil {
+		t.Fatal("execute span missing scan(R1) operator")
+	}
+	for _, attr := range []string{"rows", "predTfMicros", "predTlMicros", "estRows"} {
+		if scan.Attrs[attr] == "" {
+			t.Errorf("operator span missing %q attr: %v", attr, scan.Attrs)
+		}
+	}
+
+	// A second analyze reuses the generated database.
+	if _, err := s.Explain(ctx, OptimizeRequest{Query: chainSQL(6, 8), Analyze: true}); err != nil {
+		t.Fatal(err)
+	}
+	s.dbMu.Lock()
+	n := len(s.dbs)
+	s.dbMu.Unlock()
+	if n != 1 {
+		t.Errorf("one catalog version should generate one database, got %d", n)
+	}
+}
+
+func TestHTTPDebugTraceEndpoints(t *testing.T) {
+	_, srv := newTestServer(t, nil)
+
+	// ?analyze=1&trace=1 are the query-param spellings of the body fields.
+	resp, body := postJSON(t, srv.URL+"/explain?analyze=1&trace=1", OptimizeRequest{Query: chainSQL(6, 7)})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain?analyze=1: %d: %s", resp.StatusCode, body)
+	}
+	var exp ExplainResponse
+	if err := json.Unmarshal(body, &exp); err != nil {
+		t.Fatal(err)
+	}
+	if exp.Analyze == nil || exp.AnalyzeTable == "" {
+		t.Error("?analyze=1 should attach the accuracy report")
+	}
+	if exp.SearchTrace == "" {
+		t.Error("?trace=1 should attach the search trace")
+	}
+	if exp.TraceID == "" {
+		t.Fatal("response should carry a trace ID")
+	}
+
+	resp, body = getBody(t, srv.URL+"/debug/traces")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/traces: %d", resp.StatusCode)
+	}
+	var list struct {
+		Traces []string `json:"traces"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Traces) != 1 || list.Traces[0] != exp.TraceID {
+		t.Errorf("trace listing = %v, want [%s]", list.Traces, exp.TraceID)
+	}
+
+	resp, body = getBody(t, srv.URL+"/debug/trace/"+exp.TraceID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("debug/trace/{id}: %d: %s", resp.StatusCode, body)
+	}
+	var tj obs.TraceJSON
+	if err := json.Unmarshal(body, &tj); err != nil {
+		t.Fatal(err)
+	}
+	if tj.ID != exp.TraceID || tj.Root == nil || tj.Root.Name != "explain" {
+		t.Errorf("unexpected trace payload: id=%s root=%+v", tj.ID, tj.Root)
+	}
+	if findSpan(tj.Root, "execute") == nil {
+		t.Error("served trace should include the execute span")
+	}
+
+	resp, _ = getBody(t, srv.URL+"/debug/trace/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace should 404, got %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPDebugTraceDisabled(t *testing.T) {
+	_, srv := newTestServer(t, func(c *Config) { c.TraceCapacity = -1 })
+	resp, body := getBody(t, srv.URL+"/debug/traces")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"traces": []`) {
+		t.Errorf("disabled tracing should list no traces: %d: %s", resp.StatusCode, body)
+	}
+	resp, _ = getBody(t, srv.URL+"/debug/trace/any")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled tracing: any trace ID should 404, got %d", resp.StatusCode)
+	}
+}
+
+func TestAnalyzeRefusesOversizedCatalogs(t *testing.T) {
+	s := newTestService(t, nil)
+	const bigDDL = `
+relation BIG card=10000000 pages=100000 disk=0
+column BIG.a ndv=1000
+relation TINY card=10 pages=1 disk=1
+column TINY.a ndv=1000
+`
+	_, err := s.Explain(context.Background(), OptimizeRequest{
+		Query:   "SELECT * FROM BIG, TINY WHERE BIG.a = TINY.a",
+		Schema:  bigDDL,
+		Analyze: true,
+	})
+	if err == nil || !strings.Contains(err.Error(), "analyze refused") {
+		t.Fatalf("oversized catalog should be refused, got %v", err)
+	}
+}
