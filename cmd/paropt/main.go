@@ -6,6 +6,13 @@
 //	       [-alg podp|podp-bushy|work|naive-rt|brute|brute-bushy|two-phase|anneal]
 //	       [-cpus 4] [-disks 4] [-k 0] [-costbenefit 0] [-simulate] [-analyze]
 //	       [-schema schema.ddl -query "SELECT ... FROM ... WHERE ..."]
+//	paropt replay [-addr http://host:7077 | -workload ...] [-strict] <log.jsonl>
+//	paropt workload [-top 20] [-by traffic|latency|drift] <log.jsonl>
+//
+// The replay and workload subcommands consume the JSONL query log a daemon
+// writes with -query-log: replay re-executes the recorded requests (against
+// a daemon or in-process) and reports plan-choice and latency deltas;
+// workload renders the per-template traffic/latency/drift report offline.
 //
 // -k sets the §2 throughput-degradation factor (0 = unbounded);
 // -costbenefit sets the cost–benefit ratio bound instead. With -schema and
@@ -29,6 +36,18 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch; anything else is the classic flag-driven
+	// one-shot optimizer invocation.
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "replay":
+			replayMain(os.Args[2:])
+			return
+		case "workload":
+			workloadMain(os.Args[2:])
+			return
+		}
+	}
 	wl := flag.String("workload", "portfolio", "portfolio, tpch, chain, star, cycle or clique")
 	schemaFile := flag.String("schema", "", "schema DDL file (overrides -workload; requires -query)")
 	queryText := flag.String("query", "", "SQL-ish SELECT text (requires -schema)")

@@ -9,20 +9,31 @@
 //	        [-workers N] [-queue 64] [-cache 512] [-shards 8]
 //	        [-timeout 30s] [-beam 0] [-traces 256] [-log text|json|none]
 //	        [-debug-addr localhost:7078]
+//	        [-query-log q.jsonl] [-profiles 4096] [-negcache 256]
+//	        [-sweep 1m] [-drift-threshold 2] [-sweep-limit 4]
 //
 // Endpoints:
 //
 //	POST /optimize          {"query": "SELECT ...", "k": 1.5}  → plan JSON
 //	POST /explain           same request (?trace=1 ?analyze=1) → plan + report
 //	POST /schema            {"ddl": "relation R card=1000 ..."}→ catalog version
+//	                        ("default": true makes it the default — the
+//	                         statistics-refresh path the sweeper reacts to)
 //	GET  /healthz                                              → liveness
 //	GET  /metrics                                              → Prometheus text
 //	GET  /debug/traces                                         → trace IDs
 //	GET  /debug/trace/{id}                                     → one span tree
+//	GET  /debug/workload                                       → per-template profiles
 //
 // The default catalog comes from -schema (DDL file) or -workload; requests
 // can also carry inline "schema" DDL or a registered "catalog" version.
 // SIGINT/SIGTERM drain in-flight requests before exit.
+//
+// Workload analytics: every served request feeds the per-fingerprint
+// profiler behind /debug/workload and, with -query-log, an append-only JSONL
+// log that `paropt replay` re-executes and `paropt workload` summarizes.
+// With -sweep, a background sweeper re-optimizes hot templates whose
+// explain-analyze accuracy has drifted past -drift-threshold.
 //
 // -debug-addr starts a second listener serving net/http/pprof under
 // /debug/pprof/ — kept off the service port so profiling is never exposed
@@ -44,6 +55,7 @@ import (
 
 	"paropt"
 	"paropt/internal/machine"
+	"paropt/internal/obs/workload"
 	"paropt/internal/parser"
 )
 
@@ -66,6 +78,14 @@ func main() {
 	logMode := flag.String("log", "text", "request log format on stderr: text, json or none")
 	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = disabled)")
 	dataSeed := flag.Int64("data-seed", 1, "seed for the synthetic data analyze requests execute against")
+	queryLog := flag.String("query-log", "", "append-only JSONL query log file (empty = disabled); feed it to `paropt replay` / `paropt workload`")
+	queryLogMax := flag.Int64("query-log-max-bytes", 0, "rotate the query log beyond this size (0 = 64 MiB)")
+	profiles := flag.Int("profiles", 0, "per-fingerprint workload profiles tracked for /debug/workload (0 = 4096, negative disables)")
+	driftThreshold := flag.Float64("drift-threshold", 0, "EWMA row q-error above which a cached plan counts as drifted (0 = 2)")
+	driftSamples := flag.Int("drift-samples", 0, "minimum analyze accuracy samples before marking drift (0 = 2)")
+	sweep := flag.Duration("sweep", 0, "drift-sweeper interval: re-optimize drifted hot templates in the background (0 = disabled)")
+	sweepLimit := flag.Int("sweep-limit", 0, "max re-optimizations per sweeper pass (0 = 4)")
+	negCache := flag.Int("negcache", 0, "negative-cache capacity for parse/resolve failures (0 = 256, negative disables)")
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -93,19 +113,41 @@ func main() {
 		log.Fatalf("paroptd: %v", err)
 	}
 
+	var qlog *workload.Log
+	if *queryLog != "" {
+		qlog, err = workload.NewLog(*queryLog, *queryLogMax)
+		if err != nil {
+			log.Fatalf("paroptd: %v", err)
+		}
+		// Closed after svc.Close() so every served request is flushed.
+		defer func() {
+			if err := qlog.Close(); err != nil {
+				log.Printf("paroptd: query log: %v", err)
+			}
+		}()
+		log.Printf("paroptd: query log at %s", *queryLog)
+	}
+
 	svc, err := paropt.NewService(paropt.ServiceConfig{
-		Catalog:        cat,
-		Machine:        machine.Config{CPUs: *cpus, Disks: *disks, Networks: *networks, AggregateDisks: *aggDisks},
-		Algorithm:      algorithm,
-		CoverCap:       *beam,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheShards:    *shards,
-		CacheCapacity:  *cacheCap,
-		RequestTimeout: *timeout,
-		TraceCapacity:  *traces,
-		Logger:         logger,
-		DataSeed:       *dataSeed,
+		Catalog:          cat,
+		Machine:          machine.Config{CPUs: *cpus, Disks: *disks, Networks: *networks, AggregateDisks: *aggDisks},
+		Algorithm:        algorithm,
+		CoverCap:         *beam,
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		CacheShards:      *shards,
+		CacheCapacity:    *cacheCap,
+		RequestTimeout:   *timeout,
+		TraceCapacity:    *traces,
+		Logger:           logger,
+		DataSeed:         *dataSeed,
+		QueryLog:         qlog,
+		WorkloadCapacity: *profiles,
+		DriftThreshold:   *driftThreshold,
+		SweepMinSamples:  *driftSamples,
+		SweepInterval:    *sweep,
+		SweepLimit:       *sweepLimit,
+		NegCacheCapacity: *negCache,
 	})
 	if err != nil {
 		log.Fatalf("paroptd: %v", err)

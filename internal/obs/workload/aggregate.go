@@ -1,0 +1,25 @@
+package workload
+
+// Aggregate folds query-log records into profiles — the offline counterpart
+// of the live profiler, so `paropt workload <log>` renders the same table
+// /debug/workload serves. Records without a fingerprint (failures before
+// parsing) are counted but not profiled.
+func Aggregate(recs []Record, threshold float64, minSamples int) []ProfileSnapshot {
+	p := NewProfiler(0, len(recs)+1, threshold, minSamples)
+	for _, rec := range recs {
+		p.Observe(Sample{
+			Fingerprint:    rec.Fingerprint,
+			Catalog:        rec.Catalog,
+			Query:          rec.Query,
+			PlanSig:        rec.PlanSig,
+			Cache:          rec.Cache,
+			Deduped:        rec.Deduped,
+			Err:            rec.Error != "",
+			LatencySeconds: float64(rec.ElapsedMicros) / 1e6,
+		})
+		if rec.QErr > 0 || rec.RelErr > 0 {
+			p.ObserveAccuracy(rec.Fingerprint, rec.RelErr, rec.QErr)
+		}
+	}
+	return p.Snapshot()
+}

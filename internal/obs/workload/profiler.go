@@ -1,0 +1,402 @@
+// Package workload aggregates the serving layer's traffic into
+// per-fingerprint profiles — the daemon's answer to "which query templates
+// dominate, how fast are they, and whose cached plans have drifted from
+// reality". It is distinct from internal/workload, which *generates*
+// benchmark catalogs and queries; this package *measures* served ones.
+//
+// Three pieces compose:
+//
+//   - Profiler: a lock-sharded map from query fingerprint to Profile —
+//     request/hit/miss/dedup/error counts, streaming latency quantiles (P²
+//     sketches, constant space), the last selected plan signature, and EWMAs
+//     of the cost-model accuracy samples produced by obs/accuracy (mean
+//     |relative error| of calibrated (tf, tl) predictions and the worst row
+//     q-error). The q-error EWMA is the drift signal: when it exceeds a
+//     threshold the cached cover set was computed from statistics that no
+//     longer match measured reality, and the entry is a candidate for
+//     background re-optimization.
+//   - Log (querylog.go): a persistent append-only JSONL record of served
+//     requests, the raw material for offline analysis and replay.
+//   - Replay (replay.go): re-executes a recorded workload and reports
+//     plan-choice and latency deltas — the log turned regression harness.
+//
+// Everything is nil-safe in the style of internal/obs: a nil *Profiler or
+// nil *Log turns every method into a no-op so disabled paths cost nothing.
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ewmaAlpha weights the newest accuracy sample; 0.3 makes the EWMA cross a
+// 2× drift threshold after two to three consistent samples while a single
+// outlier decays quickly.
+const ewmaAlpha = 0.3
+
+// Sample is one served request fed to the profiler.
+type Sample struct {
+	// Fingerprint identifies the query template; Catalog the catalog
+	// version it was served against.
+	Fingerprint string
+	Catalog     string
+	// Query is the raw request text (any instance of the template); the
+	// profile keeps the latest one so a sweeper can re-optimize the
+	// template against a refreshed catalog.
+	Query string
+	// PlanSig is the selected plan's signature (plan.Node.String form).
+	PlanSig string
+	// Cache is "hit" or "miss"; Deduped marks singleflight followers.
+	Cache   string
+	Deduped bool
+	// Err marks failed requests (no plan served).
+	Err bool
+	// LatencySeconds is the end-to-end service latency.
+	LatencySeconds float64
+}
+
+// Profile aggregates one fingerprint's traffic.
+type Profile struct {
+	mu          sync.Mutex
+	fingerprint string
+	query       string
+	catalog     string
+	planSig     string
+	firstSeen   time.Time
+	lastSeen    time.Time
+	count       int64
+	hits        int64
+	misses      int64
+	deduped     int64
+	errors      int64
+	lat         *LatencySketch
+	// Accuracy EWMAs, fed by explain-analyze runs.
+	ewmaRelErr float64
+	ewmaQErr   float64
+	accSamples int64
+	// sweeps counts background re-optimizations of this template.
+	sweeps int64
+}
+
+// ProfileSnapshot is a point-in-time copy of a Profile, safe to sort,
+// serialize and render after the profiler has moved on.
+type ProfileSnapshot struct {
+	Fingerprint string  `json:"fingerprint"`
+	Query       string  `json:"query"`
+	Catalog     string  `json:"catalog"`
+	PlanSig     string  `json:"planSignature"`
+	Count       int64   `json:"count"`
+	Hits        int64   `json:"hits"`
+	Misses      int64   `json:"misses"`
+	Deduped     int64   `json:"deduped,omitempty"`
+	Errors      int64   `json:"errors,omitempty"`
+	MeanMicros  float64 `json:"meanMicros"`
+	P50Micros   float64 `json:"p50Micros"`
+	P90Micros   float64 `json:"p90Micros"`
+	P99Micros   float64 `json:"p99Micros"`
+	MaxMicros   float64 `json:"maxMicros"`
+	EWMARelErr  float64 `json:"ewmaRelErr,omitempty"`
+	EWMAQErr    float64 `json:"ewmaQErr,omitempty"`
+	AccSamples  int64   `json:"accuracySamples,omitempty"`
+	Drifted     bool    `json:"drifted,omitempty"`
+	Sweeps      int64   `json:"sweeps,omitempty"`
+	FirstSeen   int64   `json:"firstSeenUnixMicros"`
+	LastSeen    int64   `json:"lastSeenUnixMicros"`
+}
+
+// Profiler is the lock-sharded per-fingerprint store. Safe for concurrent
+// use: the serving path touches one shard lock plus one profile lock per
+// request, so distinct templates never contend.
+type Profiler struct {
+	shards   []profShard
+	capacity int
+	size     atomic.Int64
+	overflow atomic.Int64
+	// Drift marking knobs, fixed at construction.
+	threshold  float64
+	minSamples int64
+}
+
+type profShard struct {
+	mu sync.Mutex
+	m  map[string]*Profile
+}
+
+// NewProfiler builds a profiler with the given shard count, total profile
+// capacity (new fingerprints beyond it are counted as overflow and
+// dropped), drift threshold (EWMA row q-error above which a profile is
+// marked drifted) and the minimum accuracy samples before marking.
+// Non-positive arguments select the defaults: 8 shards, 4096 profiles,
+// threshold 2, 2 samples.
+func NewProfiler(shards, capacity int, threshold float64, minSamples int) *Profiler {
+	if shards <= 0 {
+		shards = 8
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if threshold <= 0 {
+		threshold = 2
+	}
+	if minSamples <= 0 {
+		minSamples = 2
+	}
+	p := &Profiler{
+		shards:     make([]profShard, shards),
+		capacity:   capacity,
+		threshold:  threshold,
+		minSamples: int64(minSamples),
+	}
+	for i := range p.shards {
+		p.shards[i].m = make(map[string]*Profile)
+	}
+	return p
+}
+
+func (p *Profiler) shard(fp string) *profShard {
+	h := fnv.New32a()
+	h.Write([]byte(fp))
+	return &p.shards[h.Sum32()%uint32(len(p.shards))]
+}
+
+// profile returns (creating if capacity allows) the profile for fp.
+func (p *Profiler) profile(fp string) *Profile {
+	sh := p.shard(fp)
+	sh.mu.Lock()
+	pr, ok := sh.m[fp]
+	if !ok {
+		if p.size.Load() >= int64(p.capacity) {
+			sh.mu.Unlock()
+			p.overflow.Add(1)
+			return nil
+		}
+		pr = &Profile{fingerprint: fp, lat: NewLatencySketch(), firstSeen: time.Now()}
+		sh.m[fp] = pr
+		p.size.Add(1)
+	}
+	sh.mu.Unlock()
+	return pr
+}
+
+// Observe feeds one served request. Nil-safe; samples without a fingerprint
+// are ignored (requests that failed before fingerprinting are the negative
+// cache's concern, not the profiler's).
+func (p *Profiler) Observe(s Sample) {
+	if p == nil || s.Fingerprint == "" {
+		return
+	}
+	pr := p.profile(s.Fingerprint)
+	if pr == nil {
+		return
+	}
+	pr.mu.Lock()
+	pr.count++
+	pr.lastSeen = time.Now()
+	switch {
+	case s.Err:
+		pr.errors++
+	case s.Cache == "hit":
+		pr.hits++
+	default:
+		pr.misses++
+	}
+	if s.Deduped {
+		pr.deduped++
+	}
+	if s.Query != "" {
+		pr.query = s.Query
+	}
+	if s.Catalog != "" {
+		pr.catalog = s.Catalog
+	}
+	if s.PlanSig != "" {
+		pr.planSig = s.PlanSig
+	}
+	if !s.Err {
+		pr.lat.Observe(s.LatencySeconds)
+	}
+	pr.mu.Unlock()
+}
+
+// ObserveAccuracy feeds one explain-analyze accuracy sample: the report's
+// mean |relative error| over calibrated (tf, tl) predictions and its worst
+// row q-error. Both EWMAs seed with the first sample. Nil-safe.
+func (p *Profiler) ObserveAccuracy(fp string, relErr, qErr float64) {
+	if p == nil || fp == "" {
+		return
+	}
+	pr := p.profile(fp)
+	if pr == nil {
+		return
+	}
+	pr.mu.Lock()
+	if pr.accSamples == 0 {
+		pr.ewmaRelErr, pr.ewmaQErr = relErr, qErr
+	} else {
+		pr.ewmaRelErr = ewmaAlpha*relErr + (1-ewmaAlpha)*pr.ewmaRelErr
+		pr.ewmaQErr = ewmaAlpha*qErr + (1-ewmaAlpha)*pr.ewmaQErr
+	}
+	pr.accSamples++
+	pr.mu.Unlock()
+}
+
+// MarkSwept records a background re-optimization of the template and resets
+// its accuracy EWMAs — the old samples measured a plan that no longer
+// serves, so the drift mark must be re-earned against the new one.
+func (p *Profiler) MarkSwept(fp string) {
+	if p == nil {
+		return
+	}
+	sh := p.shard(fp)
+	sh.mu.Lock()
+	pr := sh.m[fp]
+	sh.mu.Unlock()
+	if pr == nil {
+		return
+	}
+	pr.mu.Lock()
+	pr.sweeps++
+	pr.accSamples = 0
+	pr.ewmaRelErr, pr.ewmaQErr = 0, 0
+	pr.mu.Unlock()
+}
+
+// snapshotLocked copies the profile under its own lock.
+func (pr *Profile) snapshot(threshold float64, minSamples int64) ProfileSnapshot {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	s := ProfileSnapshot{
+		Fingerprint: pr.fingerprint,
+		Query:       pr.query,
+		Catalog:     pr.catalog,
+		PlanSig:     pr.planSig,
+		Count:       pr.count,
+		Hits:        pr.hits,
+		Misses:      pr.misses,
+		Deduped:     pr.deduped,
+		Errors:      pr.errors,
+		MeanMicros:  pr.lat.Mean() * 1e6,
+		P50Micros:   pr.lat.Quantile(0.5) * 1e6,
+		P90Micros:   pr.lat.Quantile(0.9) * 1e6,
+		P99Micros:   pr.lat.Quantile(0.99) * 1e6,
+		MaxMicros:   pr.lat.Max() * 1e6,
+		EWMARelErr:  pr.ewmaRelErr,
+		EWMAQErr:    pr.ewmaQErr,
+		AccSamples:  pr.accSamples,
+		Sweeps:      pr.sweeps,
+		FirstSeen:   pr.firstSeen.UnixMicro(),
+		LastSeen:    pr.lastSeen.UnixMicro(),
+	}
+	s.Drifted = pr.accSamples >= minSamples && pr.ewmaQErr >= threshold
+	return s
+}
+
+// Snapshot copies every profile. Nil-safe (returns nil).
+func (p *Profiler) Snapshot() []ProfileSnapshot {
+	if p == nil {
+		return nil
+	}
+	var out []ProfileSnapshot
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		profiles := make([]*Profile, 0, len(sh.m))
+		for _, pr := range sh.m {
+			profiles = append(profiles, pr)
+		}
+		sh.mu.Unlock()
+		for _, pr := range profiles {
+			out = append(out, pr.snapshot(p.threshold, p.minSamples))
+		}
+	}
+	return out
+}
+
+// Drifted returns snapshots of the profiles currently marked drifted,
+// ordered by traffic (hottest first) — the sweeper's work queue.
+func (p *Profiler) Drifted() []ProfileSnapshot {
+	if p == nil {
+		return nil
+	}
+	var out []ProfileSnapshot
+	for _, s := range p.Snapshot() {
+		if s.Drifted {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// Len is the number of profiles tracked; Overflow counts fingerprints
+// dropped at capacity. Nil-safe.
+func (p *Profiler) Len() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.size.Load())
+}
+
+// Overflow counts new fingerprints dropped because the profiler was full.
+func (p *Profiler) Overflow() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.overflow.Load()
+}
+
+// DriftedCount is the number of profiles currently marked drifted.
+func (p *Profiler) DriftedCount() int {
+	return len(p.Drifted())
+}
+
+// SortBy orders snapshots for top-K reporting: "traffic" by request count,
+// "latency" by p99, "drift" by the q-error EWMA — always descending, ties
+// broken by fingerprint for deterministic output.
+func SortBy(snaps []ProfileSnapshot, by string) {
+	less := func(i, j int) bool { return snaps[i].Count > snaps[j].Count }
+	switch by {
+	case "latency":
+		less = func(i, j int) bool { return snaps[i].P99Micros > snaps[j].P99Micros }
+	case "drift":
+		less = func(i, j int) bool { return snaps[i].EWMAQErr > snaps[j].EWMAQErr }
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if less(i, j) != less(j, i) {
+			return less(i, j)
+		}
+		return snaps[i].Fingerprint < snaps[j].Fingerprint
+	})
+}
+
+// FormatTable renders snapshots as a fixed-width text table (the
+// /debug/workload?format=text and `paropt workload` rendering).
+func FormatTable(snaps []ProfileSnapshot) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %6s %6s %6s %10s %10s %10s %8s %8s %5s  %s\n",
+		"fingerprint", "count", "hits", "miss", "err",
+		"p50(µs)", "p90(µs)", "p99(µs)", "qerr", "relerr", "drift", "plan")
+	for _, s := range snaps {
+		fp := s.Fingerprint
+		if len(fp) > 12 {
+			fp = fp[:12]
+		}
+		drift := ""
+		if s.Drifted {
+			drift = "DRIFT"
+		}
+		plan := s.PlanSig
+		if len(plan) > 60 {
+			plan = plan[:57] + "..."
+		}
+		fmt.Fprintf(&b, "%-12s %8d %6d %6d %6d %10.0f %10.0f %10.0f %8.2f %8.2f %5s  %s\n",
+			fp, s.Count, s.Hits, s.Misses, s.Errors,
+			s.P50Micros, s.P90Micros, s.P99Micros, s.EWMAQErr, s.EWMARelErr, drift, plan)
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestQueryLogRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	l, err := NewLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		l.Write(Record{
+			Kind:          "optimize",
+			Fingerprint:   fmt.Sprintf("fp-%d", i%3),
+			Query:         fmt.Sprintf("SELECT * FROM R WHERE R.a = %d", i),
+			PlanSig:       "HJ(scan(R), scan(S))",
+			Cache:         "hit",
+			ElapsedMicros: int64(i * 10),
+		})
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	records, dropped, rotations := l.Stats()
+	if records != 10 || dropped != 0 || rotations != 0 {
+		t.Errorf("stats = (%d, %d, %d), want (10, 0, 0)", records, dropped, rotations)
+	}
+	recs, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 10 {
+		t.Fatalf("read %d records, want 10", len(recs))
+	}
+	if recs[3].Query != "SELECT * FROM R WHERE R.a = 3" || recs[3].PlanSig == "" {
+		t.Errorf("record 3 corrupted: %+v", recs[3])
+	}
+
+	// Reopening appends.
+	l2, err := NewLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2.Write(Record{Kind: "optimize", Query: "q11"})
+	l2.Close()
+	recs, err = ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 11 {
+		t.Errorf("append after reopen: %d records, want 11", len(recs))
+	}
+}
+
+func TestQueryLogRotation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	l, err := NewLog(path, 300) // a couple of records per generation
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		l.Write(Record{Kind: "optimize", Query: fmt.Sprintf("SELECT * FROM R WHERE R.a = %d", i)})
+	}
+	l.Close()
+	_, _, rotations := l.Stats()
+	if rotations == 0 {
+		t.Fatal("expected at least one rotation")
+	}
+	if _, err := os.Stat(path + ".1"); err != nil {
+		t.Errorf("rotated generation missing: %v", err)
+	}
+	// Current + previous generation together hold the tail of the stream.
+	cur, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := ReadLog(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cur) == 0 || len(prev) == 0 {
+		t.Errorf("generations: current %d, previous %d records", len(cur), len(prev))
+	}
+	last := cur[len(cur)-1]
+	if last.Query != "SELECT * FROM R WHERE R.a = 19" {
+		t.Errorf("stream tail lost: %+v", last)
+	}
+}
+
+func TestQueryLogDropsWhenBehind(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	l, err := newLog(path, 0, 1) // single-slot queue
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood faster than the writer can possibly drain a 1-slot queue.
+	for i := 0; i < 10_000; i++ {
+		l.Write(Record{Kind: "optimize", Query: "q"})
+	}
+	l.Close()
+	records, dropped, _ := l.Stats()
+	if dropped == 0 {
+		t.Error("flooding a 1-slot queue should drop records")
+	}
+	if records+dropped != 10_000 {
+		t.Errorf("accounting leak: %d written + %d dropped != 10000", records, dropped)
+	}
+	// Write after Close is a counted no-op, not a panic.
+	l.Write(Record{Kind: "optimize", Query: "late"})
+}
+
+func TestReadLogToleratesTrailingPartialLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	content := `{"kind":"optimize","query":"q1","elapsedMicros":1}
+{"kind":"optimize","query":"q2","elapsedMicros":2}
+{"kind":"optimize","query":"q3","elapsed`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Errorf("expected 2 complete records, got %d", len(recs))
+	}
+
+	// A malformed line in the middle is an error.
+	bad := "{\"kind\":\"optimize\",\"query\":\"q1\"}\nnot json\n{\"kind\":\"optimize\",\"query\":\"q2\"}\n"
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLog(path); err == nil {
+		t.Error("mid-file corruption should error")
+	}
+}
+
+func TestNilLogIsNoOp(t *testing.T) {
+	var l *Log
+	l.Write(Record{})
+	if err := l.Close(); err != nil {
+		t.Error(err)
+	}
+	if r, d, ro := l.Stats(); r != 0 || d != 0 || ro != 0 {
+		t.Error("nil log should report zeros")
+	}
+	if l.Path() != "" {
+		t.Error("nil log path should be empty")
+	}
+	if _, err := ReadLog(filepath.Join(t.TempDir(), "missing.jsonl")); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing file should surface ErrNotExist, got %v", err)
+	}
+}

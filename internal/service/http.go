@@ -5,8 +5,12 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"time"
+
+	"paropt/internal/obs/workload"
 )
 
 // HTTP surface of the daemon (stdlib net/http only):
@@ -20,6 +24,9 @@ import (
 //	GET  /metrics                                 → Prometheus text format
 //	GET  /debug/traces                            → retained trace IDs
 //	GET  /debug/trace/{id}                        → one request's span tree
+//	GET  /debug/workload                          → per-fingerprint profiles
+//	                        (?top=K bounds rows, ?by=traffic|latency|drift
+//	                         orders them, ?format=text renders a table)
 //
 // Error mapping: client errors (parse/validation/unknown catalog) → 400,
 // queue-full admission rejection → 429 with Retry-After, request timeout →
@@ -35,6 +42,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /debug/workload", s.handleWorkload)
 	return mux
 }
 
@@ -117,9 +125,13 @@ func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// SchemaRequest registers a catalog from DDL text.
+// SchemaRequest registers a catalog from DDL text. Default additionally
+// makes it the service's default catalog (the statistics-refresh path: the
+// plan cache misses naturally under the new version and the drift sweeper
+// re-optimizes hot templates against it).
 type SchemaRequest struct {
-	DDL string `json:"ddl"`
+	DDL     string `json:"ddl"`
+	Default bool   `json:"default,omitempty"`
 }
 
 // SchemaResponse returns the registered catalog version.
@@ -140,9 +152,12 @@ func (s *Service) handleSchema(w http.ResponseWriter, r *http.Request) {
 		writeServiceError(w, err)
 		return
 	}
-	s.mu.RLock()
+	s.mu.Lock()
+	if req.Default {
+		s.defaultVersion = version
+	}
 	n := s.catalogs[version].NumRelations()
-	s.mu.RUnlock()
+	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, SchemaResponse{Catalog: version, Relations: n})
 }
 
@@ -166,9 +181,29 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// gauges samples the point-in-time values the exposition combines with the
+// cumulative counters. Every source is nil-safe, so disabled subsystems
+// contribute zeros.
+func (s *Service) gauges() Gauges {
+	records, dropped, rotations := s.qlog.Stats()
+	return Gauges{
+		QueueDepth:           s.pool.QueueDepth(),
+		CacheEntries:         s.cache.Len(),
+		TracesRetained:       s.tracer.Len(),
+		Uptime:               time.Since(s.start),
+		WorkloadFingerprints: s.prof.Len(),
+		WorkloadDrifted:      s.prof.DriftedCount(),
+		WorkloadOverflow:     s.prof.Overflow(),
+		NegCacheEntries:      s.neg.Len(),
+		QueryLogRecords:      records,
+		QueryLogDropped:      dropped,
+		QueryLogRotations:    rotations,
+	}
+}
+
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.met.WritePrometheus(w, s.pool.QueueDepth(), s.cache.Len(), s.tracer.Len(), time.Since(s.start))
+	s.met.WritePrometheus(w, s.gauges())
 }
 
 func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
@@ -177,6 +212,56 @@ func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
 		ids = []string{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"traces": ids})
+}
+
+// handleWorkload serves the live per-fingerprint workload report: top-K
+// profiles by traffic, latency or drift, as JSON or a fixed-width table.
+func (s *Service) handleWorkload(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	top := 20
+	if v := q.Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad top %q", v))
+			return
+		}
+		top = n
+	}
+	by := q.Get("by")
+	switch by {
+	case "", "traffic", "latency", "drift":
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad by %q (want traffic, latency or drift)", by))
+		return
+	}
+	snaps := s.prof.Snapshot()
+	workload.SortBy(snaps, by)
+	if len(snaps) > top {
+		snaps = snaps[:top]
+	}
+	if q.Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "workload: %d fingerprints, %d drifted, %d overflow\n\n",
+			s.prof.Len(), s.prof.DriftedCount(), s.prof.Overflow())
+		io.WriteString(w, workload.FormatTable(snaps)) //nolint:errcheck
+		return
+	}
+	if snaps == nil {
+		snaps = []workload.ProfileSnapshot{}
+	}
+	records, dropped, rotations := s.qlog.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fingerprints": s.prof.Len(),
+		"drifted":      s.prof.DriftedCount(),
+		"overflow":     s.prof.Overflow(),
+		"queryLog": map[string]any{
+			"path":      s.qlog.Path(),
+			"records":   records,
+			"dropped":   dropped,
+			"rotations": rotations,
+		},
+		"profiles": snaps,
+	})
 }
 
 func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -54,6 +54,15 @@ type Metrics struct {
 	Rejected atomic.Int64 // 429s: queue full
 	Errors   atomic.Int64
 
+	// NegCacheHits counts parse/resolve failures answered from the negative
+	// cache (no re-parse).
+	NegCacheHits atomic.Int64
+
+	// SweepRuns counts drift-sweeper passes; SweepReoptimized counts cache
+	// entries the sweeper replaced with a fresh search.
+	SweepRuns        atomic.Int64
+	SweepReoptimized atomic.Int64
+
 	// Latency is the end-to-end request latency histogram.
 	Latency Histogram
 
@@ -79,10 +88,34 @@ func (m *Metrics) ensureInit() {
 	m.CostRelErr.EnsureBuckets(obs.RelErrorBuckets)
 }
 
-// WritePrometheus renders the metrics in Prometheus text exposition format.
-// queueDepth, cacheLen and traces are sampled gauges supplied by the
-// service; uptime is time since the service started.
-func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen, traces int, uptime time.Duration) {
+// Gauges carries the point-in-time values sampled by the service when the
+// exposition is rendered — queue and cache occupancy, workload-profiler and
+// query-log state — plus the uptime. The query-log fields are cumulative
+// counters maintained by the log's writer goroutine; they are sampled here
+// rather than mirrored into Metrics so the log remains usable standalone.
+type Gauges struct {
+	QueueDepth     int
+	CacheEntries   int
+	TracesRetained int
+	Uptime         time.Duration
+
+	// Workload profiler occupancy (internal/obs/workload).
+	WorkloadFingerprints int
+	WorkloadDrifted      int
+	WorkloadOverflow     int64
+
+	// Negative-cache occupancy.
+	NegCacheEntries int
+
+	// Query-log cumulative counters.
+	QueryLogRecords   int64
+	QueryLogDropped   int64
+	QueryLogRotations int64
+}
+
+// WritePrometheus renders the metrics in Prometheus text exposition format,
+// combining the cumulative counters with the sampled gauges.
+func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	m.ensureInit()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -93,7 +126,7 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen, traces int,
 	fmt.Fprintf(w, "# HELP paroptd_build_info Build metadata; the value is always 1.\n# TYPE paroptd_build_info gauge\n")
 	fmt.Fprintf(w, "paroptd_build_info{version=%q,goversion=%q} 1\n", buildVersion(), runtime.Version())
 	fmt.Fprintf(w, "# HELP paroptd_uptime_seconds Seconds since the service started.\n# TYPE paroptd_uptime_seconds gauge\n")
-	fmt.Fprintf(w, "paroptd_uptime_seconds %g\n", uptime.Seconds())
+	fmt.Fprintf(w, "paroptd_uptime_seconds %g\n", g.Uptime.Seconds())
 	fmt.Fprintf(w, "# HELP paroptd_requests_total Requests by endpoint.\n# TYPE paroptd_requests_total counter\n")
 	fmt.Fprintf(w, "paroptd_requests_total{endpoint=\"optimize\"} %d\n", m.OptimizeRequests.Load())
 	fmt.Fprintf(w, "paroptd_requests_total{endpoint=\"explain\"} %d\n", m.ExplainRequests.Load())
@@ -107,9 +140,19 @@ func (m *Metrics) WritePrometheus(w io.Writer, queueDepth, cacheLen, traces int,
 	counter("paroptd_analyze_total", "Explain-analyze executions against synthetic data.", m.AnalyzeRuns.Load())
 	counter("paroptd_rejected_total", "Requests rejected by admission control (429).", m.Rejected.Load())
 	counter("paroptd_errors_total", "Requests that failed.", m.Errors.Load())
-	gauge("paroptd_queue_depth", "Optimization jobs waiting in the worker-pool queue.", int64(queueDepth))
-	gauge("paroptd_cache_entries", "Plan-cache entries resident.", int64(cacheLen))
-	gauge("paroptd_traces_retained", "Request traces retained for /debug/trace.", int64(traces))
+	counter("paroptd_negcache_hits_total", "Parse/resolve failures answered from the negative cache.", m.NegCacheHits.Load())
+	counter("paroptd_sweeper_runs_total", "Drift-sweeper passes.", m.SweepRuns.Load())
+	counter("paroptd_sweeper_reoptimized_total", "Cache entries re-optimized by the drift sweeper.", m.SweepReoptimized.Load())
+	counter("paroptd_workload_overflow_total", "Fingerprints dropped because the workload profiler was full.", g.WorkloadOverflow)
+	counter("paroptd_querylog_records_total", "Query-log records written to disk.", g.QueryLogRecords)
+	counter("paroptd_querylog_dropped_total", "Query-log records dropped (writer behind or log closed).", g.QueryLogDropped)
+	counter("paroptd_querylog_rotations_total", "Query-log size-based rotations.", g.QueryLogRotations)
+	gauge("paroptd_queue_depth", "Optimization jobs waiting in the worker-pool queue.", int64(g.QueueDepth))
+	gauge("paroptd_cache_entries", "Plan-cache entries resident.", int64(g.CacheEntries))
+	gauge("paroptd_traces_retained", "Request traces retained for /debug/trace.", int64(g.TracesRetained))
+	gauge("paroptd_workload_fingerprints", "Query templates tracked by the workload profiler.", int64(g.WorkloadFingerprints))
+	gauge("paroptd_workload_drifted", "Profiles whose EWMA q-error currently exceeds the drift threshold.", int64(g.WorkloadDrifted))
+	gauge("paroptd_negcache_entries", "Negative-cache entries resident.", int64(g.NegCacheEntries))
 
 	fmt.Fprintf(w, "# HELP paroptd_optimize_latency_seconds End-to-end request latency.\n")
 	fmt.Fprintf(w, "# TYPE paroptd_optimize_latency_seconds histogram\n")

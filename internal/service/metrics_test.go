@@ -110,7 +110,9 @@ func TestMetricsExpositionGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	s.met.WritePrometheus(&buf, s.pool.QueueDepth(), s.cache.Len(), s.tracer.Len(), time.Second)
+	g := s.gauges()
+	g.Uptime = time.Second
+	s.met.WritePrometheus(&buf, g)
 	got := strings.Join(validateExposition(t, buf.String()), "\n") + "\n"
 
 	goldenPath := filepath.Join("testdata", "metrics.golden")
@@ -146,7 +148,7 @@ func TestMetricsExpositionGolden(t *testing.T) {
 func TestMetricsZeroValueRenders(t *testing.T) {
 	var m Metrics
 	var buf bytes.Buffer
-	m.WritePrometheus(&buf, 0, 0, 0, 0)
+	m.WritePrometheus(&buf, Gauges{})
 	validateExposition(t, buf.String())
 	if !strings.Contains(buf.String(), `paroptd_cost_rel_error_bucket{le="0.01"} 0`) {
 		t.Error("zero-value metrics should still use the relative-error buckets")

@@ -36,6 +36,7 @@ import (
 	"paropt/internal/machine"
 	"paropt/internal/obs"
 	"paropt/internal/obs/accuracy"
+	"paropt/internal/obs/workload"
 	"paropt/internal/parser"
 	"paropt/internal/query"
 	"paropt/internal/search"
@@ -97,6 +98,31 @@ type Config struct {
 	// execute against; 0 means 1. One database is generated per catalog
 	// version on first use.
 	DataSeed int64
+	// QueryLog, when non-nil, receives one JSONL record per served request
+	// (including failures). The caller owns the log and closes it after the
+	// service's Close; nil disables logging at zero cost.
+	QueryLog *workload.Log
+	// WorkloadCapacity bounds the per-fingerprint profiles the workload
+	// profiler tracks; 0 means 4096; negative disables profiling entirely
+	// (the /debug/workload endpoint then reports an empty workload and the
+	// drift sweeper never finds work).
+	WorkloadCapacity int
+	// DriftThreshold is the EWMA row q-error above which a profile is marked
+	// drifted (a re-optimization candidate); 0 means 2.
+	DriftThreshold float64
+	// SweepMinSamples is the minimum analyze accuracy samples before a
+	// profile can be marked drifted; 0 means 2.
+	SweepMinSamples int
+	// SweepInterval enables the background drift sweeper when > 0: every
+	// interval it re-runs the DP search for up to SweepLimit drifted
+	// templates against the current default catalog and swaps the cached
+	// cover sets. 0 disables the goroutine (SweepNow still works).
+	SweepInterval time.Duration
+	// SweepLimit bounds re-optimizations per sweeper pass; 0 means 4.
+	SweepLimit int
+	// NegCacheCapacity sizes the negative cache over parse/resolve failures;
+	// 0 means 256; negative disables it.
+	NegCacheCapacity int
 }
 
 // cacheEntry is one plan-cache value: the optimization session pinned to
@@ -130,6 +156,18 @@ type Service struct {
 	logger  *slog.Logger
 	start   time.Time
 	closed  bool
+
+	// Workload analytics: prof aggregates served traffic per fingerprint,
+	// neg short-circuits repeated parse/resolve failures, qlog persists one
+	// record per request. All three are nil when disabled; every use is
+	// nil-safe, so the disabled paths cost one nil check each.
+	prof *workload.Profiler
+	neg  *negCache
+	qlog *workload.Log
+
+	// sweepStop/sweepWG manage the background drift sweeper (SweepInterval).
+	sweepStop chan struct{}
+	sweepWG   sync.WaitGroup
 
 	// dbMu guards dbs, the per-catalog-version synthetic databases analyze
 	// requests execute against (generated lazily, kept for reuse). A
@@ -172,6 +210,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.DataSeed == 0 {
 		cfg.DataSeed = 1
 	}
+	if cfg.SweepLimit <= 0 {
+		cfg.SweepLimit = 4
+	}
 	s := &Service{
 		cfg:      cfg,
 		mcfg:     mcfg,
@@ -192,19 +233,40 @@ func New(cfg Config) (*Service, error) {
 	s.sessKey = fmt.Sprintf("m=%dc%dd%dn,cs%g,ds%g,ns%g,agg%t|alg=%d,cover=%d,mem=%d",
 		mcfg.CPUs, mcfg.Disks, mcfg.Networks, mcfg.CPUSpeed, mcfg.DiskSpeed, mcfg.NetSpeed,
 		mcfg.AggregateDisks, cfg.Algorithm, cfg.CoverCap, cfg.MemoryPages)
+	if cfg.WorkloadCapacity >= 0 {
+		s.prof = workload.NewProfiler(0, cfg.WorkloadCapacity, cfg.DriftThreshold, cfg.SweepMinSamples)
+	}
+	if cfg.NegCacheCapacity >= 0 {
+		n := cfg.NegCacheCapacity
+		if n == 0 {
+			n = 256
+		}
+		s.neg = newNegCache(n)
+	}
+	s.qlog = cfg.QueryLog
 	if cfg.Catalog != nil {
 		s.defaultVersion = s.RegisterCatalog(cfg.Catalog)
+	}
+	if cfg.SweepInterval > 0 {
+		s.sweepStop = make(chan struct{})
+		s.sweepWG.Add(1)
+		go s.sweeperLoop(cfg.SweepInterval)
 	}
 	return s, nil
 }
 
-// Close stops accepting requests and drains in-flight searches.
+// Close stops accepting requests, stops the drift sweeper and drains
+// in-flight searches. The query log (owned by the caller) stays open.
 func (s *Service) Close() {
 	s.mu.Lock()
 	already := s.closed
 	s.closed = true
 	s.mu.Unlock()
 	if !already {
+		if s.sweepStop != nil {
+			close(s.sweepStop)
+			s.sweepWG.Wait()
+		}
 		s.pool.Close()
 	}
 }
@@ -238,6 +300,29 @@ func (s *Service) RegisterCatalog(cat *catalog.Catalog) string {
 	s.mu.Unlock()
 	return v
 }
+
+// RefreshCatalog registers cat and makes it the service default — the
+// statistics-refresh entry point. Unlike RegisterCatalog it always moves the
+// default, so subsequent default-catalog requests key the plan cache under
+// the new version and miss naturally; stale entries age out of the LRU. The
+// drift sweeper closes the loop: hot templates whose accuracy had drifted
+// are re-optimized against the refreshed statistics in the background, so
+// the first post-refresh request hits a warm entry instead of paying a
+// search.
+func (s *Service) RefreshCatalog(cat *catalog.Catalog) string {
+	v := cat.Fingerprint()
+	s.mu.Lock()
+	s.catalogs[v] = cat
+	s.defaultVersion = v
+	s.mu.Unlock()
+	return v
+}
+
+// Workload exposes the per-fingerprint profiler (nil when disabled).
+func (s *Service) Workload() *workload.Profiler { return s.prof }
+
+// QueryLog exposes the persistent query log (nil when disabled).
+func (s *Service) QueryLog() *workload.Log { return s.qlog }
 
 // RegisterSchema parses schema DDL (internal/parser grammar) and registers
 // the resulting catalog, returning its version.
@@ -311,6 +396,9 @@ type OptimizeResponse struct {
 	// bound applied during re-filtering, if any.
 	CoverSize int    `json:"coverSize"`
 	Bound     string `json:"bound,omitempty"`
+	// PlanSignature is the chosen join tree in functional notation — the
+	// deterministic plan identity the query log records and replay compares.
+	PlanSignature string `json:"planSignature"`
 	// Summary and Baseline give the chosen plan's costs and the
 	// work-optimal baseline it is bounded against.
 	Summary  PlanSummary  `json:"summary"`
@@ -368,9 +456,18 @@ func (s *Service) resolve(req *OptimizeRequest) (cat *catalog.Catalog, version s
 	if req.Query == "" {
 		return nil, "", nil, "", "", badRequestError{errors.New("service: empty query")}
 	}
+	// Negative cache: a query text that already failed to parse or resolve
+	// against this catalog version fails again without re-parsing.
+	nk := negKey(req.Query, version)
+	if negErr, ok := s.neg.Get(nk); ok {
+		s.met.NegCacheHits.Add(1)
+		return nil, "", nil, "", "", negErr
+	}
 	q, err = parser.ParseQuery(req.Query, cat)
 	if err != nil {
-		return nil, "", nil, "", "", badRequestError{err}
+		err = badRequestError{err}
+		s.neg.Put(nk, err)
+		return nil, "", nil, "", "", err
 	}
 	fp = query.Fingerprint(q)
 	return cat, version, q, fp, fp + "|" + version + "|" + s.sessKey, nil
@@ -498,6 +595,7 @@ func (s *Service) Explain(ctx context.Context, req OptimizeRequest) (*ExplainRes
 			s.met.Errors.Add(1)
 			served.root.Err(err)
 			served.root.End()
+			s.observeFailure("explain", &req, resp.Fingerprint, resp.Catalog, start, err)
 			s.logger.Warn("explain analyze failed", "id", resp.TraceID, "err", err)
 			return nil, err
 		}
@@ -508,18 +606,51 @@ func (s *Service) Explain(ctx context.Context, req OptimizeRequest) (*ExplainRes
 }
 
 // servedPlan carries the materialized plan — and the request's trace — from
-// serve to the endpoint finishing the response.
+// serve to the endpoint finishing the response. relErr/qErr hold the analyze
+// accuracy summary (explain-analyze only) so the query-log record and the
+// workload profiler see the same drift signal.
 type servedPlan struct {
-	plan  *core.Plan
-	entry *cacheEntry
-	trace *obs.Trace
-	root  *obs.Span
+	plan   *core.Plan
+	entry  *cacheEntry
+	trace  *obs.Trace
+	root   *obs.Span
+	req    *OptimizeRequest
+	relErr float64
+	qErr   float64
 }
 
-// finishRequest closes the request's root span and emits the structured
-// per-request log line.
+// finishRequest closes the request's root span, feeds the workload profiler
+// and query log, and emits the structured per-request log line.
 func (s *Service) finishRequest(p *servedPlan, kind string, resp *OptimizeResponse) {
 	p.root.End()
+	s.prof.Observe(workload.Sample{
+		Fingerprint:    resp.Fingerprint,
+		Catalog:        resp.Catalog,
+		Query:          p.req.Query,
+		PlanSig:        resp.PlanSignature,
+		Cache:          resp.Cache,
+		Deduped:        resp.Deduped,
+		LatencySeconds: float64(resp.ElapsedMicros) / 1e6,
+	})
+	if s.qlog != nil {
+		s.qlog.Write(workload.Record{
+			Time:          time.Now(),
+			Kind:          kind,
+			Fingerprint:   resp.Fingerprint,
+			Catalog:       resp.Catalog,
+			Query:         p.req.Query,
+			K:             p.req.K,
+			CostBenefit:   p.req.CostBenefit,
+			Cache:         resp.Cache,
+			Deduped:       resp.Deduped,
+			PlanSig:       resp.PlanSignature,
+			RT:            resp.Summary.ResponseTime,
+			Work:          resp.Summary.Work,
+			RelErr:        p.relErr,
+			QErr:          p.qErr,
+			ElapsedMicros: resp.ElapsedMicros,
+		})
+	}
 	s.logger.Info(kind,
 		"id", resp.TraceID,
 		"fingerprint", resp.Fingerprint,
@@ -527,6 +658,30 @@ func (s *Service) finishRequest(p *servedPlan, kind string, resp *OptimizeRespon
 		"cache", resp.Cache,
 		"coverSize", resp.CoverSize,
 		"elapsedMicros", resp.ElapsedMicros)
+}
+
+// observeFailure records a failed request in the profiler (when it got far
+// enough to have a fingerprint) and the query log.
+func (s *Service) observeFailure(kind string, req *OptimizeRequest, fp, version string, start time.Time, err error) {
+	s.prof.Observe(workload.Sample{
+		Fingerprint: fp,
+		Catalog:     version,
+		Query:       req.Query,
+		Err:         true,
+	})
+	if s.qlog != nil {
+		s.qlog.Write(workload.Record{
+			Time:          time.Now(),
+			Kind:          kind,
+			Fingerprint:   fp,
+			Catalog:       version,
+			Query:         req.Query,
+			K:             req.K,
+			CostBenefit:   req.CostBenefit,
+			ElapsedMicros: time.Since(start).Microseconds(),
+			Error:         err.Error(),
+		})
+	}
 }
 
 func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Time, kind string) (*OptimizeResponse, *servedPlan, error) {
@@ -545,10 +700,12 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 	tr, root := s.tracer.Start(kind)
 	ctx = obs.ContextWithSpan(ctx, root)
 
+	var fp, version string
 	fail := func(err error) (*OptimizeResponse, *servedPlan, error) {
 		s.met.Errors.Add(1)
 		root.Err(err)
 		root.End()
+		s.observeFailure(kind, req, fp, version, start, err)
 		s.logger.Warn(kind+" failed", "id", tr.ID(), "err", err)
 		return nil, nil, err
 	}
@@ -602,6 +759,7 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 		Deduped:        deduped,
 		CoverSetReused: hit,
 		CoverSize:      len(entry.cover.Frontier),
+		PlanSignature:  plan.Tree.String(),
 		Summary:        PlanSummary{ResponseTime: plan.RT(), Work: plan.Work()},
 		Plan:           planJSON,
 		TraceID:        tr.ID(),
@@ -617,7 +775,7 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 	}
 	resp.ElapsedMicros = time.Since(start).Microseconds()
 	s.met.Latency.Observe(time.Since(start).Seconds())
-	return resp, &servedPlan{plan: plan, entry: entry, trace: tr, root: root}, nil
+	return resp, &servedPlan{plan: plan, entry: entry, trace: tr, root: root, req: req}, nil
 }
 
 // analyzeMaxRows bounds the synthetic data an analyze request may generate
@@ -676,6 +834,10 @@ func (s *Service) analyze(req *OptimizeRequest, served *servedPlan, out *Explain
 	for _, e := range rep.Errors() {
 		s.met.CostRelErr.Observe(e)
 	}
+	// Feed the drift signal: the profiler's accuracy EWMAs decide whether
+	// this template's cached cover set still matches measured reality.
+	s.prof.ObserveAccuracy(out.Fingerprint, rep.MeanAbsRelErr, rep.MaxQErrRows)
+	served.relErr, served.qErr = rep.MeanAbsRelErr, rep.MaxQErrRows
 	s.met.AnalyzeRuns.Add(1)
 	out.Analyze = rep
 	out.AnalyzeTable = rep.Table()

@@ -1,0 +1,407 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"paropt/internal/catalog"
+	"paropt/internal/obs/workload"
+)
+
+func TestNegativeCacheShortCircuitsParseFailures(t *testing.T) {
+	s := newTestService(t, nil)
+	ctx := context.Background()
+	bad := "SELECT * FROM NoSuchRelation"
+	for i := 0; i < 3; i++ {
+		_, err := s.Optimize(ctx, OptimizeRequest{Query: bad})
+		var br badRequestError
+		if !errors.As(err, &br) {
+			t.Fatalf("attempt %d: want badRequestError, got %v", i, err)
+		}
+	}
+	if got := s.met.NegCacheHits.Load(); got != 2 {
+		t.Errorf("negative-cache hits = %d, want 2 (first failure parses, repeats do not)", got)
+	}
+	if got := s.neg.Len(); got != 1 {
+		t.Errorf("negative-cache entries = %d, want 1", got)
+	}
+	// A valid query is unaffected.
+	if _, err := s.Optimize(ctx, OptimizeRequest{Query: chainSQL(3, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	// A different catalog version re-parses: negative entries are
+	// version-relative.
+	version, err := s.RegisterSchema("relation NoSuchRelation card=10 pages=1 disk=0\ncolumn NoSuchRelation.a ndv=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Optimize(ctx, OptimizeRequest{Query: bad, Catalog: version}); err != nil {
+		t.Errorf("query should parse against the new catalog, got %v", err)
+	}
+}
+
+func TestNegativeCacheLRUBound(t *testing.T) {
+	c := newNegCache(2)
+	c.Put("a", errors.New("ea"))
+	c.Put("b", errors.New("eb"))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should be resident")
+	}
+	c.Put("c", errors.New("ec")) // evicts b (a was refreshed by the Get)
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	var nilCache *negCache
+	nilCache.Put("x", errors.New("x"))
+	if _, ok := nilCache.Get("x"); ok || nilCache.Len() != 0 {
+		t.Error("nil negative cache should be inert")
+	}
+}
+
+// poisonedCatalog builds statistics that are wrong about the data: the
+// selection column A.s is heavily Zipf-skewed (hot value 0 holds most rows)
+// while the optimizer's uniformity assumption predicts Card/NDV rows — so an
+// explain-analyze run reports a large row q-error and marks the template
+// drifted.
+func poisonedCatalog() *catalog.Catalog {
+	c := catalog.New()
+	c.MustAddRelation(catalog.Relation{
+		Name: "A", Card: 2000, Pages: 20, Disk: 0,
+		Columns: []catalog.Column{
+			{Name: "s", NDV: 100, Width: 8, Skew: 1.0},
+			{Name: "b", NDV: 500, Width: 8},
+		},
+	})
+	c.MustAddRelation(catalog.Relation{
+		Name: "B", Card: 3000, Pages: 30, Disk: 1,
+		Columns: []catalog.Column{
+			{Name: "a", NDV: 500, Width: 8},
+			{Name: "b", NDV: 800, Width: 8},
+		},
+	})
+	c.MustAddRelation(catalog.Relation{
+		Name: "C", Card: 2500, Pages: 25, Disk: 2,
+		Columns: []catalog.Column{
+			{Name: "a", NDV: 800, Width: 8},
+		},
+	})
+	return c
+}
+
+// refreshedCatalog is the statistics refresh: radically different relative
+// cardinalities, so the DP search must pick a different join tree.
+func refreshedCatalog() *catalog.Catalog {
+	c := catalog.New()
+	c.MustAddRelation(catalog.Relation{
+		Name: "A", Card: 400000, Pages: 4000, Disk: 0,
+		Columns: []catalog.Column{
+			{Name: "s", NDV: 2, Width: 8},
+			{Name: "b", NDV: 500, Width: 8},
+		},
+	})
+	c.MustAddRelation(catalog.Relation{
+		Name: "B", Card: 300, Pages: 3, Disk: 1,
+		Columns: []catalog.Column{
+			{Name: "a", NDV: 300, Width: 8},
+			{Name: "b", NDV: 300, Width: 8},
+		},
+	})
+	c.MustAddRelation(catalog.Relation{
+		Name: "C", Card: 250000, Pages: 2500, Disk: 2,
+		Columns: []catalog.Column{
+			{Name: "a", NDV: 800, Width: 8},
+		},
+	})
+	return c
+}
+
+const poisonedSQL = "SELECT * FROM A, B, C WHERE A.b = B.a AND B.b = C.a AND A.s = 0"
+
+// TestSweeperReoptimizesPoisonedEntry is the acceptance scenario: wrong
+// statistics are detected by analyze (q-error drift), the operator refreshes
+// the catalog, and the sweeper re-optimizes the hot template so the next
+// request hits a warm entry with a different plan.
+func TestSweeperReoptimizesPoisonedEntry(t *testing.T) {
+	s := newTestService(t, func(cfg *Config) {
+		cfg.Catalog = poisonedCatalog()
+		cfg.DriftThreshold = 3
+		cfg.SweepMinSamples = 1
+	})
+	ctx := context.Background()
+
+	first, err := s.Explain(ctx, OptimizeRequest{Query: poisonedSQL, Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Analyze == nil || first.Analyze.MaxQErrRows < 3 {
+		t.Fatalf("poisoned statistics should produce a large row q-error, got %+v", first.Analyze)
+	}
+	if s.Workload().DriftedCount() != 1 {
+		t.Fatalf("template should be marked drifted, got %d", s.Workload().DriftedCount())
+	}
+
+	// Statistics refresh + one sweep.
+	s.RefreshCatalog(refreshedCatalog())
+	if n := s.SweepNow(); n != 1 {
+		t.Fatalf("sweep should re-optimize 1 template, got %d", n)
+	}
+	if got := s.met.SweepReoptimized.Load(); got != 1 {
+		t.Errorf("SweepReoptimized = %d, want 1", got)
+	}
+	if s.Workload().DriftedCount() != 0 {
+		t.Error("sweep should clear the drift mark")
+	}
+
+	// The next default-catalog request hits the entry the sweeper installed —
+	// no second client-facing search — and serves the refreshed plan.
+	searches := s.met.FullSearch.Load()
+	second, err := s.Optimize(ctx, OptimizeRequest{Query: poisonedSQL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cache != "hit" {
+		t.Errorf("post-sweep request should hit the refreshed entry, got %q", second.Cache)
+	}
+	if s.met.FullSearch.Load() != searches {
+		t.Error("post-sweep request should not run another search")
+	}
+	if second.Catalog == first.Catalog {
+		t.Error("refresh should move the default catalog version")
+	}
+	if second.PlanSignature == first.PlanSignature {
+		t.Errorf("refreshed statistics should change the chosen plan, still %s", second.PlanSignature)
+	}
+}
+
+// TestWorkloadEndpointUnderLoad exercises /debug/workload (JSON and text)
+// and /metrics concurrently with optimize traffic; run under -race in CI.
+func TestWorkloadEndpointUnderLoad(t *testing.T) {
+	s := newTestService(t, nil)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	const (
+		writers = 4
+		perG    = 15
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				body, _ := json.Marshal(OptimizeRequest{Query: chainSQL(3+i%3, g*100+i)})
+				resp, err := http.Post(srv.URL+"/optimize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	// Readers race against the writers by design.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			for _, path := range []string{"/debug/workload", "/debug/workload?format=text&by=latency", "/metrics"} {
+				resp, err := http.Get(srv.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}
+	}()
+	wg.Wait()
+
+	resp, err := http.Get(srv.URL + "/debug/workload?top=2&by=traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var report struct {
+		Fingerprints int                        `json:"fingerprints"`
+		Profiles     []workload.ProfileSnapshot `json:"profiles"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Fingerprints != 3 {
+		t.Errorf("expected 3 templates (literal varies within each), got %d", report.Fingerprints)
+	}
+	if len(report.Profiles) != 2 {
+		t.Fatalf("top=2 should bound profiles, got %d", len(report.Profiles))
+	}
+	var total int64
+	for _, p := range s.Workload().Snapshot() {
+		total += p.Count
+	}
+	if total != writers*perG {
+		t.Errorf("profiled %d requests, want %d", total, writers*perG)
+	}
+
+	// Text rendering and parameter validation.
+	tresp, err := http.Get(srv.URL + "/debug/workload?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(tresp.Body)
+	tresp.Body.Close()
+	if !strings.Contains(string(text), "fingerprint") {
+		t.Errorf("text report missing header:\n%s", text)
+	}
+	bresp, err := http.Get(srv.URL + "/debug/workload?by=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bresp.Body.Close()
+	if bresp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad sort key should 400, got %d", bresp.StatusCode)
+	}
+
+	// Metrics expose the workload gauges.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(met), "paroptd_workload_fingerprints 3") {
+		t.Errorf("metrics missing workload fingerprints gauge:\n%.500s", met)
+	}
+}
+
+// TestQueryLogAndReplayInProcess: traffic recorded to the query log replays
+// deterministically — same daemon configuration, same plan choices.
+func TestQueryLogAndReplayInProcess(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	qlog, err := workload.NewLog(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestService(t, func(cfg *Config) { cfg.QueryLog = qlog })
+	ctx := context.Background()
+	for i := 0; i < 8; i++ {
+		if _, err := s.Optimize(ctx, OptimizeRequest{Query: chainSQL(3+i%4, i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One recorded failure; replay must skip it.
+	if _, err := s.Optimize(ctx, OptimizeRequest{Query: "SELECT * FROM Nope"}); err == nil {
+		t.Fatal("expected failure")
+	}
+	if err := qlog.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := workload.ReadLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 9 {
+		t.Fatalf("logged %d records, want 9", len(recs))
+	}
+	if recs[0].PlanSig == "" || recs[0].Fingerprint == "" || recs[0].Kind != "optimize" {
+		t.Fatalf("record missing fields: %+v", recs[0])
+	}
+	if recs[8].Error == "" {
+		t.Fatalf("failure record missing error: %+v", recs[8])
+	}
+
+	// Replay against a fresh identically-configured service.
+	s2 := newTestService(t, nil)
+	rep := workload.Replay(recs, func(r workload.Record) workload.Outcome {
+		start := time.Now()
+		resp, err := s2.Optimize(ctx, OptimizeRequest{Query: r.Query, Catalog: r.Catalog, K: r.K, CostBenefit: r.CostBenefit})
+		if err != nil {
+			return workload.Outcome{Err: err}
+		}
+		return workload.Outcome{
+			PlanSig:       resp.PlanSignature,
+			Cache:         resp.Cache,
+			RT:            resp.Summary.ResponseTime,
+			Work:          resp.Summary.Work,
+			ElapsedMicros: time.Since(start).Microseconds(),
+		}
+	}, false)
+	if rep.PlanChanges != 0 || rep.Errors != 0 {
+		t.Errorf("deterministic replay regressed:\n%s", rep.Table())
+	}
+	if rep.PlanMatches != 8 || rep.Skipped != 1 {
+		t.Errorf("replay accounting wrong: %+v", rep)
+	}
+}
+
+// TestSweepNowDisabledProfiler: a service with profiling disabled treats
+// sweeps (and the workload surface) as no-ops.
+func TestSweepNowDisabledProfiler(t *testing.T) {
+	s := newTestService(t, func(cfg *Config) {
+		cfg.WorkloadCapacity = -1
+		cfg.NegCacheCapacity = -1
+	})
+	if _, err := s.Optimize(context.Background(), OptimizeRequest{Query: chainSQL(3, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workload() != nil || s.SweepNow() != 0 {
+		t.Error("disabled profiler should be nil and sweeps no-ops")
+	}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/workload")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("disabled workload endpoint should still serve, got %d", resp.StatusCode)
+	}
+	var report map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&report); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := report["fingerprints"].(float64); n != 0 {
+		t.Errorf("disabled profiler should report 0 fingerprints, got %v", report["fingerprints"])
+	}
+}
+
+// TestSweeperLoopRunsInBackground: the ticker-driven loop picks up drifted
+// templates without an explicit SweepNow.
+func TestSweeperLoopRunsInBackground(t *testing.T) {
+	s := newTestService(t, func(cfg *Config) {
+		cfg.Catalog = poisonedCatalog()
+		cfg.DriftThreshold = 3
+		cfg.SweepMinSamples = 1
+		cfg.SweepInterval = 10 * time.Millisecond
+	})
+	ctx := context.Background()
+	if _, err := s.Explain(ctx, OptimizeRequest{Query: poisonedSQL, Analyze: true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Workload().DriftedCount() != 1 {
+		t.Fatal("template should be marked drifted")
+	}
+	waitFor(t, func() bool { return s.met.SweepReoptimized.Load() >= 1 })
+	if s.Workload().DriftedCount() != 0 {
+		t.Error("background sweep should clear the drift mark")
+	}
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Replay smoke test: start paroptd with a query log, serve a small workload,
+# then check the workload gauges and replay the log with `paropt replay
+# -strict` — any plan change or error fails the run. Exercises the full
+# record → profile → replay loop the workload-analytics layer provides.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+tmp=$(mktemp -d)
+trap 'kill $pid 2>/dev/null || true; rm -rf "$tmp"' EXIT
+
+go build -o "$tmp/paroptd" ./cmd/paroptd
+go build -o "$tmp/paropt" ./cmd/paropt
+
+addr=localhost:7171
+"$tmp/paroptd" -addr "$addr" -workload portfolio -query-log "$tmp/q.jsonl" -log none &
+pid=$!
+
+for i in $(seq 1 50); do
+  kill -0 $pid 2>/dev/null || { echo "replay_smoke: daemon exited (port in use?)" >&2; exit 1; }
+  curl -fsS "http://$addr/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "replay_smoke: daemon never became healthy" >&2; exit 1; }
+  sleep 0.2
+done
+
+# ~12 queries over a few portfolio templates so the profiler sees more than
+# one fingerprint and the cache sees both misses and hits.
+queries=(
+  "SELECT * FROM trades, stocks WHERE trades.stock_id = stocks.stock_id"
+  "SELECT * FROM trades, stocks, sectors WHERE trades.stock_id = stocks.stock_id AND stocks.sector_id = sectors.sector_id"
+  "SELECT * FROM trades, stocks, sectors WHERE trades.stock_id = stocks.stock_id AND stocks.sector_id = sectors.sector_id AND sectors.sector_id = 3"
+  "SELECT * FROM trades, accounts WHERE trades.account_id = accounts.account_id"
+)
+for round in 1 2 3; do
+  for q in "${queries[@]}"; do
+    curl -fsS -X POST "http://$addr/optimize" \
+      -H 'Content-Type: application/json' \
+      -d "{\"query\": \"$q\"}" >/dev/null
+  done
+done
+
+metrics=$(curl -fsS "http://$addr/metrics")
+fp=$(echo "$metrics" | awk '$1 == "paroptd_workload_fingerprints" {print $2}')
+recs=$(echo "$metrics" | awk '$1 == "paroptd_querylog_records_total" {print $2}')
+if [ -z "$fp" ] || [ "$fp" -lt 1 ]; then
+  echo "replay_smoke: expected nonzero paroptd_workload_fingerprints, got '$fp'" >&2
+  exit 1
+fi
+if [ -z "$recs" ] || [ "$recs" -lt 12 ]; then
+  echo "replay_smoke: expected >=12 paroptd_querylog_records_total, got '$recs'" >&2
+  exit 1
+fi
+echo "replay_smoke: $fp fingerprints, $recs records logged"
+
+# Stop the daemon before replaying so the replay traffic isn't appended to
+# the same log, and so the async writer is fully flushed.
+kill -TERM $pid
+wait $pid || true
+
+"$tmp/paropt" workload "$tmp/q.jsonl"
+
+out=$("$tmp/paropt" replay -strict "$tmp/q.jsonl")
+echo "$out"
+echo "$out" | grep -q "plan changes: 0" || {
+  echo "replay_smoke: replay reported plan changes" >&2
+  exit 1
+}
+echo "replay_smoke: OK"
