@@ -6,6 +6,7 @@
 //
 //	paroptd [-addr :7077] [-schema schema.ddl | -workload portfolio]
 //	        [-alg podp|podp-bushy] [-cpus 4] [-disks 4] [-aggdisks]
+//	        [-nodes 1] [-networks 1] [-net-latency 0] [-agglinks]
 //	        [-workers N] [-queue 64] [-cache 512] [-shards 8]
 //	        [-timeout 30s] [-beam 0] [-traces 256] [-log text|json|none]
 //	        [-debug-addr localhost:7078]
@@ -16,9 +17,15 @@
 //
 //	POST /optimize          {"query": "SELECT ...", "k": 1.5}  → plan JSON
 //	POST /explain           same request (?trace=1 ?analyze=1) → plan + report
+//	                        (?distributed=1 executes join fragments on
+//	                         registered paroptw workers)
 //	POST /schema            {"ddl": "relation R card=1000 ..."}→ catalog version
 //	                        ("default": true makes it the default — the
-//	                         statistics-refresh path the sweeper reacts to)
+//	                         statistics-refresh path the sweeper reacts to;
+//	                         the retired version's cache entries are swept)
+//	POST /cluster/register   {"addr": "host:port"}             → worker joins
+//	POST /cluster/deregister {"addr": "host:port"}             → worker leaves
+//	GET  /cluster/workers                                      → membership + link traffic
 //	GET  /healthz                                              → liveness
 //	GET  /metrics                                              → Prometheus text
 //	GET  /debug/traces                                         → trace IDs
@@ -67,7 +74,10 @@ func main() {
 	cpus := flag.Int("cpus", 4, "machine CPUs")
 	disks := flag.Int("disks", 4, "machine disks")
 	networks := flag.Int("networks", 1, "machine network links")
+	nodes := flag.Int("nodes", 1, "shared-nothing nodes the machine is spread across (1 = shared-memory)")
+	netLatency := flag.Float64("net-latency", 0, "per-transfer network latency in page-times (multi-node only)")
 	aggDisks := flag.Bool("aggdisks", false, "model all disks as one RAID resource (§6.3 aggregation)")
+	aggLinks := flag.Bool("agglinks", false, "model all network links as one resource (§6.3 aggregation)")
 	workers := flag.Int("workers", 0, "concurrent searches (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "search queue depth before 429s")
 	cacheCap := flag.Int("cache", 512, "plan-cache capacity (entries)")
@@ -129,8 +139,11 @@ func main() {
 	}
 
 	svc, err := paropt.NewService(paropt.ServiceConfig{
-		Catalog:          cat,
-		Machine:          machine.Config{CPUs: *cpus, Disks: *disks, Networks: *networks, AggregateDisks: *aggDisks},
+		Catalog: cat,
+		Machine: machine.Config{
+			CPUs: *cpus, Disks: *disks, Networks: *networks, Nodes: *nodes,
+			NetLatency: *netLatency, AggregateDisks: *aggDisks, AggregateLinks: *aggLinks,
+		},
 		Algorithm:        algorithm,
 		CoverCap:         *beam,
 		Workers:          *workers,

@@ -1,0 +1,98 @@
+// Command paroptw is the shared-nothing execution worker: it serves join
+// fragments over TCP for paroptd's distributed analyze path. The daemon's
+// coordinator dials one connection per fragment, streams both hash-partitioned
+// inputs under credit-based flow control, and the worker runs the fragment's
+// join (the same engine.FragmentJoin the in-process transport uses) and
+// streams result batches back.
+//
+// Usage:
+//
+//	paroptw [-listen 127.0.0.1:0] [-daemon http://localhost:7077]
+//	        [-advertise host:port] [-window 16]
+//
+// With -daemon the worker registers its address at POST /cluster/register on
+// startup and deregisters on SIGINT/SIGTERM. -advertise overrides the
+// registered address when the listen address is not reachable as-is (e.g.
+// binding 0.0.0.0). Without -daemon the worker just serves; register it by
+// hand.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"paropt/internal/engine"
+	"paropt/internal/engine/exchange"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "fragment listen address")
+	daemon := flag.String("daemon", "", "paroptd base URL to register with (empty = no registration)")
+	advertise := flag.String("advertise", "", "address to register at the daemon (default: the resolved listen address)")
+	window := flag.Int("window", 0, "per-direction credit window (0 = default)")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("paroptw: %v", err)
+	}
+	addr := ln.Addr().String()
+	reg := *advertise
+	if reg == "" {
+		reg = addr
+	}
+	log.Printf("paroptw: serving fragments on %s", addr)
+
+	if *daemon != "" {
+		if err := postCluster(*daemon, "/cluster/register", reg); err != nil {
+			log.Fatalf("paroptw: register with %s: %v", *daemon, err)
+		}
+		log.Printf("paroptw: registered %s with %s", reg, *daemon)
+	}
+
+	w := &exchange.Worker{Join: engine.FragmentJoin, Window: *window}
+	errc := make(chan error, 1)
+	go func() { errc <- w.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("paroptw: %v", err)
+	case <-sig:
+	}
+	log.Printf("paroptw: shutting down")
+	if *daemon != "" {
+		if err := postCluster(*daemon, "/cluster/deregister", reg); err != nil {
+			log.Printf("paroptw: deregister: %v", err)
+		}
+	}
+	ln.Close()
+}
+
+// postCluster posts {"addr": addr} to the daemon's cluster endpoint.
+func postCluster(base, path, addr string) error {
+	body, err := json.Marshal(map[string]string{"addr": addr})
+	if err != nil {
+		return err
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return nil
+}

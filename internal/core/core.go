@@ -13,6 +13,7 @@ import (
 	"paropt/internal/catalog"
 	"paropt/internal/cost"
 	"paropt/internal/engine"
+	"paropt/internal/engine/exchange"
 	"paropt/internal/machine"
 	"paropt/internal/obs/accuracy"
 	"paropt/internal/optree"
@@ -308,8 +309,16 @@ func (o *Optimizer) Execute(p *Plan, db *storage.Database, parallel int) (*engin
 // predictions — EXPLAIN ANALYZE for the §5 calculus. It returns the
 // accuracy report alongside the raw execution stats.
 func (o *Optimizer) Analyze(p *Plan, db *storage.Database, parallel int) (*accuracy.Report, *engine.ExecStats, error) {
+	return o.AnalyzeWith(p, db, parallel, nil)
+}
+
+// AnalyzeWith is Analyze over a specific exchange transport: a nil transport
+// keeps joins in-process, while an exchange.Cluster ships every join fragment
+// to shared-nothing worker processes and streams partitioned batches over the
+// wire — the same instrumented execution, distributed.
+func (o *Optimizer) AnalyzeWith(p *Plan, db *storage.Database, parallel int, tr exchange.Transport) (*accuracy.Report, *engine.ExecStats, error) {
 	stats := &engine.ExecStats{}
-	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel, Stats: stats}
+	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel, Stats: stats, Transport: tr}
 	if _, err := e.Execute(p.Tree); err != nil {
 		return nil, nil, err
 	}

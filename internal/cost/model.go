@@ -220,9 +220,15 @@ func (m *Model) base(op *optree.Op) ResDescriptor {
 // redistribution builds the transfer descriptor for a repartitioned edge:
 // network bytes on a network link, pipelined (first-tuple usage zero). On a
 // machine without a network (shared memory), redistribution costs CPU on the
-// producer's clones instead.
+// producer's clones instead. On a multi-node machine only the fraction of
+// the stream that actually crosses node boundaries is charged, per
+// interconnect link, so a node-local repartition is cheaper than a cross-node
+// one and the two are genuinely incomparable under the partial order.
 func (m *Model) redistribution(child *optree.Op) ResDescriptor {
 	bytes := float64(child.OutCard) * float64(child.Width)
+	if m.M.Nodes() > 1 {
+		return m.crossNodeRedistribution(child, bytes)
+	}
 	d := m.newDemand()
 	if net, ok := m.M.NetworkFor(0); ok {
 		d.addAt(net, bytes*m.P.NetByte)
@@ -230,6 +236,84 @@ func (m *Model) redistribution(child *optree.Op) ResDescriptor {
 		d.addCPU(float64(child.OutCard)*m.P.CPUTuple, child.Clone)
 	}
 	return ResDescriptor{First: ZeroRV(m.Dim()), Last: RV(d.w.Max(), d.w)}
+}
+
+// crossNodeRedistribution charges a repartitioned edge on a shared-nothing
+// machine. The child's clones on producer nodes P hash-partition B bytes
+// uniformly to the parent's nodes T (the edge's RedistTargets; all nodes when
+// unset), so node p sends B/(|P|·|T|) to each target. Traffic whose producer
+// and consumer are the same node never touches the interconnect: node n's
+// link carries its outbound share to the other targets plus its inbound
+// share from the other producers. Each used link also charges its fixed
+// startup latency once to the response time.
+func (m *Model) crossNodeRedistribution(child *optree.Op, bytes float64) ResDescriptor {
+	producers := m.cloneNodeSet(child.Clone)
+	targets := child.RedistTargets
+	if len(targets) == 0 {
+		targets = make([]int, m.M.Nodes())
+		for i := range targets {
+			targets[i] = i
+		}
+	}
+	inT := map[int]bool{}
+	for _, t := range targets {
+		inT[t] = true
+	}
+	inP := map[int]bool{}
+	for _, p := range producers {
+		inP[p] = true
+	}
+	share := bytes / (float64(len(producers)) * float64(len(targets)))
+	d := m.newDemand()
+	latency := 0.0
+	charge := func(node int, xfer float64) {
+		if xfer <= 0 {
+			return
+		}
+		link, ok := m.M.LinkFor(node)
+		if !ok {
+			d.addCPU(xfer/float64(child.Width+1)*m.P.CPUTuple, child.Clone)
+			return
+		}
+		d.addAt(link, xfer*m.P.NetByte)
+		if lat := m.M.Resource(link).Latency; lat > latency {
+			latency = lat
+		}
+	}
+	for _, p := range producers {
+		out := float64(len(targets))
+		if inT[p] {
+			out--
+		}
+		charge(p, share*out)
+	}
+	for _, t := range targets {
+		in := float64(len(producers))
+		if inP[t] {
+			in--
+		}
+		charge(t, share*in)
+	}
+	return ResDescriptor{First: ZeroRV(m.Dim()), Last: RV(d.w.Max()+latency, d.w)}
+}
+
+// cloneNodeSet returns the distinct nodes hosting a clone set (the node of
+// CPU 0 when the operator is not cloned).
+func (m *Model) cloneNodeSet(c optree.Cloning) []int {
+	res := c.Resources
+	if len(res) == 0 {
+		res = []machine.ResourceID{m.M.CPUFor(0)}
+	}
+	seen := map[int]bool{}
+	var nodes []int
+	for _, r := range res {
+		n := m.M.NodeOf(r)
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	return nodes
 }
 
 // spillDisk picks the disk temporaries of an operator live on: the home

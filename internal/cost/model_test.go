@@ -1,6 +1,7 @@
 package cost
 
 import (
+	"math"
 	"testing"
 
 	"paropt/internal/catalog"
@@ -266,6 +267,122 @@ func TestRedistributionWithoutNetwork(t *testing.T) {
 	d := m.Descriptor(sort)
 	if d.RT() <= 0 {
 		t.Error("shared-memory redistribution should still cost CPU")
+	}
+}
+
+// multiNodeFixture builds the fixture catalog on a shared-nothing machine.
+func multiNodeFixture(t *testing.T, nodes, cpus, disks int, lat float64) (*Model, *plan.Estimator) {
+	t.Helper()
+	m, est := fixture(t, cpus, disks)
+	mm := machine.New(machine.Config{CPUs: cpus, Disks: disks, Nodes: nodes, NetLatency: lat})
+	return NewModel(m.Cat, mm, est, DefaultParams()), est
+}
+
+// TestCrossNodeRedistributionLocalIsFree: a repartition whose producers and
+// consumers are the same single node never touches the interconnect, while a
+// cross-node repartition charges network links on every involved node.
+func TestCrossNodeRedistributionLocalIsFree(t *testing.T) {
+	m, _ := multiNodeFixture(t, 4, 2, 2, 0)
+	mm := m.M
+	// cpus are node-major: [0,1]=n0, [2,3]=n1, ...
+	n0cpus := mm.CPUs()[:2]
+	local := &optree.Op{
+		Kind: optree.Scan, Relation: "R1", OutCard: 50_000, Width: 16,
+		Redistribute: true, RedistTargets: []int{0},
+		Clone: optree.Cloning{Resources: n0cpus},
+	}
+	if w := m.TransferDemands(local).Sum(); w != 0 {
+		t.Errorf("node-local repartition charged %g network work, want 0", w)
+	}
+	cross := &optree.Op{
+		Kind: optree.Scan, Relation: "R1", OutCard: 50_000, Width: 16,
+		Redistribute: true, RedistTargets: []int{0, 1, 2, 3},
+		Clone: optree.Cloning{Resources: n0cpus},
+	}
+	w := m.TransferDemands(cross)
+	if w.Sum() <= 0 {
+		t.Fatal("cross-node repartition must charge the interconnect")
+	}
+	// All charged components must be network links; CPUs stay clean.
+	for id, v := range w {
+		if v > 0 && mm.Resource(machine.ResourceID(id)).Kind != machine.Network {
+			t.Errorf("resource %s charged %g; only network links should pay", mm.Resource(machine.ResourceID(id)).Name, v)
+		}
+	}
+	// Producer node 0 sends 3/4 of the stream out; each consumer-only node
+	// receives 1/4. Node 0's link must carry the most traffic.
+	l0, _ := mm.LinkFor(0)
+	l1, _ := mm.LinkFor(1)
+	if w[int(l0)] <= w[int(l1)] {
+		t.Errorf("producer link %g should exceed consumer link %g", w[int(l0)], w[int(l1)])
+	}
+}
+
+// TestCrossNodeLatencyChargedOnce: the link startup latency raises the
+// transfer's response time but not its work.
+func TestCrossNodeLatencyChargedOnce(t *testing.T) {
+	build := func(lat float64) ResDescriptor {
+		m, _ := multiNodeFixture(t, 2, 1, 1, lat)
+		op := &optree.Op{
+			Kind: optree.Scan, Relation: "R1", OutCard: 10_000, Width: 16,
+			Redistribute: true, RedistTargets: []int{0, 1},
+			Clone: optree.Cloning{Resources: []machine.ResourceID{m.M.CPUs()[0]}},
+		}
+		return m.redistribution(op)
+	}
+	flat := build(0)
+	slow := build(3)
+	if got, want := slow.Last.T-flat.Last.T, 3.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("latency raised transfer time by %g, want %g", got, want)
+	}
+	if math.Abs(slow.Last.W.Sum()-flat.Last.W.Sum()) > 1e-9 {
+		t.Error("latency must not change work")
+	}
+}
+
+// TestNetworkDimensionMakesPlansIncomparable: on a multi-node machine a
+// repartitioned tree and a local tree load disjoint resource-vector
+// components (network vs nothing), so neither dominates — the §2 partial
+// order must keep both (larger cover sets).
+func TestNetworkDimensionMakesPlansIncomparable(t *testing.T) {
+	m, _ := multiNodeFixture(t, 4, 2, 2, 0)
+	mkScan := func(redist bool) *optree.Op {
+		op := &optree.Op{
+			Kind: optree.Scan, Relation: "R1", OutCard: 50_000, Width: 16,
+			Clone: optree.Cloning{Resources: m.M.CPUs()[:2]},
+		}
+		if redist {
+			op.Redistribute = true
+			op.RedistTargets = []int{0, 1, 2, 3}
+		}
+		return op
+	}
+	sortOver := func(scan *optree.Op) *optree.Op {
+		res := scan.Clone.Resources
+		if scan.Redistribute {
+			res = []machine.ResourceID{m.M.CPUs()[0], m.M.CPUs()[2], m.M.CPUs()[4], m.M.CPUs()[6]}
+		}
+		return &optree.Op{
+			Kind: optree.Sort, Inputs: []*optree.Op{scan},
+			Composition: optree.Materialized, InCard: 50_000, OutCard: 50_000, Width: 16,
+			Clone: optree.Cloning{Resources: res},
+		}
+	}
+	local := m.Descriptor(sortOver(mkScan(false)))
+	repart := m.Descriptor(sortOver(mkScan(true)))
+	le := func(a, b ResDescriptor) bool {
+		if a.First.T > b.First.T+1e-9 || a.Last.T > b.Last.T+1e-9 {
+			return false
+		}
+		for i := range a.Last.W {
+			if a.First.W[i] > b.First.W[i]+1e-9 || a.Last.W[i] > b.Last.W[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if le(local, repart) || le(repart, local) {
+		t.Errorf("local and repartitioned descriptors must be incomparable:\nlocal  %v\nrepart %v", local.Last.W, repart.Last.W)
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"paropt/internal/engine/exchange"
 	"paropt/internal/plan"
 	"paropt/internal/query"
 	"paropt/internal/storage"
@@ -31,8 +32,9 @@ func (s Schema) IndexOf(c query.ColumnRef) int {
 	return -1
 }
 
-// Batch is a unit of flow between operators.
-type Batch []storage.Row
+// Batch is a unit of flow between operators. It aliases the exchange
+// package's batch so streams cross the transport layer without copying.
+type Batch = exchange.Batch
 
 // Stream delivers batches; it is closed when the producer is exhausted.
 type Stream <-chan Batch
@@ -51,6 +53,32 @@ type Executor struct {
 	// Stats, when non-nil, records each node's runtime descriptor — actual
 	// (tf, tl) and row counts — as the plan executes. Nil costs nothing.
 	Stats *ExecStats
+	// Transport runs the exchange (redistribution) of parallel joins. Nil
+	// means the in-process channel transport; an exchange.Cluster sends the
+	// partitioned streams to worker processes instead.
+	Transport exchange.Transport
+
+	// execErr holds the first asynchronous transport failure of the current
+	// Execute call (operator goroutines can't return errors through
+	// channels).
+	errMu   sync.Mutex
+	execErr error
+}
+
+// fail records the first asynchronous execution error.
+func (e *Executor) fail(err error) {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	if e.execErr == nil {
+		e.execErr = err
+	}
+}
+
+// asyncErr returns the first recorded asynchronous error.
+func (e *Executor) asyncErr() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.execErr
 }
 
 // Resultset is a fully materialized query result.
@@ -68,6 +96,9 @@ func (e *Executor) Execute(n *plan.Node) (*Resultset, error) {
 	if n == nil {
 		return nil, fmt.Errorf("engine: nil plan")
 	}
+	e.errMu.Lock()
+	e.execErr = nil
+	e.errMu.Unlock()
 	stream, schema, err := e.run(n)
 	if err != nil {
 		return nil, err
@@ -75,6 +106,9 @@ func (e *Executor) Execute(n *plan.Node) (*Resultset, error) {
 	var rows []storage.Row
 	for b := range stream {
 		rows = append(rows, b...)
+	}
+	if err := e.asyncErr(); err != nil {
+		return nil, err
 	}
 	res := &Resultset{Schema: schema, Rows: rows}
 	if len(e.Q.Projection) > 0 {

@@ -1,0 +1,332 @@
+package exchange
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ClusterConfig tunes the multi-worker transport.
+type ClusterConfig struct {
+	// Window is the per-direction credit window per link; 0 means
+	// DefaultWindow.
+	Window int
+	// MaxFrame bounds incoming frames; 0 means DefaultMaxFrame.
+	MaxFrame uint32
+	// DialTimeout bounds worker dials; 0 means 5s.
+	DialTimeout time.Duration
+}
+
+// Cluster is the multi-worker transport: each join fragment is dispatched on
+// its own TCP connection to a worker (partition i goes to addrs[i mod n]),
+// both inputs are hash-partitioned and streamed out under credit windows,
+// and result batches are merged. Per-link traffic counters accumulate across
+// joins for /metrics.
+type Cluster struct {
+	addrs     []string
+	cfg       ClusterConfig
+	fragments atomic.Int64
+
+	mu    sync.Mutex
+	links map[string]*LinkStats
+}
+
+// NewCluster builds a transport over the given worker addresses.
+func NewCluster(addrs []string, cfg ClusterConfig) *Cluster {
+	return &Cluster{
+		addrs: append([]string(nil), addrs...),
+		cfg:   cfg,
+		links: make(map[string]*LinkStats),
+	}
+}
+
+// Addrs returns the worker addresses the cluster dispatches to.
+func (c *Cluster) Addrs() []string { return c.addrs }
+
+// Fragments counts fragments dispatched since the cluster was built.
+func (c *Cluster) Fragments() int64 { return c.fragments.Load() }
+
+// Links snapshots per-link traffic counters, sorted by address.
+func (c *Cluster) Links() []LinkSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]LinkSnapshot, 0, len(c.links))
+	for _, ls := range c.links {
+		out = append(out, ls.Snapshot())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// Close is a no-op: connections live per join, not per cluster.
+func (c *Cluster) Close() error { return nil }
+
+func (c *Cluster) linkFor(addr string) *LinkStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ls, ok := c.links[addr]
+	if !ok {
+		ls = &LinkStats{Addr: addr}
+		c.links[addr] = ls
+	}
+	return ls
+}
+
+func (c *Cluster) window() int {
+	if c.cfg.Window > 0 {
+		return c.cfg.Window
+	}
+	return DefaultWindow
+}
+
+func (c *Cluster) maxFrame() uint32 {
+	if c.cfg.MaxFrame > 0 {
+		return c.cfg.MaxFrame
+	}
+	return DefaultMaxFrame
+}
+
+func (c *Cluster) dialTimeout() time.Duration {
+	if c.cfg.DialTimeout > 0 {
+		return c.cfg.DialTimeout
+	}
+	return 5 * time.Second
+}
+
+// workerConn is one coordinator↔worker link of one join.
+type workerConn struct {
+	conn     net.Conn
+	addr     string
+	stats    *LinkStats
+	wmu      sync.Mutex
+	leftWin  *window
+	rightWin *window
+}
+
+func (wc *workerConn) send(typ byte, payload []byte) error {
+	wc.wmu.Lock()
+	defer wc.wmu.Unlock()
+	if err := writeFrame(wc.conn, typ, payload); err != nil {
+		return err
+	}
+	wc.stats.BytesSent.Add(int64(5 + len(payload)))
+	return nil
+}
+
+type clusterJoin struct {
+	out   chan Batch
+	abort chan struct{}
+	conns []*workerConn
+
+	once sync.Once
+	mu   sync.Mutex
+	err  error
+}
+
+func (j *clusterJoin) Out() <-chan Batch { return j.out }
+
+func (j *clusterJoin) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// fail records the first error and tears the join down: windows close so
+// partitioners stop sending, connections close so receivers unblock.
+func (j *clusterJoin) fail(err error) {
+	j.once.Do(func() {
+		j.mu.Lock()
+		j.err = err
+		j.mu.Unlock()
+		close(j.abort)
+		for _, wc := range j.conns {
+			wc.leftWin.close()
+			wc.rightWin.close()
+			wc.conn.Close()
+		}
+	})
+}
+
+// Join dials one connection per partition, streams both partitioned inputs,
+// and merges the result streams. On any failure the join aborts with a typed
+// *WorkerError, and both input streams are still consumed to exhaustion so
+// upstream operators never block.
+func (c *Cluster) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
+	if len(c.addrs) == 0 {
+		go drainBatches(left)
+		go drainBatches(right)
+		return nil, errors.New("exchange: cluster has no workers")
+	}
+	p := frag.Parts
+	if p < 1 {
+		p = 1
+	}
+	bs := frag.BatchSize
+	if bs <= 0 {
+		bs = 256
+	}
+	win := c.window()
+	maxFrame := c.maxFrame()
+
+	j := &clusterJoin{out: make(chan Batch, p), abort: make(chan struct{})}
+	for i := 0; i < p; i++ {
+		addr := c.addrs[i%len(c.addrs)]
+		conn, err := net.DialTimeout("tcp", addr, c.dialTimeout())
+		if err == nil {
+			err = conn.SetDeadline(time.Time{})
+		}
+		wc := &workerConn{conn: conn, addr: addr, stats: c.linkFor(addr), leftWin: newWindow(win), rightWin: newWindow(win)}
+		if err == nil {
+			f := frag
+			f.Part = i
+			f.Parts = p
+			f.BatchSize = bs
+			var payload []byte
+			payload, err = json.Marshal(f)
+			if err == nil {
+				err = wc.send(frameFragment, payload)
+			}
+		}
+		if err != nil {
+			for _, prev := range j.conns {
+				prev.conn.Close()
+			}
+			if conn != nil {
+				conn.Close()
+			}
+			go drainBatches(left)
+			go drainBatches(right)
+			return nil, &WorkerError{Addr: addr, Err: err}
+		}
+		c.fragments.Add(1)
+		j.conns = append(j.conns, wc)
+	}
+
+	var sendWG, recvWG sync.WaitGroup
+	partition := func(in <-chan Batch, key int, typ, endTyp byte, winOf func(*workerConn) *window) {
+		defer sendWG.Done()
+		pending := make([]Batch, p)
+		for i := range pending {
+			pending[i] = make(Batch, 0, bs)
+		}
+		aborted := false
+		flush := func(i int) bool {
+			if len(pending[i]) == 0 {
+				return true
+			}
+			wc := j.conns[i]
+			if !winOf(wc).acquire() {
+				return false
+			}
+			if err := wc.send(typ, encodeBatch(pending[i])); err != nil {
+				j.fail(&WorkerError{Addr: wc.addr, Err: fmt.Errorf("%w: %v", ErrWorkerDisconnected, err)})
+				return false
+			}
+			wc.stats.BatchesSent.Add(1)
+			pending[i] = make(Batch, 0, bs)
+			return true
+		}
+		for b := range in {
+			if aborted {
+				continue // keep draining so upstream never blocks
+			}
+			for _, row := range b {
+				part := Partition(row[key], p)
+				pending[part] = append(pending[part], row)
+				if len(pending[part]) == bs && !flush(part) {
+					aborted = true
+					break
+				}
+			}
+		}
+		for i := range pending {
+			if aborted {
+				break
+			}
+			if !flush(i) {
+				aborted = true
+			}
+		}
+		if !aborted {
+			for _, wc := range j.conns {
+				if err := wc.send(endTyp, nil); err != nil {
+					j.fail(&WorkerError{Addr: wc.addr, Err: fmt.Errorf("%w: %v", ErrWorkerDisconnected, err)})
+					break
+				}
+			}
+		}
+	}
+	sendWG.Add(2)
+	go partition(left, frag.LKeys[0], frameLeft, frameEndLeft, func(wc *workerConn) *window { return wc.leftWin })
+	go partition(right, frag.RKeys[0], frameRight, frameEndRight, func(wc *workerConn) *window { return wc.rightWin })
+
+	recv := func(wc *workerConn) {
+		defer recvWG.Done()
+		for {
+			typ, payload, err := readFrame(wc.conn, maxFrame)
+			if err != nil {
+				select {
+				case <-j.abort: // teardown closed the conn; keep the first error
+				default:
+					if err == io.EOF {
+						err = ErrWorkerDisconnected
+					} else {
+						err = fmt.Errorf("%w: %v", ErrWorkerDisconnected, err)
+					}
+					j.fail(&WorkerError{Addr: wc.addr, Err: err})
+				}
+				return
+			}
+			wc.stats.BytesRecv.Add(int64(5 + len(payload)))
+			switch typ {
+			case frameResult:
+				b, derr := decodeBatch(payload)
+				if derr != nil {
+					j.fail(&WorkerError{Addr: wc.addr, Err: derr})
+					return
+				}
+				wc.stats.BatchesRecv.Add(1)
+				select {
+				case j.out <- b:
+				case <-j.abort:
+					return
+				}
+				_ = wc.send(frameCredit, []byte{creditResult})
+			case frameCredit:
+				if len(payload) == 1 {
+					switch payload[0] {
+					case creditLeft:
+						wc.leftWin.release(1)
+					case creditRight:
+						wc.rightWin.release(1)
+					}
+				}
+			case frameEndResult:
+				return
+			case frameError:
+				j.fail(&WorkerError{Addr: wc.addr, Err: errors.New(string(payload))})
+				return
+			}
+		}
+	}
+	recvWG.Add(len(j.conns))
+	for _, wc := range j.conns {
+		go recv(wc)
+	}
+
+	go func() {
+		recvWG.Wait()
+		sendWG.Wait()
+		for _, wc := range j.conns {
+			wc.conn.Close()
+		}
+		close(j.out)
+	}()
+	return j, nil
+}

@@ -1,0 +1,186 @@
+// Package exchange is the data-redistribution layer of the engine: the
+// Gamma-style exchange operator factored behind a Transport interface, so a
+// cloned join can shuffle its inputs either between goroutines of one
+// process (Local) or across worker processes over TCP (Cluster/Worker) with
+// length-prefixed frames, credit-based send windows and per-link traffic
+// counters. The engine package builds on this; exchange itself depends only
+// on storage.
+package exchange
+
+import (
+	"math/bits"
+	"sync"
+
+	"paropt/internal/storage"
+)
+
+// Batch is a unit of flow between operators — the engine's Batch aliases it.
+type Batch []storage.Row
+
+// Hash64 mixes a key for partitioning (splitmix64 finalizer).
+func Hash64(v int64) uint64 {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Partition maps a key to a partition in [0, parts). The partition count is
+// mixed in after the hash via the fastrange reduction (high word of the
+// 128-bit product), so all 64 mixed bits decide the bucket; reducing with
+// `%` before mixing would let sequential or low-entropy keys alias into few
+// buckets for some partition counts.
+func Partition(v int64, parts int) int {
+	hi, _ := bits.Mul64(Hash64(v), uint64(parts))
+	return int(hi)
+}
+
+// Fragment describes one partition's share of a distributed join: the serial
+// join a worker runs over its partition pair. It is the unit of dispatch —
+// JSON-encoded on the wire.
+type Fragment struct {
+	// Method is the join method name ("hash", "merge", "nl").
+	Method string `json:"method"`
+	// LKeys and RKeys are the join key column positions in the left and
+	// right input rows (first entry is the partitioning key).
+	LKeys []int `json:"lkeys"`
+	RKeys []int `json:"rkeys"`
+	// Part is this fragment's partition number in [0, Parts).
+	Part int `json:"part"`
+	// Parts is the total partition count (the cloning degree).
+	Parts int `json:"parts"`
+	// BatchSize tunes the executor granularity on the worker.
+	BatchSize int `json:"batch_size"`
+}
+
+// JoinFunc runs one fragment's serial join over its partition of the inputs,
+// emitting result batches. The engine provides its serial join here, keeping
+// exchange free of plan/query dependencies. Implementations must consume
+// left and right to exhaustion (or until emit errors) and return emit's
+// error, if any.
+type JoinFunc func(frag Fragment, left, right <-chan Batch, emit func(Batch) error) error
+
+// Join is one in-flight distributed join. Out delivers merged result
+// batches from all partitions and is closed when every partition finishes;
+// Err reports the first transport or worker failure, valid once Out is
+// closed.
+type Join interface {
+	Out() <-chan Batch
+	Err() error
+}
+
+// Transport runs join fragments over some substrate: in-process channels
+// (Local) or worker processes (Cluster). Join consumes the two input
+// streams to exhaustion even on failure, so upstream producers never block.
+type Transport interface {
+	Join(frag Fragment, left, right <-chan Batch) (Join, error)
+	Close() error
+}
+
+// Local is the in-process transport: both inputs are hash-partitioned into
+// per-partition channels and Fn joins each partition pair on its own
+// goroutine — the original single-process exchange, behind the interface.
+type Local struct {
+	// Fn joins one partition pair; required.
+	Fn JoinFunc
+}
+
+type localJoin struct {
+	out  chan Batch
+	err  error
+	errs chan error
+}
+
+func (j *localJoin) Out() <-chan Batch { return j.out }
+func (j *localJoin) Err() error        { return j.err }
+
+// Join partitions both inputs and runs frag.Parts local workers.
+func (l *Local) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
+	p := frag.Parts
+	if p < 1 {
+		p = 1
+	}
+	bs := frag.BatchSize
+	if bs <= 0 {
+		bs = 256
+	}
+	lparts := partitionStream(left, frag.LKeys[0], p, bs)
+	rparts := partitionStream(right, frag.RKeys[0], p, bs)
+	j := &localJoin{out: make(chan Batch, p), errs: make(chan error, p)}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f := frag
+			f.Part = i
+			emit := func(b Batch) error {
+				j.out <- b
+				return nil
+			}
+			if err := l.Fn(f, lparts[i], rparts[i], emit); err != nil {
+				select {
+				case j.errs <- err:
+				default:
+				}
+				drainBatches(lparts[i])
+				drainBatches(rparts[i])
+			}
+		}(i)
+	}
+	go func() {
+		wg.Wait()
+		select {
+		case j.err = <-j.errs:
+		default:
+		}
+		close(j.out)
+	}()
+	return j, nil
+}
+
+// Close is a no-op: Local holds no connections.
+func (l *Local) Close() error { return nil }
+
+// partitionStream hash-partitions a stream into p streams on the key column.
+func partitionStream(in <-chan Batch, key, p, bs int) []<-chan Batch {
+	chans := make([]chan Batch, p)
+	streams := make([]<-chan Batch, p)
+	for i := range chans {
+		chans[i] = make(chan Batch, 4)
+		streams[i] = chans[i]
+	}
+	go func() {
+		defer func() {
+			for i := range chans {
+				close(chans[i])
+			}
+		}()
+		batches := make([]Batch, p)
+		for i := range batches {
+			batches[i] = make(Batch, 0, bs)
+		}
+		for b := range in {
+			for _, row := range b {
+				part := Partition(row[key], p)
+				batches[part] = append(batches[part], row)
+				if len(batches[part]) == bs {
+					chans[part] <- batches[part]
+					batches[part] = make(Batch, 0, bs)
+				}
+			}
+		}
+		for i, batch := range batches {
+			if len(batch) > 0 {
+				chans[i] <- batch
+			}
+		}
+	}()
+	return streams
+}
+
+// drainBatches consumes a stream to exhaustion.
+func drainBatches(in <-chan Batch) {
+	for range in {
+	}
+}

@@ -1,0 +1,220 @@
+package exchange
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Wire format: length-prefixed frames
+//
+//	[u32 length][u8 type][payload (length-1 bytes)]
+//
+// The length covers the type byte plus the payload, so a frame is never
+// empty. Batch payloads are [u32 rows][u32 width] followed by rows×width
+// little-endian int64 values; fragment payloads are JSON; error payloads are
+// UTF-8 messages; credit payloads are a single direction byte.
+const (
+	frameFragment  byte = 1 // coordinator → worker: JSON Fragment, first frame
+	frameLeft      byte = 2 // coordinator → worker: left-input batch
+	frameRight     byte = 3 // coordinator → worker: right-input batch
+	frameEndLeft   byte = 4 // coordinator → worker: left input exhausted
+	frameEndRight  byte = 5 // coordinator → worker: right input exhausted
+	frameResult    byte = 6 // worker → coordinator: result batch
+	frameEndResult byte = 7 // worker → coordinator: join finished cleanly
+	frameError     byte = 8 // worker → coordinator: join failed, payload = message
+	frameCredit    byte = 9 // either direction: window credit, payload = direction
+)
+
+// Credit directions.
+const (
+	creditLeft   byte = 0 // worker consumed one left batch
+	creditRight  byte = 1 // worker consumed one right batch
+	creditResult byte = 2 // coordinator consumed one result batch
+)
+
+// DefaultMaxFrame bounds a single frame (16 MiB) — a corrupt or hostile
+// length prefix fails fast instead of allocating unbounded memory.
+const DefaultMaxFrame = 16 << 20
+
+// DefaultWindow is the per-direction credit window: at most this many
+// un-acknowledged batches in flight per link direction.
+const DefaultWindow = 16
+
+// ErrTruncatedFrame reports a frame cut short — a short read inside the
+// length prefix or body, or a batch payload whose size disagrees with its
+// header. Mid-stream it usually means the peer died.
+var ErrTruncatedFrame = errors.New("exchange: truncated frame")
+
+// ErrWorkerDisconnected reports a worker connection lost before the join
+// finished.
+var ErrWorkerDisconnected = errors.New("exchange: worker disconnected mid-stream")
+
+// WorkerError attributes a transport failure to one worker link.
+type WorkerError struct {
+	Addr string
+	Err  error
+}
+
+func (e *WorkerError) Error() string { return fmt.Sprintf("exchange: worker %s: %v", e.Addr, e.Err) }
+func (e *WorkerError) Unwrap() error { return e.Err }
+
+// writeFrame writes one frame. Callers serialize concurrent writers.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(1+len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame. A clean EOF at a frame boundary returns io.EOF;
+// a short read inside a frame returns ErrTruncatedFrame.
+func readFrame(r io.Reader, maxFrame uint32) (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame length %d out of range (max %d)", ErrTruncatedFrame, n, maxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
+	}
+	return body[0], body[1:], nil
+}
+
+// encodeBatch serializes a batch as [u32 rows][u32 width] + fixed-width
+// little-endian values. All rows of a batch share one width.
+func encodeBatch(b Batch) []byte {
+	width := 0
+	if len(b) > 0 {
+		width = len(b[0])
+	}
+	out := make([]byte, 8+len(b)*width*8)
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(b)))
+	binary.LittleEndian.PutUint32(out[4:8], uint32(width))
+	off := 8
+	for _, row := range b {
+		for _, v := range row {
+			binary.LittleEndian.PutUint64(out[off:], uint64(v))
+			off += 8
+		}
+	}
+	return out
+}
+
+// decodeBatch parses an encoded batch, tolerating truncation by reporting
+// ErrTruncatedFrame rather than panicking.
+func decodeBatch(p []byte) (Batch, error) {
+	if len(p) < 8 {
+		return nil, fmt.Errorf("%w: batch header %d bytes", ErrTruncatedFrame, len(p))
+	}
+	rows := int(binary.LittleEndian.Uint32(p[0:4]))
+	width := int(binary.LittleEndian.Uint32(p[4:8]))
+	if want := 8 + rows*width*8; len(p) != want {
+		return nil, fmt.Errorf("%w: batch payload %d bytes, want %d", ErrTruncatedFrame, len(p), want)
+	}
+	b := make(Batch, rows)
+	off := 8
+	for i := range b {
+		row := make([]int64, width)
+		for j := range row {
+			row[j] = int64(binary.LittleEndian.Uint64(p[off:]))
+			off += 8
+		}
+		b[i] = row
+	}
+	return b, nil
+}
+
+// LinkStats counts traffic on one coordinator↔worker link.
+type LinkStats struct {
+	Addr        string
+	BytesSent   atomic.Int64
+	BytesRecv   atomic.Int64
+	BatchesSent atomic.Int64
+	BatchesRecv atomic.Int64
+}
+
+// LinkSnapshot is a point-in-time copy of LinkStats.
+type LinkSnapshot struct {
+	Addr        string `json:"addr"`
+	BytesSent   int64  `json:"bytes_sent"`
+	BytesRecv   int64  `json:"bytes_recv"`
+	BatchesSent int64  `json:"batches_sent"`
+	BatchesRecv int64  `json:"batches_recv"`
+}
+
+// Snapshot reads the counters atomically (individually, not as a group).
+func (s *LinkStats) Snapshot() LinkSnapshot {
+	return LinkSnapshot{
+		Addr:        s.Addr,
+		BytesSent:   s.BytesSent.Load(),
+		BytesRecv:   s.BytesRecv.Load(),
+		BatchesSent: s.BatchesSent.Load(),
+		BatchesRecv: s.BatchesRecv.Load(),
+	}
+}
+
+// window is a closable credit counter: senders acquire one credit per batch
+// and block while the window is empty; the receiver's credits release them.
+// Closing wakes all waiters with acquire() = false, aborting the stream.
+type window struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	avail  int
+	closed bool
+}
+
+func newWindow(n int) *window {
+	w := &window{avail: n}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// acquire takes one credit, blocking until one is available; it returns
+// false when the window was closed.
+func (w *window) acquire() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for w.avail == 0 && !w.closed {
+		w.cond.Wait()
+	}
+	if w.closed {
+		return false
+	}
+	w.avail--
+	return true
+}
+
+// release returns credits to the window.
+func (w *window) release(n int) {
+	w.mu.Lock()
+	w.avail += n
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// close aborts the window: all current and future acquires return false.
+func (w *window) close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}

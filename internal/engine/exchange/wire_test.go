@@ -1,0 +1,160 @@
+package exchange
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"paropt/internal/storage"
+)
+
+func TestBatchCodecRoundTrip(t *testing.T) {
+	cases := []Batch{
+		nil,
+		{},
+		{{1, 2, 3}},
+		{{-1, 0, 9223372036854775807}, {-9223372036854775808, 7, -42}},
+		{{5}, {6}, {7}, {8}},
+	}
+	for i, b := range cases {
+		got, err := decodeBatch(encodeBatch(b))
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if len(got) != len(b) {
+			t.Fatalf("case %d: %d rows, want %d", i, len(got), len(b))
+		}
+		for r := range b {
+			if len(got[r]) != len(b[r]) {
+				t.Fatalf("case %d row %d: width %d, want %d", i, r, len(got[r]), len(b[r]))
+			}
+			for c := range b[r] {
+				if got[r][c] != b[r][c] {
+					t.Fatalf("case %d row %d col %d: %d != %d", i, r, c, got[r][c], b[r][c])
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeBatchTruncated(t *testing.T) {
+	full := encodeBatch(Batch{{1, 2}, {3, 4}})
+	for _, cut := range []int{0, 4, 7, 8, 9, len(full) - 1} {
+		if _, err := decodeBatch(full[:cut]); !errors.Is(err, ErrTruncatedFrame) {
+			t.Errorf("decode of %d/%d bytes: err = %v, want ErrTruncatedFrame", cut, len(full), err)
+		}
+	}
+	// Oversized payload (header claims fewer rows than bytes present).
+	if _, err := decodeBatch(append(full, 0)); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("oversized payload: err = %v, want ErrTruncatedFrame", err)
+	}
+}
+
+func TestFrameRoundTripAndTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	payload := encodeBatch(Batch{{11, 22}})
+	if err := writeFrame(&buf, frameLeft, payload); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), buf.Bytes()...)
+	typ, got, err := readFrame(bytes.NewReader(full), DefaultMaxFrame)
+	if err != nil || typ != frameLeft || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: typ=%d err=%v", typ, err)
+	}
+	// Clean EOF at a frame boundary is io.EOF, not a truncation.
+	if _, _, err := readFrame(bytes.NewReader(nil), DefaultMaxFrame); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+	// Any cut inside the frame is a truncation.
+	for _, cut := range []int{1, 3, 4, 5, len(full) - 1} {
+		if _, _, err := readFrame(bytes.NewReader(full[:cut]), DefaultMaxFrame); !errors.Is(err, ErrTruncatedFrame) {
+			t.Errorf("cut at %d: err = %v, want ErrTruncatedFrame", cut, err)
+		}
+	}
+	// A hostile length prefix fails fast instead of allocating.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, frameLeft}
+	if _, _, err := readFrame(bytes.NewReader(huge), DefaultMaxFrame); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("oversized frame: err = %v, want ErrTruncatedFrame", err)
+	}
+}
+
+// TestPartitionMixesAfterHash: the fastrange reduction must keep sequential
+// and low-cardinality keys balanced for any partition count — the failure
+// mode of reducing with `%` before mixing.
+func TestPartitionMixesAfterHash(t *testing.T) {
+	for _, parts := range []int{2, 3, 5, 7, 12, 16} {
+		counts := make([]int, parts)
+		const n = 100_000
+		for v := int64(0); v < n; v++ {
+			p := Partition(v, parts)
+			if p < 0 || p >= parts {
+				t.Fatalf("Partition(%d, %d) = %d out of range", v, parts, p)
+			}
+			counts[p]++
+		}
+		mean := float64(n) / float64(parts)
+		for i, c := range counts {
+			if ratio := float64(c) / mean; ratio > 1.05 || ratio < 0.95 {
+				t.Errorf("parts=%d bucket %d holds %.2f× mean for sequential keys", parts, i, ratio)
+			}
+		}
+	}
+}
+
+func TestWindowAcquireReleaseClose(t *testing.T) {
+	w := newWindow(2)
+	if !w.acquire() || !w.acquire() {
+		t.Fatal("two credits should be available")
+	}
+	done := make(chan bool, 1)
+	go func() { done <- w.acquire() }()
+	w.release(1)
+	if !<-done {
+		t.Fatal("release should wake a blocked acquire")
+	}
+	go func() { done <- w.acquire() }()
+	w.close()
+	if <-done {
+		t.Fatal("close should abort a blocked acquire")
+	}
+	if w.acquire() {
+		t.Fatal("acquire after close must fail")
+	}
+}
+
+func TestWorkerErrorUnwrap(t *testing.T) {
+	err := &WorkerError{Addr: "127.0.0.1:9", Err: ErrWorkerDisconnected}
+	if !errors.Is(err, ErrWorkerDisconnected) {
+		t.Error("WorkerError must unwrap to its cause")
+	}
+	var we *WorkerError
+	if !errors.As(error(err), &we) || we.Addr != "127.0.0.1:9" {
+		t.Error("errors.As must recover the typed error with its address")
+	}
+}
+
+// rowsOf builds deterministic two-column rows for transport tests.
+func rowsOf(n int, keyMod int64) []storage.Row {
+	rows := make([]storage.Row, n)
+	for i := range rows {
+		rows[i] = storage.Row{int64(i) % keyMod, int64(i)}
+	}
+	return rows
+}
+
+// streamOf delivers rows in batches over a fresh channel.
+func streamOf(rows []storage.Row, bs int) <-chan Batch {
+	ch := make(chan Batch, 4)
+	go func() {
+		defer close(ch)
+		for i := 0; i < len(rows); i += bs {
+			end := i + bs
+			if end > len(rows) {
+				end = len(rows)
+			}
+			ch <- Batch(rows[i:end])
+		}
+	}()
+	return ch
+}

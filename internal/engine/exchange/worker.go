@@ -1,0 +1,163 @@
+package exchange
+
+import (
+	"encoding/json"
+	"net"
+	"sync"
+)
+
+// Worker serves join fragments over TCP: per connection it reads a Fragment,
+// demultiplexes left/right input batches into channels, runs Join over them,
+// and streams result batches back — all under per-direction credit windows
+// so neither side buffers unboundedly.
+type Worker struct {
+	// Join runs one fragment; required.
+	Join JoinFunc
+	// Window is the per-direction credit window; 0 means DefaultWindow.
+	Window int
+	// MaxFrame bounds incoming frames; 0 means DefaultMaxFrame.
+	MaxFrame uint32
+}
+
+func (w *Worker) window() int {
+	if w.Window > 0 {
+		return w.Window
+	}
+	return DefaultWindow
+}
+
+func (w *Worker) maxFrame() uint32 {
+	if w.MaxFrame > 0 {
+		return w.MaxFrame
+	}
+	return DefaultMaxFrame
+}
+
+// Serve accepts fragment connections until the listener closes, handling
+// each on its own goroutine. It returns the listener's Accept error.
+func (w *Worker) Serve(ln net.Listener) error {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		go w.handle(conn)
+	}
+}
+
+// handle runs one fragment connection to completion.
+//
+// Deadlock-freedom: the reader goroutine delivers into channels whose buffer
+// equals the credit window, and credits are granted only after the join
+// takes a batch — so at most Window un-credited batches exist per direction
+// and the reader never blocks on delivery. It therefore always stays
+// responsive to result credits, whatever order the join consumes its inputs.
+func (w *Worker) handle(conn net.Conn) {
+	defer conn.Close()
+	maxFrame := w.maxFrame()
+	win := w.window()
+	var wmu sync.Mutex
+	send := func(typ byte, payload []byte) error {
+		wmu.Lock()
+		defer wmu.Unlock()
+		return writeFrame(conn, typ, payload)
+	}
+
+	typ, payload, err := readFrame(conn, maxFrame)
+	if err != nil || typ != frameFragment {
+		return
+	}
+	var frag Fragment
+	if err := json.Unmarshal(payload, &frag); err != nil {
+		_ = send(frameError, []byte("exchange: bad fragment: "+err.Error()))
+		return
+	}
+
+	left := make(chan Batch, win)
+	right := make(chan Batch, win)
+	resWin := newWindow(win)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		leftOpen, rightOpen := true, true
+		defer func() {
+			if leftOpen {
+				close(left)
+			}
+			if rightOpen {
+				close(right)
+			}
+			resWin.close()
+		}()
+		for {
+			typ, payload, err := readFrame(conn, maxFrame)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case frameLeft:
+				b, err := decodeBatch(payload)
+				if err != nil {
+					return
+				}
+				left <- b
+			case frameRight:
+				b, err := decodeBatch(payload)
+				if err != nil {
+					return
+				}
+				right <- b
+			case frameEndLeft:
+				if leftOpen {
+					close(left)
+					leftOpen = false
+				}
+			case frameEndRight:
+				if rightOpen {
+					close(right)
+					rightOpen = false
+				}
+			case frameCredit:
+				if len(payload) == 1 && payload[0] == creditResult {
+					resWin.release(1)
+				}
+			}
+		}
+	}()
+
+	// Pumps hand batches to the join and grant a credit per batch consumed.
+	leftOut := make(chan Batch)
+	rightOut := make(chan Batch)
+	pump := func(in <-chan Batch, out chan<- Batch, dir byte) {
+		defer close(out)
+		for b := range in {
+			out <- b
+			_ = send(frameCredit, []byte{dir})
+		}
+	}
+	go pump(left, leftOut, creditLeft)
+	go pump(right, rightOut, creditRight)
+
+	emit := func(b Batch) error {
+		if !resWin.acquire() {
+			return ErrWorkerDisconnected
+		}
+		return send(frameResult, encodeBatch(b))
+	}
+	joinErr := w.Join(frag, leftOut, rightOut, emit)
+	// Unblock the pumps if the join bailed before exhausting its inputs.
+	go drainBatches(leftOut)
+	go drainBatches(rightOut)
+	if joinErr != nil {
+		_ = send(frameError, []byte(joinErr.Error()))
+	} else {
+		_ = send(frameEndResult, nil)
+	}
+	// Wait for the coordinator to close its side before closing ours: a
+	// result credit can still be in flight for the last batch, and closing
+	// with unread data pending makes TCP reset the connection — discarding
+	// the final result/end/error frames from the coordinator's receive
+	// buffer mid-frame. The coordinator always closes once it has read the
+	// end (or failed), which surfaces here as the reader's EOF.
+	<-readerDone
+}

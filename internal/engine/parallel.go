@@ -2,8 +2,8 @@ package engine
 
 import (
 	"fmt"
-	"sync"
 
+	"paropt/internal/engine/exchange"
 	"paropt/internal/plan"
 	"paropt/internal/query"
 	"paropt/internal/storage"
@@ -11,69 +11,84 @@ import (
 
 // parallelJoin is the cloned (intra-operator parallel) join of §4.1: both
 // inputs are hash-redistributed on the join key across Parallel partitions
-// (the exchange / data-redistribution annotation of §4.2), one worker
-// goroutine joins each partition pair with the serial algorithm, and the
-// partition outputs are merged. Equal keys land in equal partitions, so the
-// union of the partition joins is exactly the serial join.
+// (the exchange / data-redistribution annotation of §4.2), each partition
+// pair is joined with the serial algorithm, and the partition outputs are
+// merged. Equal keys land in equal partitions, so the union of the partition
+// joins is exactly the serial join. The redistribution runs on
+// e.Transport — in-process channels by default, worker processes over TCP
+// with an exchange.Cluster.
 func (e *Executor) parallelJoin(n *plan.Node, ls, rs Stream, lkeys, rkeys []int) Stream {
-	p := e.Parallel
-	lparts := e.exchange(ls, lkeys[0], p)
-	rparts := e.exchange(rs, rkeys[0], p)
-	out := make(chan Batch, p)
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for i := 0; i < p; i++ {
-		go func(i int) {
-			defer wg.Done()
-			worker := e.serialJoin(n.Method, lparts[i], rparts[i], lkeys, rkeys)
-			for b := range worker {
-				out <- b
-			}
-		}(i)
+	frag := exchange.Fragment{
+		Method:    wireMethod(n.Method),
+		LKeys:     lkeys,
+		RKeys:     rkeys,
+		Parts:     e.Parallel,
+		BatchSize: e.batchSize(),
+	}
+	tr := e.Transport
+	if tr == nil {
+		tr = &exchange.Local{Fn: FragmentJoin}
+	}
+	out := make(chan Batch, e.Parallel)
+	j, err := tr.Join(frag, ls, rs)
+	if err != nil {
+		e.fail(err)
+		close(out)
+		return out
 	}
 	go func() {
-		wg.Wait()
-		close(out)
+		defer close(out)
+		for b := range j.Out() {
+			out <- b
+		}
+		if err := j.Err(); err != nil {
+			e.fail(err)
+		}
 	}()
 	return out
 }
 
-// exchange hash-partitions a stream into p streams on the key column.
-func (e *Executor) exchange(in Stream, key int, p int) []Stream {
-	chans := make([]chan Batch, p)
-	streams := make([]Stream, p)
-	for i := range chans {
-		chans[i] = make(chan Batch, 4)
-		streams[i] = chans[i]
+// FragmentJoin is the engine's JoinFunc for the exchange layer: it runs the
+// serial join named by the fragment over one partition pair. Workers
+// (cmd/paroptw) and the in-process Local transport both execute fragments
+// through it, so single-process and distributed runs share one join
+// implementation.
+func FragmentJoin(frag exchange.Fragment, left, right <-chan exchange.Batch, emit func(exchange.Batch) error) error {
+	e := &Executor{BatchSize: frag.BatchSize}
+	out := e.serialJoin(planMethod(frag.Method), left, right, frag.LKeys, frag.RKeys)
+	for b := range out {
+		if err := emit(b); err != nil {
+			for range out {
+			}
+			return err
+		}
 	}
-	bs := e.batchSize()
-	go func() {
-		defer func() {
-			for i := range chans {
-				close(chans[i])
-			}
-		}()
-		batches := make([]Batch, p)
-		for i := range batches {
-			batches[i] = make(Batch, 0, bs)
-		}
-		for b := range in {
-			for _, row := range b {
-				part := int(hash64(row[key]) % uint64(p))
-				batches[part] = append(batches[part], row)
-				if len(batches[part]) == bs {
-					chans[part] <- batches[part]
-					batches[part] = make(Batch, 0, bs)
-				}
-			}
-		}
-		for i, batch := range batches {
-			if len(batch) > 0 {
-				chans[i] <- batch
-			}
-		}
-	}()
-	return streams
+	return nil
+}
+
+// wireMethod names a join method for fragment dispatch.
+func wireMethod(m plan.JoinMethod) string {
+	switch m {
+	case plan.HashJoin:
+		return "hash"
+	case plan.SortMerge:
+		return "merge"
+	default:
+		return "nl"
+	}
+}
+
+// planMethod is the inverse of wireMethod; unknown names fall back to
+// nested loops, matching serialJoin's default arm.
+func planMethod(name string) plan.JoinMethod {
+	switch name {
+	case "hash":
+		return plan.HashJoin
+	case "merge":
+		return plan.SortMerge
+	default:
+		return plan.NestedLoops
+	}
 }
 
 // PartitionImbalance hash-partitions a table's column into parts buckets
@@ -93,7 +108,7 @@ func PartitionImbalance(t *storage.Table, column string, parts int) (float64, er
 	}
 	sizes := make([]int, parts)
 	for _, row := range t.Rows {
-		sizes[int(hash64(row[pos])%uint64(parts))]++
+		sizes[exchange.Partition(row[pos], parts)]++
 	}
 	max := 0
 	for _, s := range sizes {
@@ -106,14 +121,6 @@ func PartitionImbalance(t *storage.Table, column string, parts int) (float64, er
 	}
 	mean := float64(t.NumRows()) / float64(parts)
 	return float64(max) / mean, nil
-}
-
-// hash64 mixes a key for partitioning (splitmix64 finalizer).
-func hash64(v int64) uint64 {
-	x := uint64(v) + 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }
 
 // ExecuteParallelDegrees is a convenience for experiments: run the same

@@ -54,6 +54,69 @@ func TestPartitionImbalanceSkewed(t *testing.T) {
 	}
 }
 
+// keyTable builds a one-column table directly from the given key values.
+func keyTable(keys []int64) *storage.Table {
+	rel := &catalog.Relation{
+		Name:    "K",
+		Columns: []catalog.Column{{Name: "k", NDV: int64(len(keys)), Width: 8}},
+		Card:    int64(len(keys)),
+	}
+	rows := make([]storage.Row, len(keys))
+	for i, k := range keys {
+		rows[i] = storage.Row{k}
+	}
+	return &storage.Table{Rel: rel, Cols: map[string]int{"k": 0}, Rows: rows}
+}
+
+// TestPartitionImbalanceSequentialKeys: sequential keys (the classic
+// auto-increment ID) must stay balanced at every partition count. Mixing
+// the partition count into the hash *before* finalizing — or reducing with
+// `%` on a weak hash — aliases consecutive keys into few buckets for
+// non-power-of-two counts.
+func TestPartitionImbalanceSequentialKeys(t *testing.T) {
+	keys := make([]int64, 60_000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	tab := keyTable(keys)
+	for _, parts := range []int{2, 3, 5, 7, 8, 12, 16} {
+		imb, err := PartitionImbalance(tab, "k", parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if imb > 1.1 {
+			t.Errorf("parts=%d: sequential-key imbalance = %.3f, want ≤ 1.1", parts, imb)
+		}
+	}
+}
+
+// TestPartitionImbalanceLowCardinalityKeys: with far more distinct keys than
+// partitions but few keys overall (e.g. 64 distinct status codes across 8
+// partitions), the imbalance is bounded by balls-in-bins variance, not by
+// systematic aliasing.
+func TestPartitionImbalanceLowCardinalityKeys(t *testing.T) {
+	const distinct, repeat = 64, 1_000
+	keys := make([]int64, 0, distinct*repeat)
+	for k := 0; k < distinct; k++ {
+		for r := 0; r < repeat; r++ {
+			keys = append(keys, int64(k)*10) // strided, low-entropy values
+		}
+	}
+	tab := keyTable(keys)
+	for _, parts := range []int{2, 4, 8} {
+		imb, err := PartitionImbalance(tab, "k", parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 64 keys over ≤8 buckets: expected max/mean for a random spread
+		// stays well under 2; systematic aliasing would push it toward
+		// parts (all keys in one bucket).
+		if imb >= 2 {
+			t.Errorf("parts=%d: low-cardinality imbalance = %.3f, want < 2", parts, imb)
+		}
+	}
+}
+
 func TestPartitionImbalanceErrors(t *testing.T) {
 	tab := skewTable(t, 0, 100)
 	if _, err := PartitionImbalance(tab, "zz", 4); err == nil {

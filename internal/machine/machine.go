@@ -60,11 +60,20 @@ type ResourceID int
 type Resource struct {
 	ID   ResourceID
 	Kind Kind
-	// Name is unique within the machine, e.g. "cpu0" or "disk1".
+	// Name is unique within the machine, e.g. "cpu0" or "n1.disk0".
 	Name string
 	// Speed scales work: a demand of w abstract units occupies the resource
-	// for w/Speed time units. Speed 1 is the reference resource.
+	// for w/Speed time units. Speed 1 is the reference resource. For network
+	// links the speed is the link bandwidth in reference units.
 	Speed float64
+	// Latency is the fixed startup latency of using the resource, charged
+	// once per transfer; nonzero only for network links of multi-node
+	// machines (Config.NetLatency).
+	Latency float64
+	// Node is the shared-nothing node the resource belongs to; 0 on
+	// single-node machines. An aggregated interconnect (AggregateLinks)
+	// belongs to node 0 by convention.
+	Node int
 }
 
 // Config describes a machine to build. The zero value is not useful; use
@@ -82,8 +91,25 @@ type Config struct {
 	// AggregateDisks, when true, models all disks as a single logical
 	// resource (the XPRS/RAID aggregation advice of §6.3). The machine still
 	// reports the physical disk count via PhysicalDisks, and the aggregate
-	// resource has Speed multiplied by that count.
+	// resource has Speed multiplied by that count. On a multi-node machine
+	// aggregation is per node (each node's disks become one RAID resource).
 	AggregateDisks bool
+
+	// Nodes is the number of shared-nothing nodes (Gamma-style). 0 or 1
+	// builds the classic single shared-everything node; above 1, CPUs and
+	// Disks are per-node counts, and each node gets one interconnect port (a
+	// network link of speed NetSpeed) regardless of Networks. Data moving
+	// between nodes crosses these links; data staying on a node does not.
+	Nodes int
+	// NetLatency is the fixed startup latency charged once per cross-node
+	// transfer on a link (abstract time units). Only meaningful with
+	// Nodes > 1.
+	NetLatency float64
+	// AggregateLinks, when true on a multi-node machine, models the whole
+	// interconnect as a single logical resource of speed NetSpeed × Nodes —
+	// the §6.3 dimensionality-reduction advice applied to the network, so l
+	// does not grow linearly in the node count.
+	AggregateLinks bool
 }
 
 // DefaultConfig is a small shared-everything node: 4 CPUs, 4 disks, 1 net.
@@ -97,9 +123,22 @@ type Machine struct {
 	cpus      []ResourceID
 	disks     []ResourceID
 	nets      []ResourceID
+	// cpuRR and diskRR are the round-robin allocation orders used by CPUFor
+	// and DiskFor. On a single node they equal cpus/disks; on a multi-node
+	// machine they interleave across nodes so consecutive indices land on
+	// different nodes first (clone sets span nodes, declustered relations
+	// spread Gamma-style).
+	cpuRR  []ResourceID
+	diskRR []ResourceID
+	// nodeLinks[k] is node k's interconnect port; with AggregateLinks every
+	// entry is the single logical interconnect. Empty on single-node
+	// machines (which use the flat nets slice).
+	nodeLinks []ResourceID
+	nodes     int
 	// physicalDisks is the disk count before any aggregation.
 	physicalDisks int
 	aggregated    bool
+	aggregatedNet bool
 }
 
 // New builds a machine from the config. It panics if the config has no CPU
@@ -118,26 +157,82 @@ func New(cfg Config) *Machine {
 		}
 		return s
 	}
-	m := &Machine{physicalDisks: cfg.Disks, aggregated: cfg.AggregateDisks}
-	add := func(kind Kind, name string, sp float64) ResourceID {
+	nodes := cfg.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	m := &Machine{
+		nodes:         nodes,
+		physicalDisks: cfg.Disks * nodes,
+		aggregated:    cfg.AggregateDisks,
+		aggregatedNet: cfg.AggregateLinks && nodes > 1,
+	}
+	add := func(kind Kind, name string, sp, lat float64, node int) ResourceID {
 		id := ResourceID(len(m.resources))
-		m.resources = append(m.resources, Resource{ID: id, Kind: kind, Name: name, Speed: sp})
+		m.resources = append(m.resources, Resource{ID: id, Kind: kind, Name: name, Speed: sp, Latency: lat, Node: node})
 		return id
 	}
-	for i := 0; i < cfg.CPUs; i++ {
-		m.cpus = append(m.cpus, add(CPU, fmt.Sprintf("cpu%d", i), speed(cfg.CPUSpeed)))
+	if nodes == 1 {
+		for i := 0; i < cfg.CPUs; i++ {
+			m.cpus = append(m.cpus, add(CPU, fmt.Sprintf("cpu%d", i), speed(cfg.CPUSpeed), 0, 0))
+		}
+		if cfg.AggregateDisks {
+			m.disks = append(m.disks, add(Disk, "disks", speed(cfg.DiskSpeed)*float64(cfg.Disks), 0, 0))
+		} else {
+			for i := 0; i < cfg.Disks; i++ {
+				m.disks = append(m.disks, add(Disk, fmt.Sprintf("disk%d", i), speed(cfg.DiskSpeed), 0, 0))
+			}
+		}
+		for i := 0; i < cfg.Networks; i++ {
+			m.nets = append(m.nets, add(Network, fmt.Sprintf("net%d", i), speed(cfg.NetSpeed), 0, 0))
+		}
+		m.cpuRR, m.diskRR = m.cpus, m.disks
+		return m
 	}
-	if cfg.AggregateDisks {
-		m.disks = append(m.disks, add(Disk, "disks", speed(cfg.DiskSpeed)*float64(cfg.Disks)))
-	} else {
-		for i := 0; i < cfg.Disks; i++ {
-			m.disks = append(m.disks, add(Disk, fmt.Sprintf("disk%d", i), speed(cfg.DiskSpeed)))
+	// Shared-nothing layout: node-major resource IDs (node k's CPUs, disks,
+	// then its interconnect port), so a resource vector reads as contiguous
+	// per-node blocks.
+	for k := 0; k < nodes; k++ {
+		for i := 0; i < cfg.CPUs; i++ {
+			m.cpus = append(m.cpus, add(CPU, fmt.Sprintf("n%d.cpu%d", k, i), speed(cfg.CPUSpeed), 0, k))
+		}
+		if cfg.AggregateDisks {
+			m.disks = append(m.disks, add(Disk, fmt.Sprintf("n%d.disks", k), speed(cfg.DiskSpeed)*float64(cfg.Disks), 0, k))
+		} else {
+			for i := 0; i < cfg.Disks; i++ {
+				m.disks = append(m.disks, add(Disk, fmt.Sprintf("n%d.disk%d", k, i), speed(cfg.DiskSpeed), 0, k))
+			}
+		}
+		if !m.aggregatedNet {
+			link := add(Network, fmt.Sprintf("n%d.net", k), speed(cfg.NetSpeed), cfg.NetLatency, k)
+			m.nets = append(m.nets, link)
+			m.nodeLinks = append(m.nodeLinks, link)
 		}
 	}
-	for i := 0; i < cfg.Networks; i++ {
-		m.nets = append(m.nets, add(Network, fmt.Sprintf("net%d", i), speed(cfg.NetSpeed)))
+	if m.aggregatedNet {
+		link := add(Network, "interconnect", speed(cfg.NetSpeed)*float64(nodes), cfg.NetLatency, 0)
+		m.nets = append(m.nets, link)
+		for k := 0; k < nodes; k++ {
+			m.nodeLinks = append(m.nodeLinks, link)
+		}
 	}
+	m.cpuRR = interleave(m.cpus, nodes)
+	m.diskRR = interleave(m.disks, nodes)
 	return m
+}
+
+// interleave reorders node-major IDs (n0r0 n0r1 n1r0 n1r1 …) into node
+// round-robin order (n0r0 n1r0 n0r1 n1r1 …), so index-based allocation
+// spreads across nodes first.
+func interleave(ids []ResourceID, nodes int) []ResourceID {
+	per := len(ids) / nodes
+	out := make([]ResourceID, 0, len(ids))
+	for i := 0; i < per; i++ {
+		for k := 0; k < nodes; k++ {
+			out = append(out, ids[k*per+i])
+		}
+	}
+	return out
 }
 
 // NumResources is the dimensionality l of resource vectors on this machine.
@@ -173,20 +268,24 @@ func (m *Machine) Aggregated() bool { return m.aggregated }
 
 // DiskFor maps a placement index (e.g. a relation's home disk number in the
 // catalog) to a disk resource, wrapping modulo the disk count. Under
-// aggregation every placement maps to the single logical disk.
+// aggregation every placement maps to the single logical disk (per node on a
+// multi-node machine). On multi-node machines consecutive placements
+// alternate across nodes, so a declustered relation spreads Gamma-style.
 func (m *Machine) DiskFor(placement int) ResourceID {
 	if placement < 0 {
 		placement = -placement
 	}
-	return m.disks[placement%len(m.disks)]
+	return m.diskRR[placement%len(m.diskRR)]
 }
 
-// CPUFor maps an index to a CPU resource, wrapping modulo the CPU count.
+// CPUFor maps an index to a CPU resource, wrapping modulo the CPU count. On
+// multi-node machines consecutive indices alternate across nodes, so a clone
+// set of degree ≥ 2 always spans nodes.
 func (m *Machine) CPUFor(i int) ResourceID {
 	if i < 0 {
 		i = -i
 	}
-	return m.cpus[i%len(m.cpus)]
+	return m.cpuRR[i%len(m.cpuRR)]
 }
 
 // NetworkFor returns a network resource if one exists, and false otherwise.
@@ -198,6 +297,27 @@ func (m *Machine) NetworkFor(i int) (ResourceID, bool) {
 		i = -i
 	}
 	return m.nets[i%len(m.nets)], true
+}
+
+// Nodes is the number of shared-nothing nodes; 1 on a classic
+// shared-everything machine.
+func (m *Machine) Nodes() int { return m.nodes }
+
+// NodeOf returns the node a resource belongs to.
+func (m *Machine) NodeOf(id ResourceID) int { return m.Resource(id).Node }
+
+// LinkFor returns node k's interconnect port (with AggregateLinks, the single
+// logical interconnect). On single-node machines it falls back to NetworkFor,
+// so callers can charge transfer work uniformly; ok is false only when the
+// machine has no network resource at all.
+func (m *Machine) LinkFor(node int) (ResourceID, bool) {
+	if len(m.nodeLinks) == 0 {
+		return m.NetworkFor(node)
+	}
+	if node < 0 {
+		node = -node
+	}
+	return m.nodeLinks[node%len(m.nodeLinks)], true
 }
 
 // ByKind returns the IDs of resources of the given kind, in ID order.
@@ -213,9 +333,24 @@ func (m *Machine) ByKind(k Kind) []ResourceID {
 	return nil
 }
 
-// String summarizes the machine, e.g. "machine(4 cpu, 4 disk, 1 net)".
+// String summarizes the machine, e.g. "machine(4 cpu, 4 disk, 1 net)" or
+// "machine(4 nodes × 2 cpu, 2 disk; 4 links)".
 func (m *Machine) String() string {
 	var b strings.Builder
+	if m.nodes > 1 {
+		fmt.Fprintf(&b, "machine(%d nodes × %d cpu, ", m.nodes, len(m.cpus)/m.nodes)
+		if m.aggregated {
+			fmt.Fprintf(&b, "%d disk aggregated as 1; ", m.physicalDisks/m.nodes)
+		} else {
+			fmt.Fprintf(&b, "%d disk; ", len(m.disks)/m.nodes)
+		}
+		if m.aggregatedNet {
+			b.WriteString("1 interconnect)")
+		} else {
+			fmt.Fprintf(&b, "%d links)", len(m.nets))
+		}
+		return b.String()
+	}
 	fmt.Fprintf(&b, "machine(%d cpu, ", len(m.cpus))
 	if m.aggregated {
 		fmt.Fprintf(&b, "%d disk aggregated as 1, ", m.physicalDisks)

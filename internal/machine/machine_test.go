@@ -181,6 +181,125 @@ func TestString(t *testing.T) {
 	}
 }
 
+func TestMultiNodeLayout(t *testing.T) {
+	m := New(Config{CPUs: 2, Disks: 2, Nodes: 4, NetLatency: 0.5})
+	if got := m.Nodes(); got != 4 {
+		t.Fatalf("Nodes() = %d, want 4", got)
+	}
+	// 4 nodes × (2 cpu + 2 disk + 1 link) = 20 resources.
+	if got := m.NumResources(); got != 20 {
+		t.Fatalf("NumResources = %d, want 20", got)
+	}
+	if got := len(m.CPUs()); got != 8 {
+		t.Fatalf("len(CPUs) = %d, want 8", got)
+	}
+	if got := len(m.Networks()); got != 4 {
+		t.Fatalf("len(Networks) = %d, want 4", got)
+	}
+	if got := m.PhysicalDisks(); got != 8 {
+		t.Fatalf("PhysicalDisks = %d, want 8", got)
+	}
+	for i, r := range m.Resources() {
+		if int(r.ID) != i {
+			t.Fatalf("resource %d has ID %d; IDs must be dense", i, r.ID)
+		}
+	}
+	// Every node owns a distinct link carrying the configured latency.
+	seen := map[ResourceID]bool{}
+	for k := 0; k < 4; k++ {
+		link, ok := m.LinkFor(k)
+		if !ok {
+			t.Fatalf("LinkFor(%d) reported no link", k)
+		}
+		r := m.Resource(link)
+		if r.Kind != Network || r.Node != k || r.Latency != 0.5 {
+			t.Fatalf("LinkFor(%d) = %+v", k, r)
+		}
+		seen[link] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("expected 4 distinct links, got %d", len(seen))
+	}
+	if got := m.String(); got != "machine(4 nodes × 2 cpu, 2 disk; 4 links)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMultiNodeRoundRobinSpansNodes(t *testing.T) {
+	m := New(Config{CPUs: 2, Disks: 2, Nodes: 3})
+	// Consecutive indices must land on distinct nodes until every node is
+	// covered, so a clone set of degree ≥ 2 always spans nodes.
+	nodes := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		nodes[m.NodeOf(m.CPUFor(i))] = true
+	}
+	if len(nodes) != 3 {
+		t.Errorf("first 3 CPU allocations cover %d nodes, want 3", len(nodes))
+	}
+	nodes = map[int]bool{}
+	for i := 0; i < 3; i++ {
+		nodes[m.NodeOf(m.DiskFor(i))] = true
+	}
+	if len(nodes) != 3 {
+		t.Errorf("first 3 disk placements cover %d nodes, want 3", len(nodes))
+	}
+	// Wrapping still holds.
+	if m.CPUFor(0) != m.CPUFor(6) {
+		t.Error("CPUFor should wrap modulo total CPU count")
+	}
+}
+
+func TestAggregateLinks(t *testing.T) {
+	m := New(Config{CPUs: 1, Disks: 1, Nodes: 4, NetSpeed: 2, AggregateLinks: true})
+	if got := len(m.Networks()); got != 1 {
+		t.Fatalf("aggregated interconnect count = %d, want 1", got)
+	}
+	link := m.Resource(m.Networks()[0])
+	if link.Speed != 8 {
+		t.Fatalf("interconnect speed = %v, want 8 (NetSpeed × Nodes)", link.Speed)
+	}
+	for k := 0; k < 4; k++ {
+		got, ok := m.LinkFor(k)
+		if !ok || got != link.ID {
+			t.Fatalf("LinkFor(%d) = %v, %v; want the single interconnect", k, got, ok)
+		}
+	}
+	if got := m.String(); got != "machine(4 nodes × 1 cpu, 1 disk; 1 interconnect)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestMultiNodeAggregateDisksPerNode(t *testing.T) {
+	m := New(Config{CPUs: 1, Disks: 4, Nodes: 2, AggregateDisks: true})
+	if got := len(m.Disks()); got != 2 {
+		t.Fatalf("per-node aggregated disks = %d, want 2 (one per node)", got)
+	}
+	for i, id := range m.Disks() {
+		r := m.Resource(id)
+		if r.Speed != 4 {
+			t.Fatalf("disk %d speed = %v, want 4", i, r.Speed)
+		}
+	}
+	if got := m.PhysicalDisks(); got != 8 {
+		t.Fatalf("PhysicalDisks = %d, want 8", got)
+	}
+}
+
+func TestSingleNodeLinkForFallsBack(t *testing.T) {
+	m := New(Config{CPUs: 1, Disks: 1, Networks: 1})
+	link, ok := m.LinkFor(0)
+	if !ok {
+		t.Fatal("LinkFor on single-node machine with a net should fall back to NetworkFor")
+	}
+	if net, _ := m.NetworkFor(0); net != link {
+		t.Errorf("LinkFor(0) = %v, NetworkFor(0) = %v; want equal", link, net)
+	}
+	m = New(Config{CPUs: 1, Disks: 1})
+	if _, ok := m.LinkFor(0); ok {
+		t.Error("machine without network should report ok=false from LinkFor")
+	}
+}
+
 // Property: for any valid config, resource IDs are a permutation of
 // 0..NumResources-1 and DiskFor/CPUFor always return valid IDs.
 func TestQuickMachineInvariants(t *testing.T) {

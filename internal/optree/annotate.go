@@ -1,6 +1,8 @@
 package optree
 
 import (
+	"sort"
+
 	"paropt/internal/machine"
 	"paropt/internal/plan"
 	"paropt/internal/query"
@@ -63,12 +65,38 @@ func Annotate(root *Op, m *machine.Machine, est *plan.Estimator, opts AnnotateOp
 		offset += deg
 		op.Clone = Cloning{Resources: res, Attribute: partitionAttr(op, est)}
 	})
-	// Second pass: redistribution on edges.
+	// Second pass: redistribution on edges. On multi-node machines the edge
+	// also records which nodes the repartitioned stream is sent to (the
+	// nodes hosting the parent's clone set), so the cost model can charge
+	// the right interconnect links.
 	root.Walk(func(op *Op) {
 		for _, in := range op.Inputs {
 			in.Redistribute = needsRedistribution(in, op, est)
+			in.RedistTargets = nil
+			if in.Redistribute && m.Nodes() > 1 {
+				in.RedistTargets = cloneNodes(op.Clone, m)
+			}
 		}
 	})
+}
+
+// cloneNodes returns the sorted distinct nodes hosting a clone set.
+func cloneNodes(c Cloning, m *machine.Machine) []int {
+	res := c.Resources
+	if len(res) == 0 {
+		res = []machine.ResourceID{m.CPUFor(0)}
+	}
+	seen := map[int]bool{}
+	var nodes []int
+	for _, r := range res {
+		n := m.NodeOf(r)
+		if !seen[n] {
+			seen[n] = true
+			nodes = append(nodes, n)
+		}
+	}
+	sort.Ints(nodes)
+	return nodes
 }
 
 // partitionAttr picks the attribute an operator's input is partitioned on.

@@ -133,6 +133,10 @@ type Op struct {
 	// Redistribute is true when this node's output must be repartitioned
 	// before its parent consumes it (§4.2 annotation 3).
 	Redistribute bool
+	// RedistTargets is the sorted set of shared-nothing nodes the
+	// repartitioned output is sent to (the nodes hosting the parent's clone
+	// set). Empty on single-node machines and on non-redistributed edges.
+	RedistTargets []int
 
 	// Derived size information for costing.
 
@@ -272,6 +276,13 @@ func (o *Op) AnnotationTable() string {
 		redistr := "no"
 		if op.Redistribute {
 			redistr = "yes"
+			if len(op.RedistTargets) > 0 {
+				parts := make([]string, len(op.RedistTargets))
+				for i, n := range op.RedistTargets {
+					parts[i] = fmt.Sprintf("n%d", n)
+				}
+				redistr = "yes→{" + strings.Join(parts, ",") + "}"
+			}
 		}
 		fmt.Fprintf(&b, "%-24s %-20s %-14s %s\n", name, op.Clone, op.Composition, redistr)
 	})

@@ -114,6 +114,12 @@ type Stats struct {
 	MaxOrderClasses int
 	// Pruned counts candidates rejected by dominance or the work limit.
 	Pruned int64
+	// MetricDims is the dimensionality of the pruning metric actually used
+	// (partial-order algorithms only; 0 for total orders). On a multi-node
+	// machine this grows with the node count — every interconnect link is a
+	// resource-vector coordinate — which is what makes local and
+	// repartitioned plans incomparable.
+	MetricDims int
 }
 
 // Searcher runs the §6 algorithms over one query and cost model.

@@ -142,12 +142,17 @@ func (s *Searcher) PODPBushy() (*Result, error) {
 	return s.finish(opt[query.FullSet(n)])
 }
 
-// defaultPartialMetric resolves the metric for partial-order search.
+// defaultPartialMetric resolves the metric for partial-order search and
+// records its dimensionality in the stats (on multi-node machines the
+// network links add coordinates, so this makes the dimension growth
+// observable in explain output).
 func (s *Searcher) defaultPartialMetric() Metric {
-	if s.opt.Metric != nil {
-		return s.opt.Metric
+	metric := s.opt.Metric
+	if metric == nil {
+		metric = OrderedMetric{Base: ResourceVectorMetric{L: s.opt.Model.Dim()}}
 	}
-	return OrderedMetric{Base: ResourceVectorMetric{L: s.opt.Model.Dim()}}
+	s.stats.MetricDims = metric.Dims()
+	return metric
 }
 
 // newCover builds a cover set honoring the CoverCap option.

@@ -111,3 +111,27 @@ func (c *planCache) Purge() {
 		s.mu.Unlock()
 	}
 }
+
+// PurgeWhere drops every entry whose key satisfies pred and returns how many
+// were dropped — the catalog-version GC path: retiring a version sweeps its
+// keys out instead of waiting for LRU pressure to age them. Dropped entries
+// do not count as evictions.
+func (c *planCache) PurgeWhere(pred func(key string) bool) int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.ll.Front(); el != nil; {
+			next := el.Next()
+			it := el.Value.(*cacheItem)
+			if pred(it.key) {
+				s.ll.Remove(el)
+				delete(s.items, it.key)
+				n++
+			}
+			el = next
+		}
+		s.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package service
+
+import (
+	"errors"
+	"sort"
+
+	"paropt/internal/engine/exchange"
+	"paropt/internal/obs"
+)
+
+// Worker membership for distributed execution: paroptw processes announce
+// themselves via POST /cluster/register and each distributed analyze request
+// builds an exchange.Cluster over the membership of the moment. The daemon
+// never dials workers outside a request, so registration is plain bookkeeping
+// — a dead worker surfaces as a typed *exchange.WorkerError on the request
+// that tried to use it, and the operator (or the worker's own restart)
+// deregisters it.
+
+// RegisterWorker adds a worker address to the cluster membership and returns
+// the resulting worker count. Idempotent.
+func (s *Service) RegisterWorker(addr string) (int, error) {
+	if addr == "" {
+		return 0, badRequestError{errors.New("service: empty worker address")}
+	}
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	s.workers[addr] = struct{}{}
+	return len(s.workers), nil
+}
+
+// DeregisterWorker removes a worker address, reporting whether it was
+// registered, and the remaining count.
+func (s *Service) DeregisterWorker(addr string) (bool, int) {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	_, ok := s.workers[addr]
+	delete(s.workers, addr)
+	return ok, len(s.workers)
+}
+
+// WorkerAddrs returns the registered worker addresses, sorted.
+func (s *Service) WorkerAddrs() []string {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	addrs := make([]string, 0, len(s.workers))
+	for a := range s.workers {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	return addrs
+}
+
+// recordExchange folds one request's cluster traffic into the daemon's
+// cumulative per-link counters (exposed at /metrics) and grafts the totals
+// onto the request's execute span. Each request uses a fresh Cluster, so the
+// cluster's counters are exactly this request's delta.
+func (s *Service) recordExchange(sp *obs.Span, c *exchange.Cluster) {
+	frags := c.Fragments()
+	s.met.ExchangeFragments.Add(frags)
+	sp.SetAttr("fragments", frags)
+	s.clusterMu.Lock()
+	for _, l := range c.Links() {
+		cum, ok := s.links[l.Addr]
+		if !ok {
+			cum = &exchange.LinkSnapshot{Addr: l.Addr}
+			s.links[l.Addr] = cum
+		}
+		cum.BytesSent += l.BytesSent
+		cum.BytesRecv += l.BytesRecv
+		cum.BatchesSent += l.BatchesSent
+		cum.BatchesRecv += l.BatchesRecv
+		sp.SetAttr("link."+l.Addr+".sent", l.BytesSent)
+		sp.SetAttr("link."+l.Addr+".recv", l.BytesRecv)
+	}
+	s.clusterMu.Unlock()
+}
+
+// linkSnapshots copies the cumulative per-link traffic, sorted by address.
+func (s *Service) linkSnapshots() []exchange.LinkSnapshot {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	out := make([]exchange.LinkSnapshot, 0, len(s.links))
+	for _, l := range s.links {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strings"
+	"testing"
+
+	"paropt/internal/engine"
+	"paropt/internal/engine/exchange"
+	"paropt/internal/obs/accuracy"
+	"paropt/internal/parser"
+)
+
+// TestRefreshCatalogRetiresVersion: moving the default catalog must retire
+// the previous default — its plan-cache and negative-cache entries are swept,
+// the catalog itself is dropped, and the retirement is counted.
+func TestRefreshCatalogRetiresVersion(t *testing.T) {
+	s := newTestService(t, nil)
+	ctx := context.Background()
+
+	s.mu.RLock()
+	v0 := s.defaultVersion
+	s.mu.RUnlock()
+
+	// Populate the plan cache and negative cache under v0.
+	if _, err := s.Optimize(ctx, OptimizeRequest{Query: chainSQL(3, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Optimize(ctx, OptimizeRequest{Query: "SELECT * FROM Nope"}); err == nil {
+		t.Fatal("bad query should fail")
+	}
+	if s.CacheLen() != 1 || s.neg.Len() != 1 {
+		t.Fatalf("precondition: cache=%d neg=%d, want 1 and 1", s.CacheLen(), s.neg.Len())
+	}
+
+	refreshed := strings.Replace(testDDL, "relation R2 card=80000", "relation R2 card=160000", 1)
+	cat, err := parser.ParseSchema(refreshed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := s.RefreshCatalog(cat)
+	if v1 == v0 {
+		t.Fatal("refreshed catalog should have a new version")
+	}
+	if got := s.met.CatalogRetired.Load(); got != 1 {
+		t.Errorf("CatalogRetired = %d, want 1", got)
+	}
+	if s.CacheLen() != 0 {
+		t.Errorf("retired version's plan-cache entries not swept: %d resident", s.CacheLen())
+	}
+	if s.neg.Len() != 0 {
+		t.Errorf("retired version's negative-cache entries not swept: %d resident", s.neg.Len())
+	}
+
+	// The retired version is gone: naming it explicitly is now a 400.
+	_, err = s.Optimize(ctx, OptimizeRequest{Query: chainSQL(3, 1), Catalog: v0})
+	var bad badRequestError
+	if !errors.As(err, &bad) {
+		t.Errorf("request against retired version: err = %v, want badRequestError", err)
+	}
+
+	// The new default serves (a fresh miss under v1).
+	resp, err := s.Optimize(ctx, OptimizeRequest{Query: chainSQL(3, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Catalog != v1 || resp.Cache != "miss" {
+		t.Errorf("post-refresh request: catalog=%s cache=%s, want %s/miss", resp.Catalog, resp.Cache, v1)
+	}
+
+	// Re-refreshing the same catalog retires nothing (old == new).
+	s.RefreshCatalog(cat)
+	if got := s.met.CatalogRetired.Load(); got != 1 {
+		t.Errorf("idempotent refresh should not retire: CatalogRetired = %d", got)
+	}
+}
+
+// TestHTTPSchemaDefaultRetiresOldVersion: the /schema "default": true path
+// must route through RefreshCatalog and GC the previous default.
+func TestHTTPSchemaDefaultRetiresOldVersion(t *testing.T) {
+	s, srv := newTestServer(t, nil)
+	if _, body := postJSON(t, srv.URL+"/optimize", OptimizeRequest{Query: chainSQL(3, 1)}); body == nil {
+		t.Fatal("optimize failed")
+	}
+	if s.CacheLen() != 1 {
+		t.Fatalf("precondition: cache=%d, want 1", s.CacheLen())
+	}
+	refreshed := strings.Replace(testDDL, "relation R2 card=80000", "relation R2 card=160000", 1)
+	resp, _ := postJSON(t, srv.URL+"/schema", SchemaRequest{DDL: refreshed, Default: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schema refresh: status %d", resp.StatusCode)
+	}
+	if got := s.met.CatalogRetired.Load(); got != 1 {
+		t.Errorf("CatalogRetired = %d, want 1", got)
+	}
+	if s.CacheLen() != 0 {
+		t.Errorf("plan cache should be swept, %d resident", s.CacheLen())
+	}
+	// Registering without "default" must NOT retire anything.
+	again := strings.Replace(testDDL, "relation R3 card=60000", "relation R3 card=120000", 1)
+	postJSON(t, srv.URL+"/schema", SchemaRequest{DDL: again})
+	if got := s.met.CatalogRetired.Load(); got != 1 {
+		t.Errorf("non-default registration retired a version: CatalogRetired = %d", got)
+	}
+}
+
+// TestClusterMembershipEndpoints drives register/deregister/list over HTTP.
+func TestClusterMembershipEndpoints(t *testing.T) {
+	_, srv := newTestServer(t, nil)
+
+	resp, body := postJSON(t, srv.URL+"/cluster/register", ClusterRequest{Addr: "10.0.0.2:7200"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	postJSON(t, srv.URL+"/cluster/register", ClusterRequest{Addr: "10.0.0.1:7200"})
+	postJSON(t, srv.URL+"/cluster/register", ClusterRequest{Addr: "10.0.0.1:7200"}) // idempotent
+
+	_, body = getBody(t, srv.URL+"/cluster/workers")
+	var list struct {
+		Workers []string `json:"workers"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Workers) != 2 || list.Workers[0] != "10.0.0.1:7200" || list.Workers[1] != "10.0.0.2:7200" {
+		t.Fatalf("workers = %v, want the two addresses sorted", list.Workers)
+	}
+
+	resp, _ = postJSON(t, srv.URL+"/cluster/deregister", ClusterRequest{Addr: "10.0.0.2:7200"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deregister: status %d", resp.StatusCode)
+	}
+	_, body = getBody(t, srv.URL+"/cluster/workers")
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Workers) != 1 || list.Workers[0] != "10.0.0.1:7200" {
+		t.Fatalf("workers after deregister = %v", list.Workers)
+	}
+
+	// Empty address is a 400.
+	resp, _ = postJSON(t, srv.URL+"/cluster/register", ClusterRequest{})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty register: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDistributedAnalyze runs explain-analyze over loopback worker processes
+// and checks the per-link traffic surfaces in the daemon's metrics.
+func TestDistributedAnalyze(t *testing.T) {
+	lb, err := exchange.StartLoopback(2, engine.FragmentJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	s := newTestService(t, nil)
+	ctx := context.Background()
+	for _, addr := range lb.Addrs() {
+		if _, err := s.RegisterWorker(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Baseline: the same query analyzed in-process.
+	local, err := s.Explain(ctx, OptimizeRequest{Query: chainSQL(4, 7), Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := s.Explain(ctx, OptimizeRequest{Query: chainSQL(4, 7), Analyze: true, Distributed: true})
+	if err != nil {
+		t.Fatalf("distributed analyze: %v", err)
+	}
+	if dist.Analyze == nil {
+		t.Fatal("distributed analyze returned no accuracy report")
+	}
+	// Same plan, same data: identical measured root cardinalities.
+	rootRows := func(rep *accuracy.Report) int64 {
+		for _, op := range rep.Ops {
+			if op.Root {
+				return op.ActRows
+			}
+		}
+		return -1
+	}
+	if lr, dr := rootRows(local.Analyze), rootRows(dist.Analyze); lr != dr || lr < 0 {
+		t.Errorf("distributed analyze root rows = %d, in-process = %d", dr, lr)
+	}
+
+	if got := s.met.ExchangeFragments.Load(); got == 0 {
+		t.Error("no fragments dispatched")
+	}
+	links := s.linkSnapshots()
+	if len(links) != 2 {
+		t.Fatalf("links = %d, want 2", len(links))
+	}
+	for _, l := range links {
+		if l.BytesSent == 0 || l.BytesRecv == 0 {
+			t.Errorf("link %s carried no traffic: %+v", l.Addr, l)
+		}
+	}
+
+	// No workers registered → a clean 400-class error, not a hang.
+	for _, addr := range lb.Addrs() {
+		s.DeregisterWorker(addr)
+	}
+	_, err = s.Explain(ctx, OptimizeRequest{Query: chainSQL(4, 8), Analyze: true, Distributed: true})
+	var bad badRequestError
+	if !errors.As(err, &bad) {
+		t.Errorf("no-worker distributed analyze: err = %v, want badRequestError", err)
+	}
+}

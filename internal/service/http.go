@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"paropt/internal/obs/workload"
+	"paropt/internal/parser"
 )
 
 // HTTP surface of the daemon (stdlib net/http only):
@@ -18,8 +19,12 @@ import (
 //	POST /optimize          OptimizeRequest JSON  → OptimizeResponse JSON
 //	POST /explain           OptimizeRequest JSON  → ExplainResponse JSON
 //	                        (?trace=1 adds the DP search trace,
-//	                         ?analyze=1 executes + reports accuracy)
+//	                         ?analyze=1 executes + reports accuracy,
+//	                         ?distributed=1 executes on registered workers)
 //	POST /schema            {"ddl": "..."}        → {"catalog": "<version>"}
+//	POST /cluster/register   {"addr": "host:port"} → worker membership
+//	POST /cluster/deregister {"addr": "host:port"} → worker membership
+//	GET  /cluster/workers                         → registered workers + links
 //	GET  /healthz                                 → liveness + uptime
 //	GET  /metrics                                 → Prometheus text format
 //	GET  /debug/traces                            → retained trace IDs
@@ -38,6 +43,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /optimize", s.handleOptimize)
 	mux.HandleFunc("POST /explain", s.handleExplain)
 	mux.HandleFunc("POST /schema", s.handleSchema)
+	mux.HandleFunc("POST /cluster/register", s.handleClusterRegister)
+	mux.HandleFunc("POST /cluster/deregister", s.handleClusterDeregister)
+	mux.HandleFunc("GET /cluster/workers", s.handleClusterWorkers)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -117,6 +125,9 @@ func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if q.Get("analyze") == "1" {
 		req.Analyze = true
 	}
+	if q.Get("distributed") == "1" {
+		req.Distributed = true
+	}
 	resp, err := s.Explain(r.Context(), req)
 	if err != nil {
 		writeServiceError(w, err)
@@ -146,19 +157,67 @@ func (s *Service) handleSchema(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	version, err := s.RegisterSchema(req.DDL)
+	cat, err := parser.ParseSchema(req.DDL)
 	if err != nil {
 		s.met.Errors.Add(1)
+		writeServiceError(w, badRequestError{err})
+		return
+	}
+	var version string
+	if req.Default {
+		// The statistics-refresh path: move the default and retire the
+		// previous default version (catalog-version GC).
+		version = s.RefreshCatalog(cat)
+	} else {
+		version = s.RegisterCatalog(cat)
+	}
+	writeJSON(w, http.StatusOK, SchemaResponse{Catalog: version, Relations: cat.NumRelations()})
+}
+
+// ClusterRequest names one worker process by its exchange listen address.
+type ClusterRequest struct {
+	Addr string `json:"addr"`
+}
+
+// ClusterResponse reports the membership after a register/deregister.
+type ClusterResponse struct {
+	Workers []string `json:"workers"`
+}
+
+func (s *Service) handleClusterRegister(w http.ResponseWriter, r *http.Request) {
+	var req ClusterRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if _, err := s.RegisterWorker(req.Addr); err != nil {
 		writeServiceError(w, err)
 		return
 	}
-	s.mu.Lock()
-	if req.Default {
-		s.defaultVersion = version
+	s.logger.Info("worker registered", "addr", req.Addr)
+	writeJSON(w, http.StatusOK, ClusterResponse{Workers: s.WorkerAddrs()})
+}
+
+func (s *Service) handleClusterDeregister(w http.ResponseWriter, r *http.Request) {
+	var req ClusterRequest
+	if !decodeJSON(w, r, &req) {
+		return
 	}
-	n := s.catalogs[version].NumRelations()
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, SchemaResponse{Catalog: version, Relations: n})
+	if ok, _ := s.DeregisterWorker(req.Addr); ok {
+		s.logger.Info("worker deregistered", "addr", req.Addr)
+	}
+	writeJSON(w, http.StatusOK, ClusterResponse{Workers: s.WorkerAddrs()})
+}
+
+func (s *Service) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
+	workers := s.WorkerAddrs()
+	if workers == nil {
+		workers = []string{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers":   workers,
+		"fragments": s.met.ExchangeFragments.Load(),
+		"links":     s.linkSnapshots(),
+	})
 }
 
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -195,6 +254,8 @@ func (s *Service) gauges() Gauges {
 		WorkloadDrifted:      s.prof.DriftedCount(),
 		WorkloadOverflow:     s.prof.Overflow(),
 		NegCacheEntries:      s.neg.Len(),
+		ClusterWorkers:       len(s.WorkerAddrs()),
+		Links:                s.linkSnapshots(),
 		QueryLogRecords:      records,
 		QueryLogDropped:      dropped,
 		QueryLogRotations:    rotations,

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"paropt/internal/engine/exchange"
 	"paropt/internal/obs"
 )
 
@@ -63,6 +64,14 @@ type Metrics struct {
 	SweepRuns        atomic.Int64
 	SweepReoptimized atomic.Int64
 
+	// CatalogRetired counts catalog versions retired by RefreshCatalog (each
+	// retirement sweeps the version's plan-cache and negative-cache entries).
+	CatalogRetired atomic.Int64
+
+	// ExchangeFragments counts join fragments dispatched to worker processes
+	// by distributed analyze runs.
+	ExchangeFragments atomic.Int64
+
 	// Latency is the end-to-end request latency histogram.
 	Latency Histogram
 
@@ -107,6 +116,12 @@ type Gauges struct {
 	// Negative-cache occupancy.
 	NegCacheEntries int
 
+	// ClusterWorkers is the registered worker-process count; Links carries
+	// the cumulative per-link exchange traffic (one entry per worker address
+	// that has ever carried a distributed join).
+	ClusterWorkers int
+	Links          []exchange.LinkSnapshot
+
 	// Query-log cumulative counters.
 	QueryLogRecords   int64
 	QueryLogDropped   int64
@@ -143,6 +158,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("paroptd_negcache_hits_total", "Parse/resolve failures answered from the negative cache.", m.NegCacheHits.Load())
 	counter("paroptd_sweeper_runs_total", "Drift-sweeper passes.", m.SweepRuns.Load())
 	counter("paroptd_sweeper_reoptimized_total", "Cache entries re-optimized by the drift sweeper.", m.SweepReoptimized.Load())
+	counter("paroptd_catalog_versions_retired", "Catalog versions retired by statistics refreshes (plan + negative caches swept).", m.CatalogRetired.Load())
+	counter("paroptd_exchange_fragments_total", "Join fragments dispatched to worker processes.", m.ExchangeFragments.Load())
 	counter("paroptd_workload_overflow_total", "Fingerprints dropped because the workload profiler was full.", g.WorkloadOverflow)
 	counter("paroptd_querylog_records_total", "Query-log records written to disk.", g.QueryLogRecords)
 	counter("paroptd_querylog_dropped_total", "Query-log records dropped (writer behind or log closed).", g.QueryLogDropped)
@@ -153,6 +170,18 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	gauge("paroptd_workload_fingerprints", "Query templates tracked by the workload profiler.", int64(g.WorkloadFingerprints))
 	gauge("paroptd_workload_drifted", "Profiles whose EWMA q-error currently exceeds the drift threshold.", int64(g.WorkloadDrifted))
 	gauge("paroptd_negcache_entries", "Negative-cache entries resident.", int64(g.NegCacheEntries))
+	gauge("paroptd_cluster_workers", "Worker processes registered for distributed execution.", int64(g.ClusterWorkers))
+
+	fmt.Fprintf(w, "# HELP paroptd_exchange_link_bytes_total Bytes moved per worker link by distributed joins.\n# TYPE paroptd_exchange_link_bytes_total counter\n")
+	for _, l := range g.Links {
+		fmt.Fprintf(w, "paroptd_exchange_link_bytes_total{link=%q,direction=\"sent\"} %d\n", l.Addr, l.BytesSent)
+		fmt.Fprintf(w, "paroptd_exchange_link_bytes_total{link=%q,direction=\"recv\"} %d\n", l.Addr, l.BytesRecv)
+	}
+	fmt.Fprintf(w, "# HELP paroptd_exchange_link_batches_total Tuple batches moved per worker link by distributed joins.\n# TYPE paroptd_exchange_link_batches_total counter\n")
+	for _, l := range g.Links {
+		fmt.Fprintf(w, "paroptd_exchange_link_batches_total{link=%q,direction=\"sent\"} %d\n", l.Addr, l.BatchesSent)
+		fmt.Fprintf(w, "paroptd_exchange_link_batches_total{link=%q,direction=\"recv\"} %d\n", l.Addr, l.BatchesRecv)
+	}
 
 	fmt.Fprintf(w, "# HELP paroptd_optimize_latency_seconds End-to-end request latency.\n")
 	fmt.Fprintf(w, "# TYPE paroptd_optimize_latency_seconds histogram\n")

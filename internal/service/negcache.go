@@ -77,6 +77,29 @@ func (c *negCache) Put(key string, err error) {
 	}
 }
 
+// PurgeWhere drops every entry whose key satisfies pred and returns how many
+// were dropped (catalog-version GC: a retired version's resolution errors
+// must not outlive the version).
+func (c *negCache) PurgeWhere(pred func(key string) bool) int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		it := el.Value.(*negItem)
+		if pred(it.key) {
+			c.ll.Remove(el)
+			delete(c.items, it.key)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
 // Len is the resident entry count.
 func (c *negCache) Len() int {
 	if c == nil {

@@ -28,11 +28,13 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
 	"paropt/internal/catalog"
 	"paropt/internal/core"
+	"paropt/internal/engine/exchange"
 	"paropt/internal/machine"
 	"paropt/internal/obs"
 	"paropt/internal/obs/accuracy"
@@ -165,6 +167,13 @@ type Service struct {
 	neg  *negCache
 	qlog *workload.Log
 
+	// clusterMu guards the distributed-execution state: workers is the
+	// registered worker-process membership, links the cumulative per-address
+	// exchange traffic from distributed analyze runs (see cluster.go).
+	clusterMu sync.Mutex
+	workers   map[string]struct{}
+	links     map[string]*exchange.LinkSnapshot
+
 	// sweepStop/sweepWG manage the background drift sweeper (SweepInterval).
 	sweepStop chan struct{}
 	sweepWG   sync.WaitGroup
@@ -220,6 +229,8 @@ func New(cfg Config) (*Service, error) {
 		pool:     newWorkerPool(cfg.Workers, cfg.QueueDepth),
 		logger:   cfg.Logger,
 		dbs:      make(map[string]*storage.Database),
+		workers:  make(map[string]struct{}),
+		links:    make(map[string]*exchange.LinkSnapshot),
 		start:    time.Now(),
 	}
 	if s.logger == nil {
@@ -230,9 +241,9 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.met.ensureInit()
 	s.cache = newPlanCache(cfg.CacheShards, cfg.CacheCapacity, func() { s.met.Evictions.Add(1) })
-	s.sessKey = fmt.Sprintf("m=%dc%dd%dn,cs%g,ds%g,ns%g,agg%t|alg=%d,cover=%d,mem=%d",
-		mcfg.CPUs, mcfg.Disks, mcfg.Networks, mcfg.CPUSpeed, mcfg.DiskSpeed, mcfg.NetSpeed,
-		mcfg.AggregateDisks, cfg.Algorithm, cfg.CoverCap, cfg.MemoryPages)
+	s.sessKey = fmt.Sprintf("m=%dc%dd%dn%dN,cs%g,ds%g,ns%g,nl%g,agg%t,aggl%t|alg=%d,cover=%d,mem=%d",
+		mcfg.CPUs, mcfg.Disks, mcfg.Networks, mcfg.Nodes, mcfg.CPUSpeed, mcfg.DiskSpeed, mcfg.NetSpeed,
+		mcfg.NetLatency, mcfg.AggregateDisks, mcfg.AggregateLinks, cfg.Algorithm, cfg.CoverCap, cfg.MemoryPages)
 	if cfg.WorkloadCapacity >= 0 {
 		s.prof = workload.NewProfiler(0, cfg.WorkloadCapacity, cfg.DriftThreshold, cfg.SweepMinSamples)
 	}
@@ -303,19 +314,45 @@ func (s *Service) RegisterCatalog(cat *catalog.Catalog) string {
 
 // RefreshCatalog registers cat and makes it the service default — the
 // statistics-refresh entry point. Unlike RegisterCatalog it always moves the
-// default, so subsequent default-catalog requests key the plan cache under
-// the new version and miss naturally; stale entries age out of the LRU. The
-// drift sweeper closes the loop: hot templates whose accuracy had drifted
-// are re-optimized against the refreshed statistics in the background, so
-// the first post-refresh request hits a warm entry instead of paying a
-// search.
+// default, and it *retires* the previous default version: the retired
+// catalog is dropped, its plan-cache and negative-cache entries are swept
+// eagerly (instead of aging out of the LRU while still consuming capacity),
+// and its synthetic analyze database is released. The drift sweeper closes
+// the loop: hot templates whose accuracy had drifted are re-optimized
+// against the refreshed statistics in the background, so the first
+// post-refresh request hits a warm entry instead of paying a search.
 func (s *Service) RefreshCatalog(cat *catalog.Catalog) string {
 	v := cat.Fingerprint()
 	s.mu.Lock()
+	old := s.defaultVersion
 	s.catalogs[v] = cat
 	s.defaultVersion = v
+	if old != "" && old != v {
+		delete(s.catalogs, old)
+	}
 	s.mu.Unlock()
+	if old != "" && old != v {
+		s.retireCatalog(old)
+	}
 	return v
+}
+
+// retireCatalog garbage-collects every artifact keyed under a retired
+// catalog version. The plan cache's keys embed the version as "|version|",
+// the negative cache's as a "\x00version" suffix; both separators cannot
+// occur inside a version fingerprint (hex), so the sweeps are exact.
+func (s *Service) retireCatalog(version string) {
+	plans := s.cache.PurgeWhere(func(key string) bool {
+		return strings.Contains(key, "|"+version+"|")
+	})
+	negs := s.neg.PurgeWhere(func(key string) bool {
+		return strings.HasSuffix(key, "\x00"+version)
+	})
+	s.dbMu.Lock()
+	delete(s.dbs, version)
+	s.dbMu.Unlock()
+	s.met.CatalogRetired.Add(1)
+	s.logger.Info("catalog retired", "version", version, "plans", plans, "negatives", negs)
 }
 
 // Workload exposes the per-fingerprint profiler (nil when disabled).
@@ -360,6 +397,11 @@ type OptimizeRequest struct {
 	// AnalyzeParallel is the engine parallelism for Analyze; 0 means the
 	// machine's CPU count.
 	AnalyzeParallel int `json:"analyzeParallel,omitempty"`
+	// Distributed (Explain+Analyze only; ?distributed=1) executes the plan's
+	// join fragments on the registered worker processes instead of
+	// in-process, streaming partitioned batches over TCP. Requires at least
+	// one registered worker (POST /cluster/register).
+	Distributed bool `json:"distributed,omitempty"`
 }
 
 // bound maps the request knobs to a §2 bound (nil = unbounded).
@@ -823,7 +865,30 @@ func (s *Service) analyze(req *OptimizeRequest, served *servedPlan, out *Explain
 		par = 1
 	}
 	sp.SetAttr("parallel", par)
-	rep, stats, err := served.entry.opt.Analyze(served.plan, db, par)
+	// Distributed execution: build an exchange.Cluster over the current
+	// worker membership. The transport interface stays nil for the
+	// in-process path (a typed-nil *Cluster would dodge the engine's
+	// nil check).
+	var tr exchange.Transport
+	var cluster *exchange.Cluster
+	if req.Distributed {
+		addrs := s.WorkerAddrs()
+		if len(addrs) == 0 {
+			err := badRequestError{errors.New("service: distributed analyze requested but no workers are registered")}
+			sp.Err(err)
+			sp.End()
+			return err
+		}
+		cluster = exchange.NewCluster(addrs, exchange.ClusterConfig{})
+		sp.SetAttr("workers", len(addrs))
+		tr = cluster
+	}
+	rep, stats, err := served.entry.opt.AnalyzeWith(served.plan, db, par, tr)
+	if cluster != nil {
+		// Record traffic even on failure: partial transfers are exactly
+		// what an operator debugging a dead worker wants to see.
+		s.recordExchange(sp, cluster)
+	}
 	sp.Err(err)
 	sp.End()
 	s.met.PhaseExecute.Observe(time.Since(t).Seconds())
