@@ -26,6 +26,13 @@
 //	POST /cluster/register   {"addr": "host:port"}             → worker joins
 //	POST /cluster/deregister {"addr": "host:port"}             → worker leaves
 //	GET  /cluster/workers                                      → membership + link traffic
+//	POST /cluster/placement  {"catalog": v, "columns": {...}}  → install placement map
+//	                        (partitions every relation across the registered
+//	                         workers; later distributed analyzes ship leaf
+//	                         scans to the owners instead of streaming inputs,
+//	                         and searches price co-located joins as local)
+//	GET  /cluster/placement  [?catalog=v]                      → map + catalog snapshot
+//	                        (what paroptw bootstraps its shard store from)
 //	GET  /healthz                                              → liveness
 //	GET  /metrics                                              → Prometheus text
 //	GET  /debug/traces                                         → trace IDs

@@ -1,25 +1,37 @@
 // Command paroptw is the shared-nothing execution worker: it serves join
 // fragments over TCP for paroptd's distributed analyze path. The daemon's
-// coordinator dials one connection per fragment, streams both hash-partitioned
-// inputs under credit-based flow control, and the worker runs the fragment's
+// coordinator dials one connection per fragment and streams hash-partitioned
+// inputs under credit-based flow control; the worker runs the fragment's
 // join (the same engine.FragmentJoin the in-process transport uses) and
-// streams result batches back.
+// streams result batches back. When a placement map is installed at the
+// daemon, fragments arrive with leaf-scan specs instead of streamed inputs
+// and the worker sources those partitions from its local placement store —
+// bootstrapped from GET /cluster/placement (catalog snapshot + assignments)
+// and prewarmed with the shards this worker owns.
 //
 // Usage:
 //
 //	paroptw [-listen 127.0.0.1:0] [-daemon http://localhost:7077]
 //	        [-advertise host:port] [-window 16]
+//	        [-heartbeat 5s] [-max-reconnect 120]
 //
 // With -daemon the worker registers its address at POST /cluster/register on
-// startup and deregisters on SIGINT/SIGTERM. -advertise overrides the
-// registered address when the listen address is not reachable as-is (e.g.
-// binding 0.0.0.0). Without -daemon the worker just serves; register it by
-// hand.
+// startup (retrying with backoff while the daemon is unreachable) and keeps
+// re-registering on every heartbeat — registration is idempotent, so a
+// daemon restart that loses the membership table is healed by the next
+// heartbeat instead of the worker silently dropping out of the cluster. The
+// heartbeat also refreshes the placement map when its fingerprint changes.
+// After -max-reconnect consecutive heartbeat failures the worker exits
+// nonzero so a supervisor can restart it (0 = retry forever). -advertise
+// overrides the registered address when the listen address is not reachable
+// as-is (e.g. binding 0.0.0.0). Without -daemon the worker just serves;
+// register it by hand.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -27,11 +39,16 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"paropt/internal/catalog"
 	"paropt/internal/engine"
 	"paropt/internal/engine/exchange"
+	"paropt/internal/placement"
+	"paropt/internal/storage"
 )
 
 func main() {
@@ -39,6 +56,8 @@ func main() {
 	daemon := flag.String("daemon", "", "paroptd base URL to register with (empty = no registration)")
 	advertise := flag.String("advertise", "", "address to register at the daemon (default: the resolved listen address)")
 	window := flag.Int("window", 0, "per-direction credit window (0 = default)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "re-register and placement-refresh interval")
+	maxReconnect := flag.Int("max-reconnect", 120, "consecutive failed heartbeats before exiting (0 = retry forever)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -52,31 +71,105 @@ func main() {
 	}
 	log.Printf("paroptw: serving fragments on %s", addr)
 
+	box := &storeBox{daemon: *daemon, self: reg, client: &http.Client{Timeout: 10 * time.Second}}
+	w := &exchange.Worker{Join: engine.FragmentJoin, Window: *window, Store: box}
+	errc := make(chan error, 1)
+	go func() { errc <- w.Serve(ln) }()
+
+	fatalc := make(chan error, 1)
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
 	if *daemon != "" {
-		if err := postCluster(*daemon, "/cluster/register", reg); err != nil {
+		if err := registerWithRetry(*daemon, reg, *maxReconnect); err != nil {
 			log.Fatalf("paroptw: register with %s: %v", *daemon, err)
 		}
 		log.Printf("paroptw: registered %s with %s", reg, *daemon)
+		if err := box.refresh(); err != nil {
+			log.Printf("paroptw: placement prefetch: %v", err)
+		}
+		go heartbeatLoop(*daemon, reg, box, *heartbeat, *maxReconnect, fatalc, hbStop, hbDone)
+	} else {
+		close(hbDone)
 	}
-
-	w := &exchange.Worker{Join: engine.FragmentJoin, Window: *window}
-	errc := make(chan error, 1)
-	go func() { errc <- w.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	select {
 	case err := <-errc:
 		log.Fatalf("paroptw: %v", err)
+	case err := <-fatalc:
+		log.Fatalf("paroptw: %v", err)
 	case <-sig:
 	}
 	log.Printf("paroptw: shutting down")
+	// Quiesce the heartbeat before deregistering: an in-flight heartbeat
+	// landing after the deregister would re-register the dying worker.
+	close(hbStop)
+	<-hbDone
 	if *daemon != "" {
 		if err := postCluster(*daemon, "/cluster/deregister", reg); err != nil {
 			log.Printf("paroptw: deregister: %v", err)
 		}
 	}
 	ln.Close()
+}
+
+// registerWithRetry posts the worker's address to the daemon, retrying with
+// a fixed backoff while the daemon is unreachable (it may still be coming
+// up). maxAttempts <= 0 retries forever.
+func registerWithRetry(daemon, addr string, maxAttempts int) error {
+	const backoff = time.Second
+	var lastErr error
+	for attempt := 1; maxAttempts <= 0 || attempt <= maxAttempts; attempt++ {
+		lastErr = postCluster(daemon, "/cluster/register", addr)
+		if lastErr == nil {
+			return nil
+		}
+		if attempt == 1 || attempt%10 == 0 {
+			log.Printf("paroptw: register attempt %d: %v (retrying)", attempt, lastErr)
+		}
+		time.Sleep(backoff)
+	}
+	return lastErr
+}
+
+// heartbeatLoop keeps the worker registered and its placement store fresh.
+// Registration is idempotent on the daemon side (the epoch only advances on
+// real membership changes), so the steady-state heartbeat is free; after a
+// daemon restart it re-establishes membership instead of letting the worker
+// drop out silently. maxFail consecutive failures abort via fatalc. Closing
+// stop ends the loop; done is closed on return so shutdown can wait out an
+// in-flight heartbeat before deregistering.
+func heartbeatLoop(daemon, addr string, box *storeBox, every time.Duration, maxFail int, fatalc chan<- error, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	fails := 0
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		if err := postCluster(daemon, "/cluster/register", addr); err != nil {
+			fails++
+			if fails == 1 || fails%10 == 0 {
+				log.Printf("paroptw: heartbeat %d failed: %v", fails, err)
+			}
+			if maxFail > 0 && fails >= maxFail {
+				fatalc <- fmt.Errorf("daemon unreachable for %d heartbeats: %w", fails, err)
+				return
+			}
+			continue
+		}
+		if fails > 0 {
+			log.Printf("paroptw: re-registered %s with %s after %d failed heartbeats", addr, daemon, fails)
+			fails = 0
+		}
+		if err := box.refresh(); err != nil {
+			log.Printf("paroptw: placement refresh: %v", err)
+		}
+	}
 }
 
 // postCluster posts {"addr": addr} to the daemon's cluster endpoint.
@@ -94,5 +187,94 @@ func postCluster(base, path, addr string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
 	}
+	return nil
+}
+
+// placementDoc mirrors the daemon's GET /cluster/placement response.
+type placementDoc struct {
+	Map         *placement.Map      `json:"map"`
+	Fingerprint string              `json:"fingerprint"`
+	Epoch       int64               `json:"epoch"`
+	Snapshot    catalog.SnapshotDoc `json:"snapshot"`
+}
+
+// storeBox is the worker's exchange.Store: a swappable placement store
+// bootstrapped lazily from the daemon. The first shipped scan that arrives
+// before a heartbeat has populated the store triggers a synchronous fetch,
+// so a worker started mid-placement still serves it; if the daemon has no
+// placement (or is unreachable) the scan fails cleanly and the coordinator
+// falls back or retries elsewhere.
+type storeBox struct {
+	daemon string
+	self   string
+	client *http.Client
+
+	mu    sync.Mutex // serializes refresh; fp is the installed fingerprint
+	fp    string
+	store atomic.Pointer[placement.Store]
+}
+
+func (b *storeBox) ScanPartition(spec exchange.ScanSpec, part, parts int) ([]storage.Row, error) {
+	if st := b.store.Load(); st != nil {
+		return st.ScanPartition(spec, part, parts)
+	}
+	if b.daemon == "" {
+		return nil, errors.New("paroptw: shipped scan but no -daemon to fetch placement from")
+	}
+	if err := b.refresh(); err != nil {
+		return nil, fmt.Errorf("paroptw: fetch placement: %w", err)
+	}
+	st := b.store.Load()
+	if st == nil {
+		return nil, errors.New("paroptw: no placement installed at daemon")
+	}
+	return st.ScanPartition(spec, part, parts)
+}
+
+// refresh fetches the daemon's placement and rebuilds the local store when
+// the fingerprint changed. A 404 (placement retired or never installed)
+// clears the store so stale shards from an old catalog version are never
+// served.
+func (b *storeBox) refresh() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	resp, err := b.client.Get(b.daemon + "/cluster/placement")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		if b.fp != "" {
+			log.Printf("paroptw: placement retired at daemon; clearing local shards")
+			b.fp = ""
+			b.store.Store(nil)
+		}
+		return nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/cluster/placement: HTTP %d", resp.StatusCode)
+	}
+	var doc placementDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return err
+	}
+	if doc.Map == nil {
+		return errors.New("/cluster/placement: empty map")
+	}
+	if doc.Fingerprint == b.fp {
+		return nil
+	}
+	cat, err := catalog.FromSnapshot(doc.Snapshot)
+	if err != nil {
+		return fmt.Errorf("placement snapshot: %w", err)
+	}
+	st := placement.NewStore(cat, doc.Map.Seed)
+	if err := st.Prewarm(doc.Map, b.self); err != nil {
+		return fmt.Errorf("prewarm shards: %w", err)
+	}
+	b.store.Store(st)
+	b.fp = doc.Fingerprint
+	log.Printf("paroptw: placement %s installed (catalog %s, %d relations, epoch %d)",
+		doc.Fingerprint, doc.Map.CatalogVersion, len(doc.Map.Assignments), doc.Epoch)
 	return nil
 }

@@ -113,6 +113,11 @@ type Config struct {
 	// Expand and Annotate tune operator-tree generation.
 	Expand   *optree.ExpandOptions
 	Annotate *optree.AnnotateOptions
+	// Placed maps relation name → data placement (partitioning column and
+	// owning nodes). Co-located joins of placed relations then pay no
+	// interconnect while misplaced ones are charged from the real nodes —
+	// placement reshapes cover sets and plan choice.
+	Placed map[string]cost.PlacedRelation
 }
 
 // Optimizer optimizes one query against one catalog and machine.
@@ -171,6 +176,7 @@ func NewOptimizer(cat *catalog.Catalog, q *query.Query, cfg Config) (*Optimizer,
 	}
 	est := plan.NewEstimator(cat, q)
 	mod := cost.NewModel(cat, m, est, params)
+	mod.Placed = cfg.Placed
 
 	expand := optree.DefaultExpandOptions()
 	if cfg.Expand != nil {

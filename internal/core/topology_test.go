@@ -4,8 +4,10 @@ import (
 	"testing"
 
 	"paropt/internal/catalog"
+	"paropt/internal/cost"
 	"paropt/internal/machine"
 	"paropt/internal/optree"
+	"paropt/internal/plan"
 	"paropt/internal/query"
 	"paropt/internal/workload"
 )
@@ -88,6 +90,122 @@ func TestTopologyPlanChangeIsCostMotivated(t *testing.T) {
 		t.Errorf("shared-memory tree costs %.1f on the 4-node machine, not worse than the chosen %.1f", d.RT(), p4.RT())
 	}
 	t.Logf("%s on 4 nodes: chosen rt=%.1f, shared-memory tree rt=%.1f", q.Name, p4.RT(), d.RT())
+}
+
+// placementSubquery is the portfolio chain restricted to three relations:
+// trades⋈stocks is co-located under the placement below, stocks⋈sectors is
+// not, so join order decides how much interconnect a plan pays.
+func placementSubquery(t *testing.T) (*catalog.Catalog, *query.Query) {
+	t.Helper()
+	cat, _ := workload.Portfolio(4)
+	col := func(rel, c string) query.ColumnRef { return query.ColumnRef{Relation: rel, Column: c} }
+	q := &query.Query{
+		Name:      "portfolio-3way",
+		Relations: []string{"trades", "stocks", "sectors"},
+		Joins: []query.JoinPredicate{
+			{Left: col("trades", "stock_id"), Right: col("stocks", "stock_id")},
+			{Left: col("stocks", "sector_id"), Right: col("sectors", "sector_id")},
+		},
+	}
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	return cat, q
+}
+
+var portfolioPlacement = map[string]cost.PlacedRelation{
+	"trades":  {Column: "stock_id", Nodes: []int{0, 1, 2, 3}},
+	"stocks":  {Column: "stock_id", Nodes: []int{0, 1, 2, 3}},
+	"sectors": {Column: "sector_id", Nodes: []int{0, 1, 2, 3}},
+}
+
+// TestPlacementDiscountsCoLocatedJoin prices one fixed tree —
+// trades⋈stocks, whose join key is the placement column of both sides — on
+// the 4-node machine under three data layouts. Co-located placement must
+// strictly cut total work (the repartitioned bytes vanish from the
+// interconnect) and dominate the unplaced descriptor; a misplaced layout
+// (partitioned on columns nothing joins on) must keep paying full price.
+func TestPlacementDiscountsCoLocatedJoin(t *testing.T) {
+	cat, q := placementSubquery(t)
+	price := func(placed map[string]cost.PlacedRelation) cost.ResDescriptor {
+		o, err := NewOptimizer(cat, q, Config{Machine: fourNode, Placed: placed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tree, err := o.Est.Join(
+			mustLeaf(t, o, "trades"), mustLeaf(t, o, "stocks"), plan.HashJoin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, _, err := o.Mod.PlanCost(tree, optree.DefaultExpandOptions(), optree.DefaultAnnotateOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	unplaced := price(nil)
+	coloc := price(portfolioPlacement)
+	misplaced := price(map[string]cost.PlacedRelation{
+		"trades": {Column: "amount", Nodes: []int{0, 1, 2, 3}},
+		"stocks": {Column: "listed", Nodes: []int{0, 1, 2, 3}},
+	})
+	t.Logf("trades⋈stocks on 4 nodes: unplaced work=%.1f rt=%.1f | co-located work=%.1f rt=%.1f | misplaced work=%.1f rt=%.1f",
+		unplaced.Work(), unplaced.RT(), coloc.Work(), coloc.RT(), misplaced.Work(), misplaced.RT())
+
+	if coloc.Work() >= unplaced.Work() {
+		t.Errorf("co-located work %.1f not below unplaced %.1f; the interconnect charge did not drop",
+			coloc.Work(), unplaced.Work())
+	}
+	if coloc.RT() > unplaced.RT() {
+		t.Errorf("co-located rt %.1f worse than unplaced %.1f", coloc.RT(), unplaced.RT())
+	}
+	// A misplaced layout still pays the interconnect: only the producer-node
+	// bookkeeping may shift its price a hair, never the co-location discount.
+	if misplaced.Work() < unplaced.Work()*0.99 {
+		t.Errorf("misplaced layout work %.1f got a discount (unplaced %.1f); placement column is not consulted",
+			misplaced.Work(), unplaced.Work())
+	}
+	if misplaced.Work() <= coloc.Work() {
+		t.Errorf("misplaced work %.1f not above co-located %.1f", misplaced.Work(), coloc.Work())
+	}
+}
+
+// TestPlacementWidensCoverSet: under the placement above, a plan that joins
+// co-located trades⋈stocks first and one that starts with the repartitioned
+// stocks⋈sectors edge load different resource dimensions (local hand-off vs
+// interconnect), so the partial order must keep more incomparable shapes
+// than the unplaced search does.
+func TestPlacementWidensCoverSet(t *testing.T) {
+	cat, q := placementSubquery(t)
+	base := optimizeOn(t, cat, q, fourNode)
+	o, err := NewOptimizer(cat, q, Config{Machine: fourNode, Placed: portfolioPlacement})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := o.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("%s on 4 nodes: unplaced rt=%.1f cover=%d frontier=%d | placed rt=%.1f cover=%d frontier=%d",
+		q.Name, base.RT(), base.Stats.MaxCoverSize, len(base.Frontier),
+		pp.RT(), pp.Stats.MaxCoverSize, len(pp.Frontier))
+	if pp.RT() > base.RT() {
+		t.Errorf("placement made the chosen plan worse: rt %.1f vs %.1f", pp.RT(), base.RT())
+	}
+	if pp.Stats.MaxCoverSize <= base.Stats.MaxCoverSize {
+		t.Errorf("placed cover set max %d not wider than unplaced %d; co-located and repartitioned shapes should be incomparable",
+			pp.Stats.MaxCoverSize, base.Stats.MaxCoverSize)
+	}
+}
+
+func mustLeaf(t *testing.T, o *Optimizer, rel string) *plan.Node {
+	t.Helper()
+	n, err := o.Est.Leaf(rel, plan.SeqScan, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
 }
 
 func optimizeOn(t *testing.T, cat *catalog.Catalog, q *query.Query, cfg machine.Config) *Plan {

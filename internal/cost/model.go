@@ -3,11 +3,13 @@ package cost
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"paropt/internal/catalog"
 	"paropt/internal/machine"
 	"paropt/internal/optree"
 	"paropt/internal/plan"
+	"paropt/internal/query"
 )
 
 // Model evaluates resource descriptors for operator trees on a specific
@@ -22,6 +24,20 @@ type Model struct {
 	M   *machine.Machine
 	Est *plan.Estimator
 	P   Params
+	// Placed maps relation name → its data placement. When a placed base
+	// relation's scan is redistributed on its own placement column, the
+	// partitions are already where the consumer wants them and the exchange
+	// is free; when it is repartitioned on any other attribute, the transfer
+	// is charged from the placement's real nodes. Nil means no placement
+	// (all data at the coordinator / shared-memory).
+	Placed map[string]PlacedRelation
+}
+
+// PlacedRelation is one data-placement entry: the relation is hash-
+// partitioned on Column across the shared-nothing Nodes, in shard order.
+type PlacedRelation struct {
+	Column string
+	Nodes  []int
 }
 
 // NewModel assembles a cost model.
@@ -225,6 +241,15 @@ func (m *Model) base(op *optree.Op) ResDescriptor {
 // interconnect link, so a node-local repartition is cheaper than a cross-node
 // one and the two are genuinely incomparable under the partial order.
 func (m *Model) redistribution(child *optree.Op) ResDescriptor {
+	if m.placedCoLocated(child) {
+		// A placed base relation repartitioned on its own placement column:
+		// every shard is already at the node that consumes it, so the
+		// exchange degenerates to a local hand-off — no interconnect bytes,
+		// no latency. This is what makes co-located joins strictly cheaper
+		// on the network dimensions and therefore incomparable with (rather
+		// than dominated by) shapes that repartition.
+		return ResDescriptor{First: ZeroRV(m.Dim()), Last: ZeroRV(m.Dim())}
+	}
 	bytes := float64(child.OutCard) * float64(child.Width)
 	if m.M.Nodes() > 1 {
 		return m.crossNodeRedistribution(child, bytes)
@@ -247,7 +272,7 @@ func (m *Model) redistribution(child *optree.Op) ResDescriptor {
 // share from the other producers. Each used link also charges its fixed
 // startup latency once to the response time.
 func (m *Model) crossNodeRedistribution(child *optree.Op, bytes float64) ResDescriptor {
-	producers := m.cloneNodeSet(child.Clone)
+	producers := m.producerNodes(child)
 	targets := child.RedistTargets
 	if len(targets) == 0 {
 		targets = make([]int, m.M.Nodes())
@@ -295,6 +320,50 @@ func (m *Model) crossNodeRedistribution(child *optree.Op, bytes float64) ResDesc
 		charge(t, share*in)
 	}
 	return ResDescriptor{First: ZeroRV(m.Dim()), Last: RV(d.w.Max()+latency, d.w)}
+}
+
+// placedFor returns the placement entry of a base-relation access operator.
+func (m *Model) placedFor(op *optree.Op) (PlacedRelation, bool) {
+	if op.Kind != optree.Scan && op.Kind != optree.IndexScanOp {
+		return PlacedRelation{}, false
+	}
+	pr, ok := m.Placed[op.Relation]
+	return pr, ok
+}
+
+// placedCoLocated reports whether a redistributed edge is satisfied by the
+// child's data placement: the child is a placed base-relation scan and the
+// attribute the parent repartitions on is (canonically) the placement
+// column, so the shards are already partitioned the way the consumer needs.
+func (m *Model) placedCoLocated(child *optree.Op) bool {
+	pr, ok := m.placedFor(child)
+	if !ok || pr.Column == "" {
+		return false
+	}
+	canon := m.Est.Canon(query.ColumnRef{Relation: child.Relation, Column: pr.Column})
+	return canon == child.RedistAttr
+}
+
+// producerNodes returns the nodes a redistributed edge's bytes originate
+// from: a placed base relation sends from the nodes holding its shards,
+// anything else from the nodes hosting the child's clones.
+func (m *Model) producerNodes(child *optree.Op) []int {
+	pr, ok := m.placedFor(child)
+	if !ok || len(pr.Nodes) == 0 {
+		return m.cloneNodeSet(child.Clone)
+	}
+	n := m.M.Nodes()
+	seen := map[int]bool{}
+	var nodes []int
+	for _, p := range pr.Nodes {
+		p %= n
+		if !seen[p] {
+			seen[p] = true
+			nodes = append(nodes, p)
+		}
+	}
+	sort.Ints(nodes)
+	return nodes
 }
 
 // cloneNodeSet returns the distinct nodes hosting a clone set (the node of

@@ -207,15 +207,117 @@ func (e *Executor) build(n *plan.Node) (Stream, Schema, error) {
 	if n.IsLeaf() {
 		return e.scan(n)
 	}
-	ls, lschema, err := e.run(n.Left)
+	lschema, err := e.schemaOf(n.Left)
 	if err != nil {
 		return nil, nil, err
 	}
-	rs, rschema, err := e.run(n.Right)
+	rschema, err := e.schemaOf(n.Right)
 	if err != nil {
 		return nil, nil, err
 	}
-	return e.join(n, ls, lschema, rs, rschema)
+	lkeys, rkeys, err := joinKeys(n, lschema, rschema)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Leaf-scan shipping: when the transport owns a leaf child's relation at
+	// the workers, don't build its local stream at all — the fragment
+	// carries a ScanSpec and each worker sources its shard from its own
+	// store, so no base tuple of that side crosses the coordinator's links.
+	var lspec, rspec *exchange.ScanSpec
+	parts := 0
+	if e.Parallel > 1 && len(lkeys) > 0 {
+		if shipper, ok := e.Transport.(exchange.ScanShipper); ok {
+			var lparts, rparts int
+			if lspec, lparts, err = e.shipSpec(shipper, n.Left, lkeys[0]); err != nil {
+				return nil, nil, err
+			}
+			if rspec, rparts, err = e.shipSpec(shipper, n.Right, rkeys[0]); err != nil {
+				return nil, nil, err
+			}
+			if lspec != nil {
+				parts = lparts
+			} else if rspec != nil {
+				parts = rparts
+			}
+		}
+	}
+
+	var ls, rs Stream
+	if lspec == nil {
+		if ls, _, err = e.run(n.Left); err != nil {
+			return nil, nil, err
+		}
+	}
+	if rspec == nil {
+		if rs, _, err = e.run(n.Right); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	schema := append(append(Schema(nil), lschema...), rschema...)
+	if len(lkeys) == 0 {
+		// Cross product: nested loops over a materialized inner.
+		return e.crossProduct(ls, rs), schema, nil
+	}
+	if e.Parallel > 1 {
+		return e.parallelJoin(n, ls, rs, lkeys, rkeys, lspec, rspec, parts), schema, nil
+	}
+	return e.serialJoin(n.Method, ls, rs, lkeys, rkeys), schema, nil
+}
+
+// schemaOf resolves a subtree's output schema without building operators:
+// a leaf delivers its relation's columns in declaration order, a join
+// concatenates left then right.
+func (e *Executor) schemaOf(n *plan.Node) (Schema, error) {
+	if n.IsLeaf() {
+		tab, ok := e.DB.Table(n.Relation)
+		if !ok {
+			return nil, fmt.Errorf("engine: no data for relation %s", n.Relation)
+		}
+		schema := make(Schema, len(tab.Rel.Columns))
+		for i, c := range tab.Rel.Columns {
+			schema[i] = query.ColumnRef{Relation: n.Relation, Column: c.Name}
+		}
+		return schema, nil
+	}
+	ls, err := e.schemaOf(n.Left)
+	if err != nil {
+		return nil, err
+	}
+	rs, err := e.schemaOf(n.Right)
+	if err != nil {
+		return nil, err
+	}
+	return append(append(Schema(nil), ls...), rs...), nil
+}
+
+// shipSpec builds the worker-sourced scan spec for a join input: non-nil
+// only when the input is a leaf whose relation the transport can ship, in
+// which case the spec carries the partitioning key position and the query's
+// pushed-down selections, and the returned parts is the owning-worker
+// count.
+func (e *Executor) shipSpec(shipper exchange.ScanShipper, n *plan.Node, key int) (*exchange.ScanSpec, int, error) {
+	if !n.IsLeaf() {
+		return nil, 0, nil
+	}
+	parts, ok := shipper.ShipScan(n.Relation)
+	if !ok {
+		return nil, 0, nil
+	}
+	tab, ok := e.DB.Table(n.Relation)
+	if !ok {
+		return nil, 0, fmt.Errorf("engine: no data for relation %s", n.Relation)
+	}
+	spec := &exchange.ScanSpec{Relation: n.Relation, HashCol: key}
+	for _, s := range e.Q.SelectionsOn(n.Relation) {
+		pos := tab.ColIndex(s.Column.Column)
+		if pos < 0 {
+			return nil, 0, fmt.Errorf("engine: selection on unknown column %v", s.Column)
+		}
+		spec.Filters = append(spec.Filters, exchange.ScanFilter{Col: pos, Val: s.Value})
+	}
+	return spec, parts, nil
 }
 
 // scan streams a base table with the query's selections applied. An index
@@ -337,23 +439,6 @@ func joinKeys(n *plan.Node, lschema, rschema Schema) (lkeys, rkeys []int, err er
 		rkeys = append(rkeys, ri)
 	}
 	return lkeys, rkeys, nil
-}
-
-// join dispatches on method and parallelism.
-func (e *Executor) join(n *plan.Node, ls Stream, lschema Schema, rs Stream, rschema Schema) (Stream, Schema, error) {
-	schema := append(append(Schema(nil), lschema...), rschema...)
-	lkeys, rkeys, err := joinKeys(n, lschema, rschema)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(lkeys) == 0 {
-		// Cross product: nested loops over a materialized inner.
-		return e.crossProduct(ls, rs), schema, nil
-	}
-	if e.Parallel > 1 {
-		return e.parallelJoin(n, ls, rs, lkeys, rkeys), schema, nil
-	}
-	return e.serialJoin(n.Method, ls, rs, lkeys, rkeys), schema, nil
 }
 
 // serialJoin runs one worker of the chosen method over complete streams.

@@ -12,6 +12,13 @@ import (
 	"time"
 )
 
+// DefaultRetries is the extra dispatch attempts per fully-shipped fragment
+// after its first attempt fails.
+const DefaultRetries = 2
+
+// DefaultRetryBackoff is the pause before each fragment re-dispatch.
+const DefaultRetryBackoff = 50 * time.Millisecond
+
 // ClusterConfig tunes the multi-worker transport.
 type ClusterConfig struct {
 	// Window is the per-direction credit window per link; 0 means
@@ -21,17 +28,46 @@ type ClusterConfig struct {
 	MaxFrame uint32
 	// DialTimeout bounds worker dials; 0 means 5s.
 	DialTimeout time.Duration
+	// Owners maps relation name → owning worker addresses in shard order
+	// (from the placement map). Non-empty entries enable leaf-scan shipping
+	// for that relation: the engine asks via ShipScan, fragment i is
+	// dispatched to owner i, and the worker sources the shard locally.
+	Owners map[string][]string
+	// Members returns the live worker addresses and the membership epoch;
+	// consulted when re-dispatching a failed fully-shipped fragment, so
+	// mid-query deregistrations shrink the retry candidate set instead of
+	// failing the query. Nil freezes membership at the construction addrs.
+	Members func() (addrs []string, epoch int64)
+	// Retries is the extra dispatch attempts per fully-shipped fragment
+	// after the first fails; 0 means DefaultRetries, negative disables
+	// retries entirely.
+	Retries int
+	// RetryBackoff is the pause before each re-dispatch; 0 means
+	// DefaultRetryBackoff.
+	RetryBackoff time.Duration
+	// Store and Fn enable coordinator fallback: when every dispatch of a
+	// fully-shipped fragment fails, the coordinator sources the partitions
+	// from Store and runs Fn in-process rather than failing the query.
+	Store Store
+	Fn    JoinFunc
 }
 
 // Cluster is the multi-worker transport: each join fragment is dispatched on
-// its own TCP connection to a worker (partition i goes to addrs[i mod n]),
-// both inputs are hash-partitioned and streamed out under credit windows,
-// and result batches are merged. Per-link traffic counters accumulate across
-// joins for /metrics.
+// its own TCP connection to a worker, both inputs are hash-partitioned and
+// streamed out under credit windows, and result batches are merged. With a
+// placement map (Owners) leaf scans ship to the data instead: fragments go
+// to the owning workers, which source their shards locally, and only join
+// outputs cross the wire. Fully-shipped fragments are retried on surviving
+// workers after a failure and fall back to the coordinator when no worker
+// can run them. Per-link traffic counters accumulate across joins for
+// /metrics.
 type Cluster struct {
 	addrs     []string
 	cfg       ClusterConfig
 	fragments atomic.Int64
+	shipped   atomic.Int64
+	retries   atomic.Int64
+	fallbacks atomic.Int64
 
 	mu    sync.Mutex
 	links map[string]*LinkStats
@@ -49,8 +85,20 @@ func NewCluster(addrs []string, cfg ClusterConfig) *Cluster {
 // Addrs returns the worker addresses the cluster dispatches to.
 func (c *Cluster) Addrs() []string { return c.addrs }
 
-// Fragments counts fragments dispatched since the cluster was built.
+// Fragments counts fragment dispatches since the cluster was built
+// (re-dispatches of the same fragment count again).
 func (c *Cluster) Fragments() int64 { return c.fragments.Load() }
+
+// ShippedScans counts leaf-scan sides sourced at workers instead of
+// streamed from the coordinator.
+func (c *Cluster) ShippedScans() int64 { return c.shipped.Load() }
+
+// Retries counts fragment re-dispatches after a worker failure.
+func (c *Cluster) Retries() int64 { return c.retries.Load() }
+
+// Fallbacks counts fragments the coordinator ran itself after every worker
+// dispatch failed.
+func (c *Cluster) Fallbacks() int64 { return c.fallbacks.Load() }
 
 // Links snapshots per-link traffic counters, sorted by address.
 func (c *Cluster) Links() []LinkSnapshot {
@@ -66,6 +114,13 @@ func (c *Cluster) Links() []LinkSnapshot {
 
 // Close is a no-op: connections live per join, not per cluster.
 func (c *Cluster) Close() error { return nil }
+
+// ShipScan implements ScanShipper: scans of a relation with placed owners
+// can be shipped, partitioned across the owner count.
+func (c *Cluster) ShipScan(relation string) (int, bool) {
+	owners := c.cfg.Owners[relation]
+	return len(owners), len(owners) > 0
+}
 
 func (c *Cluster) linkFor(addr string) *LinkStats {
 	c.mu.Lock()
@@ -97,6 +152,58 @@ func (c *Cluster) dialTimeout() time.Duration {
 		return c.cfg.DialTimeout
 	}
 	return 5 * time.Second
+}
+
+func (c *Cluster) retryBudget() int {
+	if c.cfg.Retries < 0 {
+		return 0
+	}
+	if c.cfg.Retries == 0 {
+		return DefaultRetries
+	}
+	return c.cfg.Retries
+}
+
+func (c *Cluster) retryBackoff() time.Duration {
+	if c.cfg.RetryBackoff > 0 {
+		return c.cfg.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
+// members returns the live worker set and epoch: the Members callback when
+// installed, else the static construction addresses.
+func (c *Cluster) members() ([]string, int64) {
+	if c.cfg.Members != nil {
+		return c.cfg.Members()
+	}
+	return c.addrs, 0
+}
+
+// ownerFor returns the preferred dispatch address for partition part of a
+// fragment: the shipped side's owner in shard order, else round-robin over
+// the static worker set.
+func (c *Cluster) ownerFor(frag *Fragment, part int) string {
+	for _, spec := range []*ScanSpec{frag.LeftScan, frag.RightScan} {
+		if spec == nil {
+			continue
+		}
+		if owners := c.cfg.Owners[spec.Relation]; len(owners) > 0 {
+			return owners[part%len(owners)]
+		}
+	}
+	return c.addrs[part%len(c.addrs)]
+}
+
+// countShipped bumps the shipped-scan counter for each worker-sourced side
+// of a dispatched fragment.
+func (c *Cluster) countShipped(frag *Fragment) {
+	if frag.LeftScan != nil {
+		c.shipped.Add(1)
+	}
+	if frag.RightScan != nil {
+		c.shipped.Add(1)
+	}
 }
 
 // workerConn is one coordinator↔worker link of one join.
@@ -153,10 +260,13 @@ func (j *clusterJoin) fail(err error) {
 	})
 }
 
-// Join dials one connection per partition, streams both partitioned inputs,
-// and merges the result streams. On any failure the join aborts with a typed
-// *WorkerError, and both input streams are still consumed to exhaustion so
-// upstream operators never block.
+// Join dispatches the fragment's partitions to workers and merges the
+// result streams. Fully-shipped fragments (both inputs worker-sourced) run
+// on the fault-tolerant path: per-fragment retry on surviving members, then
+// coordinator fallback. Fragments with coordinator-streamed inputs keep
+// fail-fast semantics — their inputs are not replayable — and on any
+// failure the join aborts with a typed *WorkerError, with both input
+// streams still consumed to exhaustion so upstream operators never block.
 func (c *Cluster) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
 	if len(c.addrs) == 0 {
 		go drainBatches(left)
@@ -171,12 +281,35 @@ func (c *Cluster) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
 	if bs <= 0 {
 		bs = 256
 	}
+	if _, epoch := c.members(); epoch > 0 {
+		frag.Epoch = epoch
+	}
+	if frag.FullyShipped() {
+		// No coordinator-streamed inputs: nothing to drain, every partition
+		// is independently retryable.
+		return c.joinShipped(frag, p, bs)
+	}
+	return c.joinStreamed(frag, left, right, p, bs)
+}
+
+// joinStreamed is the streaming path: inputs not sourced at the workers are
+// hash-partitioned here and streamed out under credit windows. At most one
+// side may be shipped.
+func (c *Cluster) joinStreamed(frag Fragment, left, right <-chan Batch, p, bs int) (Join, error) {
 	win := c.window()
 	maxFrame := c.maxFrame()
 
 	j := &clusterJoin{out: make(chan Batch, p), abort: make(chan struct{})}
+	drainInputs := func() {
+		if frag.LeftScan == nil {
+			go drainBatches(left)
+		}
+		if frag.RightScan == nil {
+			go drainBatches(right)
+		}
+	}
 	for i := 0; i < p; i++ {
-		addr := c.addrs[i%len(c.addrs)]
+		addr := c.ownerFor(&frag, i)
 		conn, err := net.DialTimeout("tcp", addr, c.dialTimeout())
 		if err == nil {
 			err = conn.SetDeadline(time.Time{})
@@ -200,11 +333,11 @@ func (c *Cluster) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
 			if conn != nil {
 				conn.Close()
 			}
-			go drainBatches(left)
-			go drainBatches(right)
+			drainInputs()
 			return nil, &WorkerError{Addr: addr, Err: err}
 		}
 		c.fragments.Add(1)
+		c.countShipped(&frag)
 		j.conns = append(j.conns, wc)
 	}
 
@@ -262,9 +395,14 @@ func (c *Cluster) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
 			}
 		}
 	}
-	sendWG.Add(2)
-	go partition(left, frag.LKeys[0], frameLeft, frameEndLeft, func(wc *workerConn) *window { return wc.leftWin })
-	go partition(right, frag.RKeys[0], frameRight, frameEndRight, func(wc *workerConn) *window { return wc.rightWin })
+	if frag.LeftScan == nil {
+		sendWG.Add(1)
+		go partition(left, frag.LKeys[0], frameLeft, frameEndLeft, func(wc *workerConn) *window { return wc.leftWin })
+	}
+	if frag.RightScan == nil {
+		sendWG.Add(1)
+		go partition(right, frag.RKeys[0], frameRight, frameEndRight, func(wc *workerConn) *window { return wc.rightWin })
+	}
 
 	recv := func(wc *workerConn) {
 		defer recvWG.Done()
@@ -329,4 +467,205 @@ func (c *Cluster) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
 		close(j.out)
 	}()
 	return j, nil
+}
+
+// shippedJoin merges the independently-dispatched partitions of a
+// fully-shipped fragment.
+type shippedJoin struct {
+	out chan Batch
+	mu  sync.Mutex
+	err error
+}
+
+func (j *shippedJoin) Out() <-chan Batch { return j.out }
+
+func (j *shippedJoin) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+func (j *shippedJoin) setErr(err error) {
+	j.mu.Lock()
+	if j.err == nil {
+		j.err = err
+	}
+	j.mu.Unlock()
+}
+
+// joinShipped runs a fully-shipped fragment: each partition is dispatched
+// to its owning worker on its own goroutine and retried elsewhere on
+// failure. Results of an attempt are staged and only merged into the output
+// once the worker finishes cleanly, so a retry never duplicates rows.
+func (c *Cluster) joinShipped(frag Fragment, p, bs int) (Join, error) {
+	j := &shippedJoin{out: make(chan Batch, p)}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for i := 0; i < p; i++ {
+		f := frag
+		f.Part = i
+		f.Parts = p
+		f.BatchSize = bs
+		go func(f Fragment) {
+			defer wg.Done()
+			if err := c.runShipped(f, j); err != nil {
+				j.setErr(err)
+			}
+		}(f)
+	}
+	go func() {
+		wg.Wait()
+		close(j.out)
+	}()
+	return j, nil
+}
+
+// runShipped dispatches one fully-shipped fragment: first to its preferred
+// owner, then — after a backoff, consulting live membership — to workers
+// not yet tried, and finally to the coordinator's own store. Only a clean
+// frameEndResult commits an attempt's staged results.
+func (c *Cluster) runShipped(f Fragment, j *shippedJoin) error {
+	tried := map[string]bool{}
+	addr := c.ownerFor(&f, f.Part)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			time.Sleep(c.retryBackoff())
+			addrs, epoch := c.members()
+			f.Epoch = epoch
+			addr = ""
+			for _, a := range addrs {
+				if !tried[a] {
+					addr = a
+					break
+				}
+			}
+			if addr == "" {
+				break // every live member tried
+			}
+		}
+		tried[addr] = true
+		staged, err := c.attemptShipped(f, addr)
+		if err == nil {
+			for _, b := range staged {
+				j.out <- b
+			}
+			return nil
+		}
+		lastErr = err
+		if attempt >= c.retryBudget() {
+			break
+		}
+	}
+	if c.cfg.Store != nil && c.cfg.Fn != nil {
+		c.fallbacks.Add(1)
+		if err := c.runFallback(f, j); err != nil {
+			return err
+		}
+		return nil
+	}
+	return lastErr
+}
+
+// attemptShipped runs one dispatch attempt of a fully-shipped fragment,
+// returning the staged result batches on clean completion.
+func (c *Cluster) attemptShipped(f Fragment, addr string) ([]Batch, error) {
+	conn, err := net.DialTimeout("tcp", addr, c.dialTimeout())
+	if err != nil {
+		return nil, &WorkerError{Addr: addr, Err: err}
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		return nil, &WorkerError{Addr: addr, Err: err}
+	}
+	stats := c.linkFor(addr)
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, frameFragment, payload); err != nil {
+		return nil, &WorkerError{Addr: addr, Err: err}
+	}
+	stats.BytesSent.Add(int64(5 + len(payload)))
+	c.fragments.Add(1)
+	c.countShipped(&f)
+
+	maxFrame := c.maxFrame()
+	var staged []Batch
+	for {
+		typ, payload, err := readFrame(conn, maxFrame)
+		if err != nil {
+			if err == io.EOF {
+				err = ErrWorkerDisconnected
+			} else {
+				err = fmt.Errorf("%w: %v", ErrWorkerDisconnected, err)
+			}
+			return nil, &WorkerError{Addr: addr, Err: err}
+		}
+		stats.BytesRecv.Add(int64(5 + len(payload)))
+		switch typ {
+		case frameResult:
+			b, derr := decodeBatch(payload)
+			if derr != nil {
+				return nil, &WorkerError{Addr: addr, Err: derr}
+			}
+			stats.BatchesRecv.Add(1)
+			staged = append(staged, b)
+			if err := writeFrame(conn, frameCredit, []byte{creditResult}); err != nil {
+				return nil, &WorkerError{Addr: addr, Err: err}
+			}
+			stats.BytesSent.Add(6)
+		case frameEndResult:
+			return staged, nil
+		case frameError:
+			return nil, &WorkerError{Addr: addr, Err: errors.New(string(payload))}
+		}
+	}
+}
+
+// runFallback executes a fully-shipped fragment in the coordinator process:
+// both partitions are sourced from the configured store and joined with the
+// configured join function — the no-replica-left degradation of last
+// resort.
+func (c *Cluster) runFallback(f Fragment, j *shippedJoin) error {
+	source := func(spec *ScanSpec) (chan Batch, error) {
+		rows, err := c.cfg.Store.ScanPartition(*spec, f.Part, f.Parts)
+		if err != nil {
+			return nil, err
+		}
+		ch := make(chan Batch, 1)
+		go func() {
+			defer close(ch)
+			for start := 0; start < len(rows); start += f.BatchSize {
+				end := start + f.BatchSize
+				if end > len(rows) {
+					end = len(rows)
+				}
+				ch <- Batch(rows[start:end])
+			}
+		}()
+		return ch, nil
+	}
+	left, err := source(f.LeftScan)
+	if err != nil {
+		return fmt.Errorf("exchange: fallback scan: %w", err)
+	}
+	right, err := source(f.RightScan)
+	if err != nil {
+		go drainBatches(left)
+		return fmt.Errorf("exchange: fallback scan: %w", err)
+	}
+	var staged []Batch
+	emit := func(b Batch) error {
+		staged = append(staged, b)
+		return nil
+	}
+	if err := c.cfg.Fn(f, left, right, emit); err != nil {
+		return fmt.Errorf("exchange: fallback join: %w", err)
+	}
+	for _, b := range staged {
+		j.out <- b
+	}
+	return nil
 }

@@ -8,7 +8,6 @@
 package exchange
 
 import (
-	"math/bits"
 	"sync"
 
 	"paropt/internal/storage"
@@ -17,22 +16,51 @@ import (
 // Batch is a unit of flow between operators — the engine's Batch aliases it.
 type Batch []storage.Row
 
-// Hash64 mixes a key for partitioning (splitmix64 finalizer).
-func Hash64(v int64) uint64 {
-	x := uint64(v) + 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
+// Hash64 mixes a key for partitioning. It lives in internal/storage (shared
+// with worker-side placement shards); this alias keeps exchange's callers
+// source-compatible.
+func Hash64(v int64) uint64 { return storage.Hash64(v) }
+
+// Partition maps a key to a partition in [0, parts) — storage.Partition.
+func Partition(v int64, parts int) int { return storage.Partition(v, parts) }
+
+// ScanFilter is one pushed-down equality selection of a shipped scan: the
+// worker keeps only rows whose column at position Col equals Val.
+type ScanFilter struct {
+	Col int   `json:"col"`
+	Val int64 `json:"val"`
 }
 
-// Partition maps a key to a partition in [0, parts). The partition count is
-// mixed in after the hash via the fastrange reduction (high word of the
-// 128-bit product), so all 64 mixed bits decide the bucket; reducing with
-// `%` before mixing would let sequential or low-entropy keys alias into few
-// buckets for some partition counts.
-func Partition(v int64, parts int) int {
-	hi, _ := bits.Mul64(Hash64(v), uint64(parts))
-	return int(hi)
+// ScanSpec describes a leaf scan a worker sources from its own store
+// instead of the wire: partition Part (of the fragment's Parts) of the
+// relation, hash-partitioned on the join-key column at position HashCol,
+// with the query's equality selections applied. Because worker stores
+// generate relations deterministically from the catalog, any worker can
+// source any partition — the basis for fragment re-dispatch and
+// coordinator fallback.
+type ScanSpec struct {
+	Relation string       `json:"relation"`
+	HashCol  int          `json:"hash_col"`
+	Filters  []ScanFilter `json:"filters,omitempty"`
+}
+
+// Store sources base-relation partitions at a worker (or, for coordinator
+// fallback, in-process). Implementations must be safe for concurrent use.
+type Store interface {
+	// ScanPartition returns the rows of hash partition part (of parts) of
+	// the relation named by spec — rows whose HashCol value hashes to part
+	// and that pass every filter.
+	ScanPartition(spec ScanSpec, part, parts int) ([]storage.Row, error)
+}
+
+// ScanShipper is implemented by transports that can source leaf scans at
+// the workers holding the data (Cluster with a placement map). The engine
+// consults it before building a leaf's stream: a shipped scan sends no
+// input bytes through the coordinator.
+type ScanShipper interface {
+	// ShipScan reports whether scans of the relation can be shipped, and
+	// the partition count (the relation's owning-worker count) to use.
+	ShipScan(relation string) (parts int, ok bool)
 }
 
 // Fragment describes one partition's share of a distributed join: the serial
@@ -51,7 +79,20 @@ type Fragment struct {
 	Parts int `json:"parts"`
 	// BatchSize tunes the executor granularity on the worker.
 	BatchSize int `json:"batch_size"`
+	// LeftScan / RightScan, when set, tell the worker to source that input
+	// from its own store (ScanSpec + Part/Parts) instead of the wire; the
+	// coordinator then streams nothing for that side.
+	LeftScan  *ScanSpec `json:"left_scan,omitempty"`
+	RightScan *ScanSpec `json:"right_scan,omitempty"`
+	// Epoch is the coordinator's cluster-membership epoch when the fragment
+	// was dispatched — observability for re-dispatched fragments.
+	Epoch int64 `json:"epoch,omitempty"`
 }
+
+// FullyShipped reports whether both inputs are worker-sourced: the fragment
+// carries no coordinator-streamed state, so it can be re-dispatched to
+// another worker (or run by the coordinator itself) after a failure.
+func (f *Fragment) FullyShipped() bool { return f.LeftScan != nil && f.RightScan != nil }
 
 // JoinFunc runs one fragment's serial join over its partition of the inputs,
 // emitting result batches. The engine provides its serial join here, keeping

@@ -13,15 +13,25 @@ type Loopback struct {
 // StartLoopback launches n workers on 127.0.0.1 ephemeral ports, all running
 // the given join function.
 func StartLoopback(n int, join JoinFunc) (*Loopback, error) {
+	workers := make([]*Worker, n)
+	for i := range workers {
+		workers[i] = &Worker{Join: join}
+	}
+	return StartLoopbackWorkers(workers)
+}
+
+// StartLoopbackWorkers launches the given pre-configured workers (each with
+// its own Join/Store, e.g. per-worker fault injection or placement stores)
+// on 127.0.0.1 ephemeral ports, in order — Addrs()[i] serves workers[i].
+func StartLoopbackWorkers(workers []*Worker) (*Loopback, error) {
 	lb := &Loopback{}
-	for i := 0; i < n; i++ {
+	for _, w := range workers {
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			lb.Close()
 			return nil, err
 		}
-		w := &Worker{Join: join}
-		go func() { _ = w.Serve(ln) }()
+		go func(w *Worker, ln net.Listener) { _ = w.Serve(ln) }(w, ln)
 		lb.lns = append(lb.lns, ln)
 		lb.addrs = append(lb.addrs, ln.Addr().String())
 	}

@@ -1,0 +1,264 @@
+package exchange
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"paropt/internal/storage"
+)
+
+// memStore is a test Store: full relations held in memory, shards computed
+// on demand with the same hash/partition functions the stream partitioner
+// uses, so shipped and streamed runs agree row-for-row.
+type memStore struct {
+	rels map[string][]storage.Row
+}
+
+func (m *memStore) ScanPartition(spec ScanSpec, part, parts int) ([]storage.Row, error) {
+	rows, ok := m.rels[spec.Relation]
+	if !ok {
+		return nil, errors.New("memStore: unknown relation " + spec.Relation)
+	}
+	var out []storage.Row
+	for _, r := range rows {
+		if Partition(r[spec.HashCol], parts) != part {
+			continue
+		}
+		keep := true
+		for _, f := range spec.Filters {
+			if r[f.Col] != f.Val {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// shippedFrag is a fully-shipped two-relation hash-join fragment.
+func shippedFrag(parts int) Fragment {
+	return Fragment{
+		Method: "hash", LKeys: []int{0}, RKeys: []int{0}, Parts: parts, BatchSize: 32,
+		LeftScan:  &ScanSpec{Relation: "L", HashCol: 0},
+		RightScan: &ScanSpec{Relation: "R", HashCol: 0},
+	}
+}
+
+// collect merges a Join's output and returns rows + final error.
+func collect(j Join) ([]storage.Row, error) {
+	var rows []storage.Row
+	for b := range j.Out() {
+		rows = append(rows, b...)
+	}
+	return rows, j.Err()
+}
+
+// TestShippedJoinMatchesStreamedAndCutsBytes: a fully-shipped fragment must
+// produce exactly the streamed result while moving far less through the
+// coordinator — the ISSUE's ≥50% byte cut, asserted at the transport layer.
+func TestShippedJoinMatchesStreamedAndCutsBytes(t *testing.T) {
+	lrows, rrows := rowsOf(5_000, 97), rowsOf(1_000, 97)
+	store := &memStore{rels: map[string][]storage.Row{"L": lrows, "R": rrows}}
+	lb, err := StartLoopbackWorkers([]*Worker{
+		{Join: testHashJoin, Store: store},
+		{Join: testHashJoin, Store: store},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	owners := map[string][]string{"L": lb.Addrs(), "R": lb.Addrs()}
+
+	// Baseline: same workers, everything streamed from the coordinator.
+	streamedCluster := lb.Cluster(ClusterConfig{})
+	frag := Fragment{Method: "hash", LKeys: []int{0}, RKeys: []int{0}, Parts: 2, BatchSize: 32}
+	streamedRows, err := runJoin(t, streamedCluster, frag, lrows, rrows)
+	if err != nil {
+		t.Fatalf("streamed: %v", err)
+	}
+	if len(streamedRows) == 0 {
+		t.Fatal("streamed join produced no rows; fixture broken")
+	}
+
+	shippedCluster := lb.Cluster(ClusterConfig{Owners: owners})
+	j, err := shippedCluster.Join(shippedFrag(2), nil, nil)
+	if err != nil {
+		t.Fatalf("shipped dispatch: %v", err)
+	}
+	shippedRows, err := collect(j)
+	if err != nil {
+		t.Fatalf("shipped: %v", err)
+	}
+
+	if !reflect.DeepEqual(multiset(streamedRows), multiset(shippedRows)) {
+		t.Fatalf("shipped rows differ from streamed (%d vs %d rows)",
+			len(shippedRows), len(streamedRows))
+	}
+	if got := shippedCluster.ShippedScans(); got != 4 {
+		t.Errorf("ShippedScans = %d, want 4 (2 sides × 2 fragments)", got)
+	}
+	if got := shippedCluster.Retries(); got != 0 {
+		t.Errorf("Retries = %d, want 0 on a healthy cluster", got)
+	}
+
+	sent := func(c *Cluster) int64 {
+		var n int64
+		for _, l := range c.Links() {
+			n += l.BytesSent
+		}
+		return n
+	}
+	base, shipped := sent(streamedCluster), sent(shippedCluster)
+	if shipped*2 > base {
+		t.Errorf("coordinator sent %d bytes shipped vs %d streamed; want ≥50%% cut", shipped, base)
+	}
+}
+
+// TestShippedRetryRedispatchesAndDiscardsStagedResults: the owner of
+// partition 0 emits a poison batch and then dies mid-fragment. The
+// coordinator must discard the staged partial output, re-dispatch the
+// fragment to the surviving worker, and deliver exactly the healthy result.
+func TestShippedRetryRedispatchesAndDiscardsStagedResults(t *testing.T) {
+	lrows, rrows := rowsOf(2_000, 53), rowsOf(500, 53)
+	store := &memStore{rels: map[string][]storage.Row{"L": lrows, "R": rrows}}
+	poison := storage.Row{-1, -1, -1, -1}
+	dying := func(frag Fragment, left, right <-chan Batch, emit func(Batch) error) error {
+		_ = emit(Batch{poison}) // partial output the coordinator must discard
+		drainBatches(left)
+		drainBatches(right)
+		return errors.New("worker killed mid-fragment")
+	}
+	lb, err := StartLoopbackWorkers([]*Worker{
+		{Join: dying, Store: store},
+		{Join: testHashJoin, Store: store},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	addrs := lb.Addrs()
+
+	cluster := lb.Cluster(ClusterConfig{
+		Owners:       map[string][]string{"L": addrs, "R": addrs},
+		Members:      func() ([]string, int64) { return addrs, 7 },
+		RetryBackoff: 1, // keep the test fast
+	})
+	j, err := cluster.Join(shippedFrag(2), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := collect(j)
+	if err != nil {
+		t.Fatalf("join with one dead owner must still complete: %v", err)
+	}
+
+	want, err := runJoin(t, &Local{Fn: testHashJoin},
+		Fragment{Method: "hash", LKeys: []int{0}, RKeys: []int{0}, Parts: 2, BatchSize: 32},
+		lrows, rrows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if reflect.DeepEqual(r, poison) {
+			t.Fatal("staged partial batch from the dead worker leaked into the result")
+		}
+	}
+	if !reflect.DeepEqual(multiset(want), multiset(got)) {
+		t.Fatalf("re-dispatched join rows differ (%d vs %d rows)", len(got), len(want))
+	}
+	if cluster.Retries() < 1 {
+		t.Errorf("Retries = %d, want ≥1", cluster.Retries())
+	}
+	if cluster.Fallbacks() != 0 {
+		t.Errorf("Fallbacks = %d, want 0 (a live replica existed)", cluster.Fallbacks())
+	}
+}
+
+// TestShippedFallbackToCoordinator: when every worker dispatch fails, the
+// coordinator sources the partitions from its own store and runs the join
+// in-process instead of failing the query.
+func TestShippedFallbackToCoordinator(t *testing.T) {
+	lrows, rrows := rowsOf(1_000, 31), rowsOf(300, 31)
+	store := &memStore{rels: map[string][]storage.Row{"L": lrows, "R": rrows}}
+	boom := func(frag Fragment, left, right <-chan Batch, emit func(Batch) error) error {
+		drainBatches(left)
+		drainBatches(right)
+		return errors.New("no capacity")
+	}
+	lb, err := StartLoopbackWorkers([]*Worker{{Join: boom, Store: store}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	addrs := lb.Addrs()
+
+	cluster := lb.Cluster(ClusterConfig{
+		Owners:       map[string][]string{"L": addrs, "R": addrs},
+		Members:      func() ([]string, int64) { return addrs, 1 },
+		RetryBackoff: 1,
+		Store:        store,
+		Fn:           testHashJoin,
+	})
+	j, err := cluster.Join(shippedFrag(2), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := collect(j)
+	if err != nil {
+		t.Fatalf("coordinator fallback must complete the join: %v", err)
+	}
+	want, err := runJoin(t, &Local{Fn: testHashJoin},
+		Fragment{Method: "hash", LKeys: []int{0}, RKeys: []int{0}, Parts: 2, BatchSize: 32},
+		lrows, rrows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(multiset(want), multiset(got)) {
+		t.Fatalf("fallback rows differ (%d vs %d rows)", len(got), len(want))
+	}
+	if cluster.Fallbacks() < 1 {
+		t.Errorf("Fallbacks = %d, want ≥1", cluster.Fallbacks())
+	}
+}
+
+// TestShippedNoFallbackWithoutStore: every replica dead and no coordinator
+// store configured → the typed worker error must surface, not a hang.
+func TestShippedNoFallbackWithoutStore(t *testing.T) {
+	store := &memStore{rels: map[string][]storage.Row{
+		"L": rowsOf(100, 7), "R": rowsOf(100, 7),
+	}}
+	boom := func(frag Fragment, left, right <-chan Batch, emit func(Batch) error) error {
+		drainBatches(left)
+		drainBatches(right)
+		return errors.New("down")
+	}
+	lb, err := StartLoopbackWorkers([]*Worker{{Join: boom, Store: store}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	addrs := lb.Addrs()
+	cluster := lb.Cluster(ClusterConfig{
+		Owners:       map[string][]string{"L": addrs, "R": addrs},
+		RetryBackoff: 1,
+	})
+	j, err := cluster.Join(shippedFrag(1), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collect(j); err == nil {
+		t.Fatal("expected the worker failure to surface without a fallback store")
+	} else {
+		var we *WorkerError
+		if !errors.As(err, &we) {
+			t.Fatalf("err = %v (%T), want *WorkerError", err, err)
+		}
+	}
+	if cluster.Fallbacks() != 0 {
+		t.Errorf("Fallbacks = %d, want 0 without Store/Fn", cluster.Fallbacks())
+	}
+}

@@ -13,6 +13,10 @@ import (
 type Worker struct {
 	// Join runs one fragment; required.
 	Join JoinFunc
+	// Store sources shipped leaf scans (fragments with LeftScan/RightScan).
+	// Nil rejects shipped fragments with a frame error, which the
+	// coordinator turns into a retry elsewhere or a local fallback.
+	Store Store
 	// Window is the per-direction credit window; 0 means DefaultWindow.
 	Window int
 	// MaxFrame bounds incoming frames; 0 means DefaultMaxFrame.
@@ -73,13 +77,54 @@ func (w *Worker) handle(conn net.Conn) {
 		return
 	}
 
+	// Shipped sides are sourced from the local store before the join runs,
+	// so a store failure surfaces as a frame error with no results emitted —
+	// the coordinator can re-dispatch the fragment cleanly.
+	var lrows, rrows []Batch
+	if frag.LeftScan != nil || frag.RightScan != nil {
+		if w.Store == nil {
+			_ = send(frameError, []byte("exchange: fragment ships scans but worker has no store"))
+			return
+		}
+		bs := frag.BatchSize
+		if bs <= 0 {
+			bs = 256
+		}
+		scan := func(spec *ScanSpec) ([]Batch, error) {
+			if spec == nil {
+				return nil, nil
+			}
+			rows, err := w.Store.ScanPartition(*spec, frag.Part, frag.Parts)
+			if err != nil {
+				return nil, err
+			}
+			var bats []Batch
+			for start := 0; start < len(rows); start += bs {
+				end := start + bs
+				if end > len(rows) {
+					end = len(rows)
+				}
+				bats = append(bats, Batch(rows[start:end]))
+			}
+			return bats, nil
+		}
+		var err error
+		if lrows, err = scan(frag.LeftScan); err == nil {
+			rrows, err = scan(frag.RightScan)
+		}
+		if err != nil {
+			_ = send(frameError, []byte("exchange: shipped scan: "+err.Error()))
+			return
+		}
+	}
+
 	left := make(chan Batch, win)
 	right := make(chan Batch, win)
 	resWin := newWindow(win)
 	readerDone := make(chan struct{})
 	go func() {
 		defer close(readerDone)
-		leftOpen, rightOpen := true, true
+		leftOpen, rightOpen := frag.LeftScan == nil, frag.RightScan == nil
 		defer func() {
 			if leftOpen {
 				close(left)
@@ -126,6 +171,8 @@ func (w *Worker) handle(conn net.Conn) {
 	}()
 
 	// Pumps hand batches to the join and grant a credit per batch consumed.
+	// A shipped side is fed from the prefetched store rows instead — no
+	// wire traffic, no credits.
 	leftOut := make(chan Batch)
 	rightOut := make(chan Batch)
 	pump := func(in <-chan Batch, out chan<- Batch, dir byte) {
@@ -135,8 +182,22 @@ func (w *Worker) handle(conn net.Conn) {
 			_ = send(frameCredit, []byte{dir})
 		}
 	}
-	go pump(left, leftOut, creditLeft)
-	go pump(right, rightOut, creditRight)
+	feed := func(rows []Batch, out chan<- Batch) {
+		defer close(out)
+		for _, b := range rows {
+			out <- b
+		}
+	}
+	if frag.LeftScan != nil {
+		go feed(lrows, leftOut)
+	} else {
+		go pump(left, leftOut, creditLeft)
+	}
+	if frag.RightScan != nil {
+		go feed(rrows, rightOut)
+	} else {
+		go pump(right, rightOut, creditRight)
+	}
 
 	emit := func(b Batch) error {
 		if !resWin.acquire() {

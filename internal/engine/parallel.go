@@ -17,13 +17,23 @@ import (
 // joins is exactly the serial join. The redistribution runs on
 // e.Transport — in-process channels by default, worker processes over TCP
 // with an exchange.Cluster.
-func (e *Executor) parallelJoin(n *plan.Node, ls, rs Stream, lkeys, rkeys []int) Stream {
+//
+// lspec/rspec, when set, mark inputs the transport sources at the workers
+// (leaf-scan shipping): that side's stream is nil and parts overrides the
+// cloning degree with the relation's owning-worker count, so shard i of the
+// placement is exactly stream partition i.
+func (e *Executor) parallelJoin(n *plan.Node, ls, rs Stream, lkeys, rkeys []int, lspec, rspec *exchange.ScanSpec, parts int) Stream {
+	if parts <= 0 {
+		parts = e.Parallel
+	}
 	frag := exchange.Fragment{
 		Method:    wireMethod(n.Method),
 		LKeys:     lkeys,
 		RKeys:     rkeys,
-		Parts:     e.Parallel,
+		Parts:     parts,
 		BatchSize: e.batchSize(),
+		LeftScan:  lspec,
+		RightScan: rspec,
 	}
 	tr := e.Transport
 	if tr == nil {

@@ -73,8 +73,12 @@ func Annotate(root *Op, m *machine.Machine, est *plan.Estimator, opts AnnotateOp
 		for _, in := range op.Inputs {
 			in.Redistribute = needsRedistribution(in, op, est)
 			in.RedistTargets = nil
-			if in.Redistribute && m.Nodes() > 1 {
-				in.RedistTargets = cloneNodes(op.Clone, m)
+			in.RedistAttr = query.ColumnRef{}
+			if in.Redistribute {
+				in.RedistAttr = est.Canon(op.Clone.Attribute)
+				if m.Nodes() > 1 {
+					in.RedistTargets = cloneNodes(op.Clone, m)
+				}
 			}
 		}
 	})

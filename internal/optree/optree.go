@@ -137,6 +137,12 @@ type Op struct {
 	// repartitioned output is sent to (the nodes hosting the parent's clone
 	// set). Empty on single-node machines and on non-redistributed edges.
 	RedistTargets []int
+	// RedistAttr is the canonical attribute the parent repartitions this
+	// node's output on (set only when Redistribute is true). The cost model
+	// compares it against the placement map: a placed base-relation scan
+	// repartitioned on its own placement column is already where it needs to
+	// be, so the redistribution is free.
+	RedistAttr query.ColumnRef
 
 	// Derived size information for costing.
 

@@ -1,0 +1,148 @@
+package placement
+
+import (
+	"fmt"
+	"sync"
+
+	"paropt/internal/catalog"
+	"paropt/internal/engine/exchange"
+	"paropt/internal/storage"
+)
+
+// Store is a worker's (or the coordinator-fallback's) partitioned data
+// store: it serves hash-partition shards of catalog relations, generated
+// deterministically from the catalog + seed. Owned shards are prewarmed and
+// cached; any other shard is materialized on demand — generate the
+// relation, keep the requested partition, drop the rest — which is what
+// lets a surviving worker absorb a re-dispatched fragment it never owned.
+type Store struct {
+	cat  *catalog.Catalog
+	seed int64
+
+	mu     sync.Mutex
+	tables map[string]*storage.Table // optional full tables (coordinator reuse)
+	shards map[shardKey][]storage.Row
+}
+
+type shardKey struct {
+	rel     string
+	hashCol int
+	part    int
+	parts   int
+}
+
+// NewStore builds a store over the catalog with the given generation seed.
+func NewStore(cat *catalog.Catalog, seed int64) *Store {
+	return &Store{
+		cat:    cat,
+		seed:   seed,
+		tables: make(map[string]*storage.Table),
+		shards: make(map[shardKey][]storage.Row),
+	}
+}
+
+// AddTable seeds the store with an already-materialized table (the
+// coordinator's analyze database), so fallback scans slice it instead of
+// regenerating.
+func (s *Store) AddTable(t *storage.Table) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[t.Rel.Name] = t
+}
+
+// Prewarm materializes this worker's owned shards under the placement map:
+// for each relation owned at position i, the shard hash-partitioned on the
+// placement column. Other shards stay lazy.
+func (s *Store) Prewarm(m *Map, self string) error {
+	for _, name := range s.cat.RelationNames() {
+		a, ok := m.Assignments[name]
+		if !ok {
+			continue
+		}
+		for i, w := range a.Workers {
+			if w != self {
+				continue
+			}
+			rel := s.cat.MustRelation(name)
+			col := colPos(rel, a.Column)
+			if col < 0 {
+				return fmt.Errorf("placement: relation %s has no column %s", name, a.Column)
+			}
+			if _, err := s.shard(name, col, i, len(a.Workers)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ScanPartition implements exchange.Store.
+func (s *Store) ScanPartition(spec exchange.ScanSpec, part, parts int) ([]storage.Row, error) {
+	if parts < 1 {
+		parts = 1
+	}
+	if part < 0 || part >= parts {
+		return nil, fmt.Errorf("placement: partition %d of %d out of range", part, parts)
+	}
+	rows, err := s.shard(spec.Relation, spec.HashCol, part, parts)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Filters) == 0 {
+		return rows, nil
+	}
+	var out []storage.Row
+	for _, row := range rows {
+		keep := true
+		for _, f := range spec.Filters {
+			if f.Col < 0 || f.Col >= len(row) || row[f.Col] != f.Val {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			out = append(out, row)
+		}
+	}
+	return out, nil
+}
+
+// shard returns the cached shard, or materializes it: slice an already-held
+// full table if present, else generate the relation transiently and keep
+// only the requested partition.
+func (s *Store) shard(relName string, hashCol, part, parts int) ([]storage.Row, error) {
+	key := shardKey{rel: relName, hashCol: hashCol, part: part, parts: parts}
+	s.mu.Lock()
+	if rows, ok := s.shards[key]; ok {
+		s.mu.Unlock()
+		return rows, nil
+	}
+	t := s.tables[relName]
+	s.mu.Unlock()
+
+	rel, ok := s.cat.Relation(relName)
+	if !ok {
+		return nil, fmt.Errorf("placement: unknown relation %s", relName)
+	}
+	if hashCol < 0 || hashCol >= len(rel.Columns) {
+		return nil, fmt.Errorf("placement: relation %s hash column %d out of range", relName, hashCol)
+	}
+	if t == nil {
+		t = storage.Generate(rel, s.seed)
+	}
+	rows := storage.Shard(t, hashCol, part, parts)
+
+	s.mu.Lock()
+	s.shards[key] = rows
+	s.mu.Unlock()
+	return rows, nil
+}
+
+func colPos(rel *catalog.Relation, name string) int {
+	for i, c := range rel.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -2,10 +2,15 @@ package service
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 
+	"paropt/internal/catalog"
+	"paropt/internal/cost"
 	"paropt/internal/engine/exchange"
 	"paropt/internal/obs"
+	"paropt/internal/placement"
+	"paropt/internal/storage"
 )
 
 // Worker membership for distributed execution: paroptw processes announce
@@ -14,17 +19,24 @@ import (
 // never dials workers outside a request, so registration is plain bookkeeping
 // — a dead worker surfaces as a typed *exchange.WorkerError on the request
 // that tried to use it, and the operator (or the worker's own restart)
-// deregisters it.
+// deregisters it. Every membership change bumps the epoch; in-flight
+// fragment retries consult the live membership through it, so a mid-query
+// deregistration shrinks the candidate set instead of failing the query.
 
 // RegisterWorker adds a worker address to the cluster membership and returns
-// the resulting worker count. Idempotent.
+// the resulting worker count. Idempotent; the epoch advances only when the
+// membership actually changes (steady-state heartbeat re-registrations are
+// free).
 func (s *Service) RegisterWorker(addr string) (int, error) {
 	if addr == "" {
 		return 0, badRequestError{errors.New("service: empty worker address")}
 	}
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
-	s.workers[addr] = struct{}{}
+	if _, ok := s.workers[addr]; !ok {
+		s.workers[addr] = struct{}{}
+		s.epoch++
+	}
 	return len(s.workers), nil
 }
 
@@ -34,12 +46,22 @@ func (s *Service) DeregisterWorker(addr string) (bool, int) {
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
 	_, ok := s.workers[addr]
-	delete(s.workers, addr)
+	if ok {
+		delete(s.workers, addr)
+		s.epoch++
+	}
 	return ok, len(s.workers)
 }
 
 // WorkerAddrs returns the registered worker addresses, sorted.
 func (s *Service) WorkerAddrs() []string {
+	addrs, _ := s.Members()
+	return addrs
+}
+
+// Members returns the live worker addresses (sorted) and the membership
+// epoch, sampled atomically — the exchange layer's re-dispatch callback.
+func (s *Service) Members() ([]string, int64) {
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
 	addrs := make([]string, 0, len(s.workers))
@@ -47,7 +69,112 @@ func (s *Service) WorkerAddrs() []string {
 		addrs = append(addrs, a)
 	}
 	sort.Strings(addrs)
-	return addrs
+	return addrs, s.epoch
+}
+
+// Epoch returns the current cluster-membership epoch.
+func (s *Service) Epoch() int64 {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	return s.epoch
+}
+
+// PlacementFor returns the installed placement map for a catalog version,
+// or nil when none is installed.
+func (s *Service) PlacementFor(version string) *placement.Map {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	return s.placements[version]
+}
+
+// InstallPlacement builds a placement map for the catalog version over the
+// currently registered workers (optionally pinning partitioning columns)
+// and installs it. Subsequent searches under that version are placement-
+// aware and distributed analyzes ship leaf scans to the owners.
+func (s *Service) InstallPlacement(version string, columns map[string]string) (*placement.Map, error) {
+	if version == "" {
+		s.mu.RLock()
+		version = s.defaultVersion
+		s.mu.RUnlock()
+	}
+	s.mu.RLock()
+	cat := s.catalogs[version]
+	s.mu.RUnlock()
+	if cat == nil {
+		return nil, badRequestError{fmt.Errorf("service: unknown catalog version %q", version)}
+	}
+	workers, epoch := s.Members()
+	if len(workers) == 0 {
+		return nil, badRequestError{errors.New("service: no workers registered to place data on")}
+	}
+	m, err := placement.Build(cat, version, workers, s.cfg.DataSeed, columns)
+	if err != nil {
+		return nil, badRequestError{err}
+	}
+	m.Epoch = epoch
+	s.clusterMu.Lock()
+	s.placements[version] = m
+	n := len(s.placements)
+	s.clusterMu.Unlock()
+	s.logger.Info("placement installed", "catalog", version, "workers", len(workers),
+		"fingerprint", m.Fingerprint(), "placements", n)
+	return m, nil
+}
+
+// placementCount is the number of installed placement maps (a gauge).
+func (s *Service) placementCount() int {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	return len(s.placements)
+}
+
+// placedConfig renders the installed placement for a catalog version as the
+// cost model's Placed map: worker i of an assignment maps to shared-nothing
+// node i (mod the machine's node count). Nil when no placement is
+// installed — searches then price every redistribution as before.
+func (s *Service) placedConfig(version string) map[string]cost.PlacedRelation {
+	m := s.PlacementFor(version)
+	if m == nil {
+		return nil
+	}
+	nodes := s.mcfg.Nodes
+	if nodes < 1 {
+		nodes = 1
+	}
+	out := make(map[string]cost.PlacedRelation, len(m.Assignments))
+	for name, a := range m.Assignments {
+		pr := cost.PlacedRelation{Column: a.Column}
+		seen := make(map[int]bool, nodes)
+		for i := range a.Workers {
+			n := i % nodes
+			if !seen[n] {
+				seen[n] = true
+				pr.Nodes = append(pr.Nodes, n)
+			}
+		}
+		sort.Ints(pr.Nodes)
+		out[name] = pr
+	}
+	return out
+}
+
+// fallbackStore returns the coordinator-side placement store for a catalog
+// version, building it on first use seeded with the analyze database's
+// tables (so fallback scans slice instead of regenerating).
+func (s *Service) fallbackStore(version string, cat *catalog.Catalog, db *storage.Database) *placement.Store {
+	s.dbMu.Lock()
+	defer s.dbMu.Unlock()
+	if st, ok := s.fstores[version]; ok {
+		return st
+	}
+	st := placement.NewStore(cat, s.cfg.DataSeed)
+	for _, name := range cat.RelationNames() {
+		if t, ok := db.Table(name); ok {
+			st.AddTable(t)
+		}
+	}
+	s.fstores[version] = st
+	return st
 }
 
 // recordExchange folds one request's cluster traffic into the daemon's
@@ -58,6 +185,18 @@ func (s *Service) recordExchange(sp *obs.Span, c *exchange.Cluster) {
 	frags := c.Fragments()
 	s.met.ExchangeFragments.Add(frags)
 	sp.SetAttr("fragments", frags)
+	if n := c.ShippedScans(); n > 0 {
+		s.met.ShippedScans.Add(n)
+		sp.SetAttr("shippedScans", n)
+	}
+	if n := c.Retries(); n > 0 {
+		s.met.ExchangeRetries.Add(n)
+		sp.SetAttr("retries", n)
+	}
+	if n := c.Fallbacks(); n > 0 {
+		s.met.ExchangeFallbacks.Add(n)
+		sp.SetAttr("fallbacks", n)
+	}
 	s.clusterMu.Lock()
 	for _, l := range c.Links() {
 		cum, ok := s.links[l.Addr]

@@ -12,6 +12,7 @@ import (
 	"paropt/internal/engine/exchange"
 	"paropt/internal/obs/accuracy"
 	"paropt/internal/parser"
+	"paropt/internal/placement"
 )
 
 // TestRefreshCatalogRetiresVersion: moving the default catalog must retire
@@ -211,5 +212,125 @@ func TestDistributedAnalyze(t *testing.T) {
 	var bad badRequestError
 	if !errors.As(err, &bad) {
 		t.Errorf("no-worker distributed analyze: err = %v, want badRequestError", err)
+	}
+}
+
+// TestPlacementInstallAndShippedAnalyze drives the full placement flow over
+// HTTP: install a placement map, bootstrap worker stores from the same
+// catalog + seed, and verify a distributed analyze ships leaf scans to the
+// workers while producing the in-process result.
+func TestPlacementInstallAndShippedAnalyze(t *testing.T) {
+	s, srv := newTestServer(t, nil)
+	ctx := context.Background()
+
+	// Nothing installed and no workers yet.
+	if resp, _ := getBody(t, srv.URL+"/cluster/placement"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET before install: status %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, srv.URL+"/cluster/placement", PlacementRequest{}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("install with no workers: status %d, want 400", resp.StatusCode)
+	}
+
+	// Two workers whose stores share the service's catalog and data seed —
+	// exactly what paroptw builds from GET /cluster/placement.
+	s.mu.RLock()
+	version := s.defaultVersion
+	cat := s.catalogs[version]
+	s.mu.RUnlock()
+	lb, err := exchange.StartLoopbackWorkers([]*exchange.Worker{
+		{Join: engine.FragmentJoin, Store: placement.NewStore(cat, s.cfg.DataSeed)},
+		{Join: engine.FragmentJoin, Store: placement.NewStore(cat, s.cfg.DataSeed)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+	for _, addr := range lb.Addrs() {
+		if _, err := s.RegisterWorker(addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A plan cached before the placement must not be served after it: the
+	// placement fingerprint is part of the cache key.
+	if _, err := s.Optimize(ctx, OptimizeRequest{Query: chainSQL(3, 7)}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, srv.URL+"/cluster/placement", PlacementRequest{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("install: status %d: %s", resp.StatusCode, body)
+	}
+	var installed PlacementResponse
+	if err := json.Unmarshal(body, &installed); err != nil {
+		t.Fatal(err)
+	}
+	if installed.Fingerprint == "" || installed.Map == nil {
+		t.Fatalf("install response incomplete: %s", body)
+	}
+	if got, want := len(installed.Map.Assignments), cat.NumRelations(); got != want {
+		t.Errorf("placement covers %d relations, want %d", got, want)
+	}
+	if got, want := len(installed.Snapshot.Relations), cat.NumRelations(); got != want {
+		t.Errorf("snapshot carries %d relations, want %d", got, want)
+	}
+	resp, body = getBody(t, srv.URL+"/cluster/placement")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after install: status %d", resp.StatusCode)
+	}
+	var fetched PlacementResponse
+	if err := json.Unmarshal(body, &fetched); err != nil {
+		t.Fatal(err)
+	}
+	if fetched.Fingerprint != installed.Fingerprint {
+		t.Errorf("GET fingerprint %s != installed %s", fetched.Fingerprint, installed.Fingerprint)
+	}
+
+	second, err := s.Optimize(ctx, OptimizeRequest{Query: chainSQL(3, 7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cache != "miss" {
+		t.Errorf("optimize after placement install served cache=%s, want miss (stale pre-placement plan)", second.Cache)
+	}
+
+	local, err := s.Explain(ctx, OptimizeRequest{Query: chainSQL(3, 7), Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := s.Explain(ctx, OptimizeRequest{Query: chainSQL(3, 7), Analyze: true, Distributed: true})
+	if err != nil {
+		t.Fatalf("distributed analyze with placement: %v", err)
+	}
+	rootRows := func(rep *accuracy.Report) int64 {
+		for _, op := range rep.Ops {
+			if op.Root {
+				return op.ActRows
+			}
+		}
+		return -1
+	}
+	if lr, dr := rootRows(local.Analyze), rootRows(dist.Analyze); lr != dr || lr < 0 {
+		t.Errorf("shipped analyze root rows = %d, in-process = %d", dr, lr)
+	}
+	if got := s.met.ShippedScans.Load(); got == 0 {
+		t.Error("no leaf scans shipped despite installed placement")
+	}
+	if got := s.placementCount(); got != 1 {
+		t.Errorf("placementCount = %d, want 1", got)
+	}
+
+	// Retiring the catalog drops its placement.
+	refreshed := strings.Replace(testDDL, "relation R2 card=80000", "relation R2 card=160000", 1)
+	cat2, err := parser.ParseSchema(refreshed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RefreshCatalog(cat2)
+	if got := s.placementCount(); got != 0 {
+		t.Errorf("placement survived catalog retirement: count = %d", got)
+	}
+	if resp, _ := getBody(t, srv.URL+"/cluster/placement"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("GET after retirement: status %d, want 404", resp.StatusCode)
 	}
 }

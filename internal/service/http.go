@@ -10,8 +10,10 @@ import (
 	"strconv"
 	"time"
 
+	"paropt/internal/catalog"
 	"paropt/internal/obs/workload"
 	"paropt/internal/parser"
+	"paropt/internal/placement"
 )
 
 // HTTP surface of the daemon (stdlib net/http only):
@@ -25,6 +27,10 @@ import (
 //	POST /cluster/register   {"addr": "host:port"} → worker membership
 //	POST /cluster/deregister {"addr": "host:port"} → worker membership
 //	GET  /cluster/workers                         → registered workers + links
+//	POST /cluster/placement {"catalog"?, "columns"?} → build + install a
+//	                        placement map over the registered workers
+//	GET  /cluster/placement (?catalog=version)    → installed placement map
+//	                        + catalog snapshot (what paroptw bootstraps from)
 //	GET  /healthz                                 → liveness + uptime
 //	GET  /metrics                                 → Prometheus text format
 //	GET  /debug/traces                            → retained trace IDs
@@ -46,6 +52,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/register", s.handleClusterRegister)
 	mux.HandleFunc("POST /cluster/deregister", s.handleClusterDeregister)
 	mux.HandleFunc("GET /cluster/workers", s.handleClusterWorkers)
+	mux.HandleFunc("POST /cluster/placement", s.handleClusterPlacementInstall)
+	mux.HandleFunc("GET /cluster/placement", s.handleClusterPlacement)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
@@ -209,14 +217,77 @@ func (s *Service) handleClusterDeregister(w http.ResponseWriter, r *http.Request
 }
 
 func (s *Service) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
-	workers := s.WorkerAddrs()
+	workers, epoch := s.Members()
 	if workers == nil {
 		workers = []string{}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"workers":   workers,
+		"epoch":     epoch,
 		"fragments": s.met.ExchangeFragments.Load(),
 		"links":     s.linkSnapshots(),
+	})
+}
+
+// PlacementRequest installs a placement map: Catalog optionally names a
+// registered version (default: the service default), Columns optionally
+// pins relation → partitioning column (unpinned relations get the
+// co-location heuristic).
+type PlacementRequest struct {
+	Catalog string            `json:"catalog,omitempty"`
+	Columns map[string]string `json:"columns,omitempty"`
+}
+
+// PlacementResponse describes an installed placement map. Workers bootstrap
+// from the GET form: Snapshot carries the full catalog (statistics
+// included), Map the assignments and generation seed, Epoch the membership
+// epoch sampled with it.
+type PlacementResponse struct {
+	Map         *placement.Map      `json:"map"`
+	Fingerprint string              `json:"fingerprint"`
+	Epoch       int64               `json:"epoch"`
+	Snapshot    catalog.SnapshotDoc `json:"snapshot"`
+}
+
+func (s *Service) handleClusterPlacementInstall(w http.ResponseWriter, r *http.Request) {
+	var req PlacementRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	m, err := s.InstallPlacement(req.Catalog, req.Columns)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	s.mu.RLock()
+	cat := s.catalogs[m.CatalogVersion]
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, PlacementResponse{
+		Map: m, Fingerprint: m.Fingerprint(), Epoch: s.Epoch(), Snapshot: cat.Snapshot(),
+	})
+}
+
+func (s *Service) handleClusterPlacement(w http.ResponseWriter, r *http.Request) {
+	version := r.URL.Query().Get("catalog")
+	if version == "" {
+		s.mu.RLock()
+		version = s.defaultVersion
+		s.mu.RUnlock()
+	}
+	m := s.PlacementFor(version)
+	if m == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no placement installed for catalog %q", version))
+		return
+	}
+	s.mu.RLock()
+	cat := s.catalogs[version]
+	s.mu.RUnlock()
+	if cat == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown catalog version %q", version))
+		return
+	}
+	writeJSON(w, http.StatusOK, PlacementResponse{
+		Map: m, Fingerprint: m.Fingerprint(), Epoch: s.Epoch(), Snapshot: cat.Snapshot(),
 	})
 }
 
@@ -255,6 +326,8 @@ func (s *Service) gauges() Gauges {
 		WorkloadOverflow:     s.prof.Overflow(),
 		NegCacheEntries:      s.neg.Len(),
 		ClusterWorkers:       len(s.WorkerAddrs()),
+		ClusterEpoch:         s.Epoch(),
+		Placements:           s.placementCount(),
 		Links:                s.linkSnapshots(),
 		QueryLogRecords:      records,
 		QueryLogDropped:      dropped,

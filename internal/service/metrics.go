@@ -69,8 +69,16 @@ type Metrics struct {
 	CatalogRetired atomic.Int64
 
 	// ExchangeFragments counts join fragments dispatched to worker processes
-	// by distributed analyze runs.
+	// by distributed analyze runs (a re-dispatch after a failure counts
+	// again). ShippedScans counts leaf-scan sides sourced at workers instead
+	// of streamed from the coordinator; ExchangeRetries counts fragment
+	// re-dispatches after worker failures; ExchangeFallbacks counts
+	// fragments the coordinator ran itself after every worker dispatch
+	// failed.
 	ExchangeFragments atomic.Int64
+	ShippedScans      atomic.Int64
+	ExchangeRetries   atomic.Int64
+	ExchangeFallbacks atomic.Int64
 
 	// Latency is the end-to-end request latency histogram.
 	Latency Histogram
@@ -116,10 +124,14 @@ type Gauges struct {
 	// Negative-cache occupancy.
 	NegCacheEntries int
 
-	// ClusterWorkers is the registered worker-process count; Links carries
-	// the cumulative per-link exchange traffic (one entry per worker address
-	// that has ever carried a distributed join).
+	// ClusterWorkers is the registered worker-process count; ClusterEpoch
+	// the membership epoch (bumped per register/deregister); Placements the
+	// installed placement-map count; Links carries the cumulative per-link
+	// exchange traffic (one entry per worker address that has ever carried
+	// a distributed join).
 	ClusterWorkers int
+	ClusterEpoch   int64
+	Placements     int
 	Links          []exchange.LinkSnapshot
 
 	// Query-log cumulative counters.
@@ -159,7 +171,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("paroptd_sweeper_runs_total", "Drift-sweeper passes.", m.SweepRuns.Load())
 	counter("paroptd_sweeper_reoptimized_total", "Cache entries re-optimized by the drift sweeper.", m.SweepReoptimized.Load())
 	counter("paroptd_catalog_versions_retired", "Catalog versions retired by statistics refreshes (plan + negative caches swept).", m.CatalogRetired.Load())
-	counter("paroptd_exchange_fragments_total", "Join fragments dispatched to worker processes.", m.ExchangeFragments.Load())
+	counter("paroptd_exchange_fragments_total", "Join fragments dispatched to worker processes (re-dispatches count again).", m.ExchangeFragments.Load())
+	counter("paroptd_exchange_shipped_scans_total", "Leaf-scan sides sourced at workers instead of streamed from the coordinator.", m.ShippedScans.Load())
+	counter("paroptd_exchange_retries_total", "Fragment re-dispatches after a worker failure.", m.ExchangeRetries.Load())
+	counter("paroptd_exchange_fallbacks_total", "Fragments the coordinator ran itself after every worker dispatch failed.", m.ExchangeFallbacks.Load())
 	counter("paroptd_workload_overflow_total", "Fingerprints dropped because the workload profiler was full.", g.WorkloadOverflow)
 	counter("paroptd_querylog_records_total", "Query-log records written to disk.", g.QueryLogRecords)
 	counter("paroptd_querylog_dropped_total", "Query-log records dropped (writer behind or log closed).", g.QueryLogDropped)
@@ -171,6 +186,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	gauge("paroptd_workload_drifted", "Profiles whose EWMA q-error currently exceeds the drift threshold.", int64(g.WorkloadDrifted))
 	gauge("paroptd_negcache_entries", "Negative-cache entries resident.", int64(g.NegCacheEntries))
 	gauge("paroptd_cluster_workers", "Worker processes registered for distributed execution.", int64(g.ClusterWorkers))
+	gauge("paroptd_cluster_epoch", "Cluster-membership epoch (bumped per register/deregister).", g.ClusterEpoch)
+	gauge("paroptd_placements", "Installed data-placement maps (one per catalog version).", int64(g.Placements))
 
 	fmt.Fprintf(w, "# HELP paroptd_exchange_link_bytes_total Bytes moved per worker link by distributed joins.\n# TYPE paroptd_exchange_link_bytes_total counter\n")
 	for _, l := range g.Links {

@@ -34,12 +34,15 @@ import (
 
 	"paropt/internal/catalog"
 	"paropt/internal/core"
+	"paropt/internal/cost"
+	"paropt/internal/engine"
 	"paropt/internal/engine/exchange"
 	"paropt/internal/machine"
 	"paropt/internal/obs"
 	"paropt/internal/obs/accuracy"
 	"paropt/internal/obs/workload"
 	"paropt/internal/parser"
+	"paropt/internal/placement"
 	"paropt/internal/query"
 	"paropt/internal/search"
 	"paropt/internal/storage"
@@ -168,21 +171,29 @@ type Service struct {
 	qlog *workload.Log
 
 	// clusterMu guards the distributed-execution state: workers is the
-	// registered worker-process membership, links the cumulative per-address
-	// exchange traffic from distributed analyze runs (see cluster.go).
-	clusterMu sync.Mutex
-	workers   map[string]struct{}
-	links     map[string]*exchange.LinkSnapshot
+	// registered worker-process membership, epoch the membership epoch
+	// (bumped on every register/deregister so in-flight queries can detect
+	// churn and re-dispatch fragments), placements the installed data-
+	// placement maps keyed by catalog version, links the cumulative
+	// per-address exchange traffic from distributed analyze runs (see
+	// cluster.go).
+	clusterMu  sync.Mutex
+	workers    map[string]struct{}
+	epoch      int64
+	placements map[string]*placement.Map
+	links      map[string]*exchange.LinkSnapshot
 
 	// sweepStop/sweepWG manage the background drift sweeper (SweepInterval).
 	sweepStop chan struct{}
 	sweepWG   sync.WaitGroup
 
 	// dbMu guards dbs, the per-catalog-version synthetic databases analyze
-	// requests execute against (generated lazily, kept for reuse). A
+	// requests execute against (generated lazily, kept for reuse), and
+	// fstores, the per-version coordinator-fallback placement stores. A
 	// separate mutex so generation never blocks the serving path's s.mu.
-	dbMu sync.Mutex
-	dbs  map[string]*storage.Database
+	dbMu    sync.Mutex
+	dbs     map[string]*storage.Database
+	fstores map[string]*placement.Store
 
 	// searchHook, when non-nil, runs at the start of every search on the
 	// worker goroutine — a test hook that makes overload and timeout
@@ -223,15 +234,17 @@ func New(cfg Config) (*Service, error) {
 		cfg.SweepLimit = 4
 	}
 	s := &Service{
-		cfg:      cfg,
-		mcfg:     mcfg,
-		catalogs: make(map[string]*catalog.Catalog),
-		pool:     newWorkerPool(cfg.Workers, cfg.QueueDepth),
-		logger:   cfg.Logger,
-		dbs:      make(map[string]*storage.Database),
-		workers:  make(map[string]struct{}),
-		links:    make(map[string]*exchange.LinkSnapshot),
-		start:    time.Now(),
+		cfg:        cfg,
+		mcfg:       mcfg,
+		catalogs:   make(map[string]*catalog.Catalog),
+		pool:       newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		logger:     cfg.Logger,
+		dbs:        make(map[string]*storage.Database),
+		fstores:    make(map[string]*placement.Store),
+		workers:    make(map[string]struct{}),
+		placements: make(map[string]*placement.Map),
+		links:      make(map[string]*exchange.LinkSnapshot),
+		start:      time.Now(),
 	}
 	if s.logger == nil {
 		s.logger = obs.DiscardLogger()
@@ -350,7 +363,11 @@ func (s *Service) retireCatalog(version string) {
 	})
 	s.dbMu.Lock()
 	delete(s.dbs, version)
+	delete(s.fstores, version)
 	s.dbMu.Unlock()
+	s.clusterMu.Lock()
+	delete(s.placements, version)
+	s.clusterMu.Unlock()
 	s.met.CatalogRetired.Add(1)
 	s.logger.Info("catalog retired", "version", version, "plans", plans, "negatives", negs)
 }
@@ -512,12 +529,24 @@ func (s *Service) resolve(req *OptimizeRequest) (cat *catalog.Catalog, version s
 		return nil, "", nil, "", "", err
 	}
 	fp = query.Fingerprint(q)
-	return cat, version, q, fp, fp + "|" + version + "|" + s.sessKey, nil
+	return cat, version, q, fp, s.cacheKey(fp, version), nil
+}
+
+// cacheKey builds a plan-cache key. It embeds the catalog version between
+// "|" separators (retireCatalog's purge matches on that) and the installed
+// placement's fingerprint, so installing or changing a placement re-costs
+// plans instead of serving cover sets computed without it.
+func (s *Service) cacheKey(fp, version string) string {
+	pfp := "none"
+	if m := s.PlacementFor(version); m != nil {
+		pfp = m.Fingerprint()
+	}
+	return fp + "|" + version + "|pl=" + pfp + "|" + s.sessKey
 }
 
 // entryFor returns the cache entry for the key, running (or joining) a
 // search on miss. hit reports a cache hit, deduped a joined search.
-func (s *Service) entryFor(ctx context.Context, key string, cat *catalog.Catalog, q *query.Query) (e *cacheEntry, hit, deduped bool, err error) {
+func (s *Service) entryFor(ctx context.Context, key, version string, cat *catalog.Catalog, q *query.Query) (e *cacheEntry, hit, deduped bool, err error) {
 	if e, ok := s.cache.Get(key); ok {
 		s.met.CacheHits.Add(1)
 		s.met.CoverReuse.Add(1)
@@ -530,6 +559,7 @@ func (s *Service) entryFor(ctx context.Context, key string, cat *catalog.Catalog
 		if e, ok := s.cache.Get(key); ok {
 			return e, nil
 		}
+		placed := s.placedConfig(version)
 		// The search span lives on the flight leader's trace; followers
 		// see only their own wait. The worker ends it, so a leader that
 		// times out still gets the span's true extent recorded.
@@ -540,7 +570,7 @@ func (s *Service) entryFor(ctx context.Context, key string, cat *catalog.Catalog
 		}
 		ch := make(chan result, 1)
 		if !s.pool.TrySubmit(func() {
-			e, err := s.runSearch(cat, q, sp)
+			e, err := s.runSearch(cat, q, placed, sp)
 			sp.Err(err)
 			sp.End()
 			if err == nil {
@@ -572,7 +602,7 @@ func (s *Service) entryFor(ctx context.Context, key string, cat *catalog.Catalog
 // always observed by a text tracer (the trace rides the cache entry for
 // trace-requesting explains) and, when sp is live, by a span adapter feeding
 // the request trace.
-func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query, sp *obs.Span) (*cacheEntry, error) {
+func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query, placed map[string]cost.PlacedRelation, sp *obs.Span) (*cacheEntry, error) {
 	if hook := s.searchHook; hook != nil {
 		hook()
 	}
@@ -588,6 +618,7 @@ func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query, sp *obs.Span) 
 		CoverCap:    s.cfg.CoverCap,
 		MemoryPages: s.cfg.MemoryPages,
 		Trace:       trace,
+		Placed:      placed,
 	})
 	if err != nil {
 		return nil, badRequestError{err}
@@ -763,7 +794,7 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 	root.SetAttr("catalog", version)
 
 	t = time.Now()
-	entry, hit, deduped, err := s.entryFor(ctx, key, cat, q)
+	entry, hit, deduped, err := s.entryFor(ctx, key, version, cat, q)
 	s.met.PhaseSearch.Observe(time.Since(t).Seconds())
 	if err != nil {
 		return fail(err)
@@ -879,7 +910,19 @@ func (s *Service) analyze(req *OptimizeRequest, served *servedPlan, out *Explain
 			sp.End()
 			return err
 		}
-		cluster = exchange.NewCluster(addrs, exchange.ClusterConfig{})
+		ccfg := exchange.ClusterConfig{Members: s.Members}
+		if pm := s.PlacementFor(out.Catalog); pm != nil {
+			// Ship leaf scans to the data: restrict ownership to live
+			// members (any worker can materialize any shard, so pruning
+			// just re-shards across survivors), and arm the coordinator
+			// fallback so a query outlives the last owner.
+			live := pm.Prune(addrs)
+			ccfg.Owners = live.OwnerMap()
+			ccfg.Store = s.fallbackStore(out.Catalog, served.entry.opt.Cat, db)
+			ccfg.Fn = engine.FragmentJoin
+			sp.SetAttr("placement", pm.Fingerprint())
+		}
+		cluster = exchange.NewCluster(addrs, ccfg)
 		sp.SetAttr("workers", len(addrs))
 		tr = cluster
 	}

@@ -78,13 +78,13 @@ func (s *Service) sweepOne(d workload.ProfileSnapshot) bool {
 		return false
 	}
 	fp := query.Fingerprint(q)
-	entry, err := s.runSearch(cat, q, nil)
+	entry, err := s.runSearch(cat, q, s.placedConfig(version), nil)
 	s.prof.MarkSwept(d.Fingerprint)
 	if err != nil {
 		s.logger.Warn("sweep: search failed", "fingerprint", fp, "err", err)
 		return false
 	}
-	s.cache.Put(fp+"|"+version+"|"+s.sessKey, entry)
+	s.cache.Put(s.cacheKey(fp, version), entry)
 	s.met.SweepReoptimized.Add(1)
 	s.logger.Info("sweep: re-optimized", "fingerprint", fp, "catalog", version,
 		"frontier", len(entry.cover.Frontier))

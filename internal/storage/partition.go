@@ -1,0 +1,45 @@
+package storage
+
+import "math/bits"
+
+// Hash partitioning is defined here, at the data substrate, because both
+// sides of a shared-nothing deployment must agree on it bit-for-bit: the
+// exchange layer partitions in-flight streams with it, and worker-side
+// placement stores (internal/placement) materialize base-relation shards
+// with it. A worker's resident shard i of a relation partitioned on column
+// c equals the coordinator's stream partition i on key c exactly because
+// both call the same function.
+
+// Hash64 mixes a key for partitioning (splitmix64 finalizer).
+func Hash64(v int64) uint64 {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Partition maps a key to a partition in [0, parts). The partition count is
+// mixed in after the hash via the fastrange reduction (high word of the
+// 128-bit product), so all 64 mixed bits decide the bucket; reducing with
+// `%` before mixing would let sequential or low-entropy keys alias into few
+// buckets for some partition counts.
+func Partition(v int64, parts int) int {
+	hi, _ := bits.Mul64(Hash64(v), uint64(parts))
+	return int(hi)
+}
+
+// Shard filters a table's rows down to hash partition part of parts on the
+// column at position hashCol — the worker-resident fragment of a placed
+// relation. parts < 2 returns every row (a single-shard placement).
+func Shard(t *Table, hashCol, part, parts int) []Row {
+	if parts < 2 {
+		return append([]Row(nil), t.Rows...)
+	}
+	var out []Row
+	for _, row := range t.Rows {
+		if Partition(row[hashCol], parts) == part {
+			out = append(out, row)
+		}
+	}
+	return out
+}

@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
-# Cluster smoke test: start paroptd plus two paroptw loopback workers, run a
-# repartitioned join end-to-end over the TCP exchange (explain-analyze with
-# ?distributed=1), and check the per-link traffic counters in /metrics moved.
-# Exercises worker registration, fragment dispatch, the wire codec, and the
-# credit-window streaming path as real processes rather than in-process mocks.
+# Cluster smoke test: start paroptd plus three paroptw loopback workers, run
+# the portfolio Q5-style queries end-to-end over the TCP exchange
+# (explain-analyze with ?distributed=1), then install a placement map and run
+# them again. With placement the leaf scans ship to the workers that own the
+# shards, so the fully-shipped trades⋈stocks join must move at least 50%
+# fewer coordinator-sent bytes than the stream-everything baseline — the
+# acceptance bar for worker-side data placement, asserted on real processes
+# and real sockets rather than in-process mocks. Also exercises worker
+# registration, fragment dispatch, the wire codec, credit-window streaming,
+# and deregistration. Set PAROPT_SMOKE_RACE=1 to build the binaries with the
+# race detector.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,11 +17,13 @@ tmp=$(mktemp -d)
 pids=()
 trap 'for p in "${pids[@]}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$tmp"' EXIT
 
-go build -o "$tmp/paroptd" ./cmd/paroptd
-go build -o "$tmp/paroptw" ./cmd/paroptw
+build_flags=()
+[ "${PAROPT_SMOKE_RACE:-}" = 1 ] && build_flags+=(-race)
+go build "${build_flags[@]}" -o "$tmp/paroptd" ./cmd/paroptd
+go build "${build_flags[@]}" -o "$tmp/paroptw" ./cmd/paroptw
 
 addr=localhost:7272
-"$tmp/paroptd" -addr "$addr" -workload portfolio -nodes 2 -log none &
+"$tmp/paroptd" -addr "$addr" -workload portfolio -nodes 3 -log none &
 pids+=($!)
 
 for i in $(seq 1 50); do
@@ -25,11 +33,11 @@ for i in $(seq 1 50); do
   sleep 0.2
 done
 
-# Two workers on fixed loopback ports; each registers itself with the daemon.
-"$tmp/paroptw" -listen 127.0.0.1:7281 -daemon "http://$addr" &
-pids+=($!)
-"$tmp/paroptw" -listen 127.0.0.1:7282 -daemon "http://$addr" &
-pids+=($!)
+# Three workers on fixed loopback ports; each registers itself with the daemon.
+for port in 7281 7282 7283; do
+  "$tmp/paroptw" -listen 127.0.0.1:$port -daemon "http://$addr" &
+  pids+=($!)
+done
 
 # Count members of the "workers" array only — the cumulative "links" section
 # also names worker addresses, but under an "addr" key.
@@ -38,22 +46,55 @@ members() {
 }
 for i in $(seq 1 50); do
   n=$(members)
-  [ "$n" = 2 ] && break
+  [ "$n" = 3 ] && break
   [ "$i" = 50 ] && { echo "cluster_smoke: workers never registered (got $n)" >&2; exit 1; }
   sleep 0.2
 done
-echo "cluster_smoke: 2 workers registered"
+echo "cluster_smoke: 3 workers registered"
 
-# A repartitioned two-join query, executed on the workers. The response must
-# carry an accuracy report (the analyze ran) with no error.
-q="SELECT * FROM trades, stocks, sectors WHERE trades.stock_id = stocks.stock_id AND stocks.sector_id = sectors.sector_id"
-out=$(curl -fsS -X POST "http://$addr/explain?analyze=1&distributed=1" \
-  -H 'Content-Type: application/json' \
-  -d "{\"query\": \"$q\"}")
-echo "$out" | grep -q '"analyze"' || {
-  echo "cluster_smoke: distributed explain-analyze returned no report: $out" >&2
-  exit 1
+# Coordinator-side bytes shipped to workers so far (cumulative across runs;
+# callers diff two snapshots to get one run's traffic).
+sent_bytes() {
+  curl -fsS "http://$addr/metrics" | awk '
+    /^paroptd_exchange_link_bytes_total\{.*direction="sent"/ {s += $2}
+    END {printf "%.0f\n", s}'
 }
+metric() {
+  curl -fsS "http://$addr/metrics" | awk -v m="$1" '$1 == m {print $2}'
+}
+# run_query QUERY → "actRows elapsedMs" of a distributed explain-analyze.
+# Bounded so a wedged exchange fails the run with goroutine dumps from every
+# process instead of hanging CI until the job-level timeout.
+run_query() {
+  local out
+  out=$(curl -fsS --max-time 120 -X POST "http://$addr/explain?analyze=1&distributed=1" \
+    -H 'Content-Type: application/json' -d "{\"query\": \"$1\"}") || {
+    echo "cluster_smoke: distributed explain-analyze stalled; dumping stacks" >&2
+    for p in "${pids[@]}"; do kill -QUIT "$p" 2>/dev/null || true; done
+    sleep 2
+    exit 1
+  }
+  echo "$out" | jq -e '.analyze' >/dev/null || {
+    echo "cluster_smoke: distributed explain-analyze returned no report: $out" >&2
+    exit 1
+  }
+  echo "$out" | jq -r '[(.analyze.ops[] | select(.root) | .actRows), (.elapsedMicros / 1000 | floor)] | @tsv'
+}
+
+# The Q5-style chain (two joins: the first fully shipped under placement, the
+# second streams the intermediate) and its heavy core pair (one join, fully
+# shipped — both inputs live at the workers, so almost nothing leaves the
+# coordinator once placement is installed).
+chain="SELECT * FROM trades, stocks, sectors WHERE trades.stock_id = stocks.stock_id AND stocks.sector_id = sectors.sector_id"
+pair="SELECT * FROM trades, stocks WHERE trades.stock_id = stocks.stock_id"
+
+s0=$(sent_bytes)
+read -r chain_rows chain_ms < <(run_query "$chain")
+s1=$(sent_bytes)
+read -r pair_rows pair_ms < <(run_query "$pair")
+s2=$(sent_bytes)
+chain_base=$((s1 - s0))
+pair_base=$((s2 - s1))
 
 metrics=$(curl -fsS "http://$addr/metrics")
 frags=$(echo "$metrics" | awk '$1 == "paroptd_exchange_fragments_total" {print $2}')
@@ -62,7 +103,7 @@ if [ -z "$frags" ] || [ "$frags" -lt 1 ]; then
   exit 1
 fi
 # Every registered worker link must have carried bytes in both directions.
-for port in 7281 7282; do
+for port in 7281 7282 7283; do
   for dir in sent recv; do
     bytes=$(echo "$metrics" | awk -v l="127.0.0.1:$port" -v d="$dir" \
       '$1 == "paroptd_exchange_link_bytes_total{link=\"" l "\",direction=\"" d "\"}" {print $2}')
@@ -74,10 +115,61 @@ for port in 7281 7282; do
   done
 done
 echo "cluster_smoke: $frags fragments dispatched, all links carried traffic"
+echo "cluster_smoke: streamed chain: $chain_base bytes sent, $chain_rows rows, ${chain_ms} ms"
+echo "cluster_smoke: streamed pair:  $pair_base bytes sent, $pair_rows rows, ${pair_ms} ms"
+
+# Install a placement map over the registered workers: partition every
+# relation of the default catalog on its join key and hand each worker its
+# shards. Queries from here on ship leaf scans instead of streaming tables.
+place=$(curl -fsS -X POST "http://$addr/cluster/placement" \
+  -H 'Content-Type: application/json' -d '{}')
+fp=$(echo "$place" | jq -r '.fingerprint')
+if [ -z "$fp" ] || [ "$fp" = null ]; then
+  echo "cluster_smoke: placement install returned no fingerprint: $place" >&2
+  exit 1
+fi
+got_fp=$(curl -fsS "http://$addr/cluster/placement" | jq -r '.fingerprint')
+[ "$got_fp" = "$fp" ] || {
+  echo "cluster_smoke: GET placement fingerprint $got_fp != installed $fp" >&2
+  exit 1
+}
+echo "cluster_smoke: placement $fp installed"
+
+read -r placed_pair_rows placed_pair_ms < <(run_query "$pair")
+s3=$(sent_bytes)
+read -r placed_chain_rows placed_chain_ms < <(run_query "$chain")
+s4=$(sent_bytes)
+pair_placed=$((s3 - s2))
+chain_placed=$((s4 - s3))
+
+[ "$placed_pair_rows" = "$pair_rows" ] || {
+  echo "cluster_smoke: placed pair returned $placed_pair_rows rows, streamed run $pair_rows" >&2
+  exit 1
+}
+[ "$placed_chain_rows" = "$chain_rows" ] || {
+  echo "cluster_smoke: placed chain returned $placed_chain_rows rows, streamed run $chain_rows" >&2
+  exit 1
+}
+shipped=$(metric paroptd_exchange_shipped_scans_total)
+if [ -z "$shipped" ] || [ "$shipped" -lt 1 ]; then
+  echo "cluster_smoke: no leaf scans shipped despite installed placement (shipped='$shipped')" >&2
+  exit 1
+fi
+# The acceptance bar: a fully-shipped join sources both inputs at the
+# workers, so the coordinator must send at least 50% fewer bytes than the
+# stream-everything baseline for the same query (in practice it only sends
+# fragment descriptors and credits — a >99% cut).
+if [ "$((pair_placed * 2))" -gt "$pair_base" ]; then
+  echo "cluster_smoke: placed pair sent $pair_placed bytes vs $pair_base streamed; want >=50% cut" >&2
+  exit 1
+fi
+echo "cluster_smoke: $shipped scans shipped"
+echo "cluster_smoke: placed pair:  $pair_placed bytes sent ($((100 - 100 * pair_placed / pair_base))% cut), ${placed_pair_ms} ms"
+echo "cluster_smoke: placed chain: $chain_placed bytes sent ($((100 - 100 * chain_placed / chain_base))% cut), ${placed_chain_ms} ms"
 
 # Workers deregister on SIGTERM.
-kill -TERM "${pids[1]}" "${pids[2]}"
-wait "${pids[1]}" "${pids[2]}" 2>/dev/null || true
+kill -TERM "${pids[1]}" "${pids[2]}" "${pids[3]}"
+wait "${pids[1]}" "${pids[2]}" "${pids[3]}" 2>/dev/null || true
 for i in $(seq 1 50); do
   n=$(members)
   [ "$n" = 0 ] && break
