@@ -12,6 +12,7 @@
 //	        [-debug-addr localhost:7078]
 //	        [-query-log q.jsonl] [-profiles 4096] [-negcache 256]
 //	        [-sweep 1m] [-drift-threshold 2] [-sweep-limit 4]
+//	        [-exchange-window 16]
 //
 // Endpoints:
 //
@@ -26,6 +27,9 @@
 //	POST /cluster/register   {"addr": "host:port"}             → worker joins
 //	POST /cluster/deregister {"addr": "host:port"}             → worker leaves
 //	GET  /cluster/workers                                      → membership + link traffic
+//	GET  /cluster/metrics                                      → federated worker health
+//	                        (scrapes each worker's own /healthz; feeds the
+//	                         per-worker liveness gauges on /metrics)
 //	POST /cluster/placement  {"catalog": v, "columns": {...}}  → install placement map
 //	                        (partitions every relation across the registered
 //	                         workers; later distributed analyzes ship leaf
@@ -103,6 +107,7 @@ func main() {
 	sweep := flag.Duration("sweep", 0, "drift-sweeper interval: re-optimize drifted hot templates in the background (0 = disabled)")
 	sweepLimit := flag.Int("sweep-limit", 0, "max re-optimizations per sweeper pass (0 = 4)")
 	negCache := flag.Int("negcache", 0, "negative-cache capacity for parse/resolve failures (0 = 256, negative disables)")
+	exchWindow := flag.Int("exchange-window", 0, "credit window (frames in flight per direction) for distributed exchanges (0 = exchange default)")
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -168,6 +173,7 @@ func main() {
 		SweepInterval:    *sweep,
 		SweepLimit:       *sweepLimit,
 		NegCacheCapacity: *negCache,
+		ExchangeWindow:   *exchWindow,
 	})
 	if err != nil {
 		log.Fatalf("paroptd: %v", err)

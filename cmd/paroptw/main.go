@@ -14,6 +14,7 @@
 //	paroptw [-listen 127.0.0.1:0] [-daemon http://localhost:7077]
 //	        [-advertise host:port] [-window 16]
 //	        [-heartbeat 5s] [-max-reconnect 120]
+//	        [-http 127.0.0.1:0] [-debug-addr localhost:0]
 //
 // With -daemon the worker registers its address at POST /cluster/register on
 // startup (retrying with backoff while the daemon is unreachable) and keeps
@@ -26,6 +27,16 @@
 // overrides the registered address when the listen address is not reachable
 // as-is (e.g. binding 0.0.0.0). Without -daemon the worker just serves;
 // register it by hand.
+//
+// The worker also serves its own observability plane on -http: GET /healthz
+// (uptime, fragments served/failed, shipped scans, rows/batches emitted,
+// result-window stall seconds, cached shard rows) and GET /metrics (the same
+// counters as paroptw_* Prometheus families). The HTTP URL rides along with
+// the registration, so the daemon's GET /cluster/metrics can scrape the
+// fleet and report per-worker liveness. -http "" disables the listener (the
+// worker then registers address-only, like pre-observability builds).
+// -debug-addr starts a separate net/http/pprof listener, kept off both the
+// fragment port and the metrics port.
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -58,6 +70,8 @@ func main() {
 	window := flag.Int("window", 0, "per-direction credit window (0 = default)")
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "re-register and placement-refresh interval")
 	maxReconnect := flag.Int("max-reconnect", 120, "consecutive failed heartbeats before exiting (0 = retry forever)")
+	httpAddr := flag.String("http", "127.0.0.1:0", "listener for the worker's own /metrics and /healthz (empty = disabled)")
+	debugAddr := flag.String("debug-addr", "", "separate listener for net/http/pprof (empty = disabled)")
 	flag.Parse()
 
 	ln, err := net.Listen("tcp", *listen)
@@ -72,22 +86,59 @@ func main() {
 	log.Printf("paroptw: serving fragments on %s", addr)
 
 	box := &storeBox{daemon: *daemon, self: reg, client: &http.Client{Timeout: 10 * time.Second}}
-	w := &exchange.Worker{Join: engine.FragmentJoin, Window: *window, Store: box}
+	stats := &exchange.WorkerStats{}
+	w := &exchange.Worker{Join: engine.FragmentJoin, Window: *window, Store: box, ID: reg, Stats: stats}
 	errc := make(chan error, 1)
 	go func() { errc <- w.Serve(ln) }()
+
+	// The worker's own observability plane. Its URL rides along with the
+	// registration so the daemon can scrape the fleet.
+	httpURL := ""
+	if *httpAddr != "" {
+		hln, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatalf("paroptw: http listener: %v", err)
+		}
+		httpURL = "http://" + hln.Addr().String()
+		hsrv := &http.Server{
+			Handler:           obsMux(reg, stats, box, time.Now()),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := hsrv.Serve(hln); err != nil && err != http.ErrServerClosed {
+				log.Printf("paroptw: http listener: %v", err)
+			}
+		}()
+		defer hsrv.Close()
+		log.Printf("paroptw: metrics on %s/metrics", httpURL)
+	}
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("paroptw: debug listener: %v", err)
+			}
+		}()
+		defer dbg.Close()
+		log.Printf("paroptw: pprof on %s/debug/pprof/", *debugAddr)
+	}
 
 	fatalc := make(chan error, 1)
 	hbStop := make(chan struct{})
 	hbDone := make(chan struct{})
 	if *daemon != "" {
-		if err := registerWithRetry(*daemon, reg, *maxReconnect); err != nil {
+		if err := registerWithRetry(*daemon, reg, httpURL, *maxReconnect); err != nil {
 			log.Fatalf("paroptw: register with %s: %v", *daemon, err)
 		}
 		log.Printf("paroptw: registered %s with %s", reg, *daemon)
 		if err := box.refresh(); err != nil {
 			log.Printf("paroptw: placement prefetch: %v", err)
 		}
-		go heartbeatLoop(*daemon, reg, box, *heartbeat, *maxReconnect, fatalc, hbStop, hbDone)
+		go heartbeatLoop(*daemon, reg, httpURL, box, *heartbeat, *maxReconnect, fatalc, hbStop, hbDone)
 	} else {
 		close(hbDone)
 	}
@@ -107,7 +158,7 @@ func main() {
 	close(hbStop)
 	<-hbDone
 	if *daemon != "" {
-		if err := postCluster(*daemon, "/cluster/deregister", reg); err != nil {
+		if err := postCluster(*daemon, "/cluster/deregister", reg, ""); err != nil {
 			log.Printf("paroptw: deregister: %v", err)
 		}
 	}
@@ -117,11 +168,11 @@ func main() {
 // registerWithRetry posts the worker's address to the daemon, retrying with
 // a fixed backoff while the daemon is unreachable (it may still be coming
 // up). maxAttempts <= 0 retries forever.
-func registerWithRetry(daemon, addr string, maxAttempts int) error {
+func registerWithRetry(daemon, addr, httpURL string, maxAttempts int) error {
 	const backoff = time.Second
 	var lastErr error
 	for attempt := 1; maxAttempts <= 0 || attempt <= maxAttempts; attempt++ {
-		lastErr = postCluster(daemon, "/cluster/register", addr)
+		lastErr = postCluster(daemon, "/cluster/register", addr, httpURL)
 		if lastErr == nil {
 			return nil
 		}
@@ -133,6 +184,58 @@ func registerWithRetry(daemon, addr string, maxAttempts int) error {
 	return lastErr
 }
 
+// obsMux serves the worker's own observability endpoints: /healthz as JSON
+// for the daemon's fleet scrape, /metrics as Prometheus text.
+func obsMux(id string, stats *exchange.WorkerStats, box *storeBox, start time.Time) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		shards, rows := box.shardStats()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck
+			"status":         "ok",
+			"worker":         id,
+			"uptime_seconds": int64(time.Since(start).Seconds()),
+			"stats":          stats.Snapshot(),
+			"shards":         shards,
+			"shard_rows":     rows,
+		})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s := stats.Snapshot()
+		shards, rows := box.shardStats()
+		counter := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		gauge := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+		}
+		gauge("paroptw_uptime_seconds", "Seconds since the worker started.", int64(time.Since(start).Seconds()))
+		counter("paroptw_fragments_served_total", "Join fragments finished cleanly.", s.FragmentsServed)
+		counter("paroptw_fragments_failed_total", "Join fragments that ended in an error frame.", s.FragmentsFailed)
+		counter("paroptw_shipped_scans_total", "Scan sides sourced from the local placement store.", s.ShippedScans)
+		counter("paroptw_rows_emitted_total", "Result rows streamed back to coordinators.", s.RowsEmitted)
+		counter("paroptw_batches_emitted_total", "Result batches streamed back to coordinators.", s.BatchesEmitted)
+		fmt.Fprintf(w, "# HELP paroptw_result_stall_seconds_total Seconds blocked on the result credit window (backpressure from coordinators).\n# TYPE paroptw_result_stall_seconds_total counter\nparoptw_result_stall_seconds_total %g\n", s.ResultStallSeconds)
+		gauge("paroptw_active_fragments", "Fragments currently executing.", s.ActiveFragments)
+		gauge("paroptw_store_shards", "Placement shards materialized in the local store.", int64(shards))
+		gauge("paroptw_store_rows", "Rows held across materialized placement shards.", rows)
+	})
+	return mux
+}
+
+// pprofMux serves net/http/pprof on its own mux, so profiling stays off the
+// fragment and metrics ports (and off http.DefaultServeMux).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // heartbeatLoop keeps the worker registered and its placement store fresh.
 // Registration is idempotent on the daemon side (the epoch only advances on
 // real membership changes), so the steady-state heartbeat is free; after a
@@ -140,7 +243,7 @@ func registerWithRetry(daemon, addr string, maxAttempts int) error {
 // drop out silently. maxFail consecutive failures abort via fatalc. Closing
 // stop ends the loop; done is closed on return so shutdown can wait out an
 // in-flight heartbeat before deregistering.
-func heartbeatLoop(daemon, addr string, box *storeBox, every time.Duration, maxFail int, fatalc chan<- error, stop <-chan struct{}, done chan<- struct{}) {
+func heartbeatLoop(daemon, addr, httpURL string, box *storeBox, every time.Duration, maxFail int, fatalc chan<- error, stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
 	fails := 0
 	t := time.NewTicker(every)
@@ -151,7 +254,7 @@ func heartbeatLoop(daemon, addr string, box *storeBox, every time.Duration, maxF
 			return
 		case <-t.C:
 		}
-		if err := postCluster(daemon, "/cluster/register", addr); err != nil {
+		if err := postCluster(daemon, "/cluster/register", addr, httpURL); err != nil {
 			fails++
 			if fails == 1 || fails%10 == 0 {
 				log.Printf("paroptw: heartbeat %d failed: %v", fails, err)
@@ -172,9 +275,14 @@ func heartbeatLoop(daemon, addr string, box *storeBox, every time.Duration, maxF
 	}
 }
 
-// postCluster posts {"addr": addr} to the daemon's cluster endpoint.
-func postCluster(base, path, addr string) error {
-	body, err := json.Marshal(map[string]string{"addr": addr})
+// postCluster posts {"addr": addr} (plus the worker's HTTP base URL when it
+// has one) to the daemon's cluster endpoint.
+func postCluster(base, path, addr, httpURL string) error {
+	doc := map[string]string{"addr": addr}
+	if httpURL != "" {
+		doc["http"] = httpURL
+	}
+	body, err := json.Marshal(doc)
 	if err != nil {
 		return err
 	}
@@ -212,6 +320,15 @@ type storeBox struct {
 	mu    sync.Mutex // serializes refresh; fp is the installed fingerprint
 	fp    string
 	store atomic.Pointer[placement.Store]
+}
+
+// shardStats reports the local store's materialized shard count and rows
+// (zeros before any placement is installed).
+func (b *storeBox) shardStats() (int, int64) {
+	if st := b.store.Load(); st != nil {
+		return st.ShardStats()
+	}
+	return 0, 0
 }
 
 func (b *storeBox) ScanPartition(spec exchange.ScanSpec, part, parts int) ([]storage.Row, error) {

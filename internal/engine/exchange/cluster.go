@@ -50,6 +50,9 @@ type ClusterConfig struct {
 	// from Store and runs Fn in-process rather than failing the query.
 	Store Store
 	Fn    JoinFunc
+	// TraceID, when set, is stamped into every dispatched fragment so
+	// workers tie their FragmentStats to the originating request trace.
+	TraceID string
 }
 
 // Cluster is the multi-worker transport: each join fragment is dispatched on
@@ -69,16 +72,18 @@ type Cluster struct {
 	retries   atomic.Int64
 	fallbacks atomic.Int64
 
-	mu    sync.Mutex
-	links map[string]*LinkStats
+	mu              sync.Mutex
+	links           map[string]*LinkStats
+	fallbackReasons map[string]int64
 }
 
 // NewCluster builds a transport over the given worker addresses.
 func NewCluster(addrs []string, cfg ClusterConfig) *Cluster {
 	return &Cluster{
-		addrs: append([]string(nil), addrs...),
-		cfg:   cfg,
-		links: make(map[string]*LinkStats),
+		addrs:           append([]string(nil), addrs...),
+		cfg:             cfg,
+		links:           make(map[string]*LinkStats),
+		fallbackReasons: make(map[string]int64),
 	}
 }
 
@@ -99,6 +104,44 @@ func (c *Cluster) Retries() int64 { return c.retries.Load() }
 // Fallbacks counts fragments the coordinator ran itself after every worker
 // dispatch failed.
 func (c *Cluster) Fallbacks() int64 { return c.fallbacks.Load() }
+
+// FallbackReasons returns fallback counts keyed by typed reason
+// ("worker_unreachable", "worker_died", "worker_error") — why the last
+// dispatch attempt before each fallback failed.
+func (c *Cluster) FallbackReasons() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.fallbackReasons))
+	for k, v := range c.fallbackReasons {
+		out[k] = v
+	}
+	return out
+}
+
+// failureReason classifies a dispatch failure for the fallback counter and
+// span annotation: did the worker die mid-stream, was it never reachable,
+// or did it run the fragment and report an error?
+func failureReason(err error) string {
+	switch {
+	case err == nil:
+		return "none"
+	case errors.Is(err, ErrWorkerDisconnected), errors.Is(err, ErrTruncatedFrame):
+		return "worker_died"
+	default:
+		var op *net.OpError
+		if errors.As(err, &op) {
+			return "worker_unreachable"
+		}
+		return "worker_error"
+	}
+}
+
+func (c *Cluster) countFallback(reason string) {
+	c.fallbacks.Add(1)
+	c.mu.Lock()
+	c.fallbackReasons[reason]++
+	c.mu.Unlock()
+}
 
 // Links snapshots per-link traffic counters, sorted by address.
 func (c *Cluster) Links() []LinkSnapshot {
@@ -208,20 +251,23 @@ func (c *Cluster) countShipped(frag *Fragment) {
 
 // workerConn is one coordinator↔worker link of one join.
 type workerConn struct {
-	conn     net.Conn
-	addr     string
-	stats    *LinkStats
-	wmu      sync.Mutex
-	leftWin  *window
-	rightWin *window
+	conn       net.Conn
+	addr       string
+	stats      *LinkStats
+	dispatched time.Time
+	wmu        sync.Mutex
+	leftWin    *window
+	rightWin   *window
 }
 
 func (wc *workerConn) send(typ byte, payload []byte) error {
 	wc.wmu.Lock()
 	defer wc.wmu.Unlock()
+	start := nowNanos()
 	if err := writeFrame(wc.conn, typ, payload); err != nil {
 		return err
 	}
+	wc.stats.SendNanos.Add(nowNanos() - start)
 	wc.stats.BytesSent.Add(int64(5 + len(payload)))
 	return nil
 }
@@ -231,9 +277,10 @@ type clusterJoin struct {
 	abort chan struct{}
 	conns []*workerConn
 
-	once sync.Once
-	mu   sync.Mutex
-	err  error
+	once   sync.Once
+	mu     sync.Mutex
+	err    error
+	fstats []*FragmentStats
 }
 
 func (j *clusterJoin) Out() <-chan Batch { return j.out }
@@ -242,6 +289,20 @@ func (j *clusterJoin) Err() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.err
+}
+
+// FragmentStats implements StatsReporter: the worker-side measurements
+// collected from frameStats frames, valid once Out is closed.
+func (j *clusterJoin) FragmentStats() []*FragmentStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fstats
+}
+
+func (j *clusterJoin) addStats(fs *FragmentStats) {
+	j.mu.Lock()
+	j.fstats = append(j.fstats, fs)
+	j.mu.Unlock()
 }
 
 // fail records the first error and tears the join down: windows close so
@@ -284,6 +345,9 @@ func (c *Cluster) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
 	if _, epoch := c.members(); epoch > 0 {
 		frag.Epoch = epoch
 	}
+	if frag.TraceID == "" {
+		frag.TraceID = c.cfg.TraceID
+	}
 	if frag.FullyShipped() {
 		// No coordinator-streamed inputs: nothing to drain, every partition
 		// is independently retryable.
@@ -314,7 +378,7 @@ func (c *Cluster) joinStreamed(frag Fragment, left, right <-chan Batch, p, bs in
 		if err == nil {
 			err = conn.SetDeadline(time.Time{})
 		}
-		wc := &workerConn{conn: conn, addr: addr, stats: c.linkFor(addr), leftWin: newWindow(win), rightWin: newWindow(win)}
+		wc := &workerConn{conn: conn, addr: addr, stats: c.linkFor(addr), dispatched: time.Now(), leftWin: newWindow(win), rightWin: newWindow(win)}
 		if err == nil {
 			f := frag
 			f.Part = i
@@ -445,6 +509,14 @@ func (c *Cluster) joinStreamed(frag Fragment, left, right <-chan Batch, p, bs in
 						wc.rightWin.release(1)
 					}
 				}
+			case frameStats:
+				var fs FragmentStats
+				if json.Unmarshal(payload, &fs) == nil {
+					fs.Addr = wc.addr
+					fs.Dispatched = wc.dispatched
+					wc.stats.StallResult.Add(fs.ResultStallNanos)
+					j.addStats(&fs)
+				}
 			case frameEndResult:
 				return
 			case frameError:
@@ -462,6 +534,10 @@ func (c *Cluster) joinStreamed(frag Fragment, left, right <-chan Batch, p, bs in
 		recvWG.Wait()
 		sendWG.Wait()
 		for _, wc := range j.conns {
+			// Fold this join's input-window stalls into the cumulative link
+			// counters — the per-direction backpressure /metrics reads.
+			wc.stats.StallLeft.Add(wc.leftWin.stallNanos())
+			wc.stats.StallRight.Add(wc.rightWin.stallNanos())
 			wc.conn.Close()
 		}
 		close(j.out)
@@ -472,9 +548,10 @@ func (c *Cluster) joinStreamed(frag Fragment, left, right <-chan Batch, p, bs in
 // shippedJoin merges the independently-dispatched partitions of a
 // fully-shipped fragment.
 type shippedJoin struct {
-	out chan Batch
-	mu  sync.Mutex
-	err error
+	out    chan Batch
+	mu     sync.Mutex
+	err    error
+	fstats []*FragmentStats
 }
 
 func (j *shippedJoin) Out() <-chan Batch { return j.out }
@@ -490,6 +567,21 @@ func (j *shippedJoin) setErr(err error) {
 	if j.err == nil {
 		j.err = err
 	}
+	j.mu.Unlock()
+}
+
+// FragmentStats implements StatsReporter: one entry per committed attempt
+// (stats of failed attempts are discarded along with their staged results;
+// coordinator fallbacks appear with Worker = "coordinator").
+func (j *shippedJoin) FragmentStats() []*FragmentStats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.fstats
+}
+
+func (j *shippedJoin) addStats(fs *FragmentStats) {
+	j.mu.Lock()
+	j.fstats = append(j.fstats, fs)
 	j.mu.Unlock()
 }
 
@@ -546,10 +638,16 @@ func (c *Cluster) runShipped(f Fragment, j *shippedJoin) error {
 			}
 		}
 		tried[addr] = true
-		staged, err := c.attemptShipped(f, addr)
+		staged, fs, err := c.attemptShipped(f, addr)
 		if err == nil {
 			for _, b := range staged {
 				j.out <- b
+			}
+			if fs != nil {
+				if attempt > 0 {
+					fs.Retried = attempt
+				}
+				j.addStats(fs)
 			}
 			return nil
 		}
@@ -559,40 +657,55 @@ func (c *Cluster) runShipped(f Fragment, j *shippedJoin) error {
 		}
 	}
 	if c.cfg.Store != nil && c.cfg.Fn != nil {
-		c.fallbacks.Add(1)
-		if err := c.runFallback(f, j); err != nil {
+		reason := failureReason(lastErr)
+		c.countFallback(reason)
+		fb := &FragmentStats{
+			TraceID:        f.TraceID,
+			Worker:         "coordinator",
+			Part:           f.Part,
+			Parts:          f.Parts,
+			FallbackReason: reason,
+			Dispatched:     time.Now(),
+		}
+		if err := c.runFallback(f, j, fb); err != nil {
 			return err
 		}
+		j.addStats(fb)
 		return nil
 	}
 	return lastErr
 }
 
 // attemptShipped runs one dispatch attempt of a fully-shipped fragment,
-// returning the staged result batches on clean completion.
-func (c *Cluster) attemptShipped(f Fragment, addr string) ([]Batch, error) {
+// returning the staged result batches and the worker's FragmentStats (nil
+// when the worker predates the stats frame) on clean completion.
+func (c *Cluster) attemptShipped(f Fragment, addr string) ([]Batch, *FragmentStats, error) {
 	conn, err := net.DialTimeout("tcp", addr, c.dialTimeout())
 	if err != nil {
-		return nil, &WorkerError{Addr: addr, Err: err}
+		return nil, nil, &WorkerError{Addr: addr, Err: err}
 	}
 	defer conn.Close()
 	if err := conn.SetDeadline(time.Time{}); err != nil {
-		return nil, &WorkerError{Addr: addr, Err: err}
+		return nil, nil, &WorkerError{Addr: addr, Err: err}
 	}
 	stats := c.linkFor(addr)
+	dispatched := time.Now()
 	payload, err := json.Marshal(f)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	sendStart := nowNanos()
 	if err := writeFrame(conn, frameFragment, payload); err != nil {
-		return nil, &WorkerError{Addr: addr, Err: err}
+		return nil, nil, &WorkerError{Addr: addr, Err: err}
 	}
+	stats.SendNanos.Add(nowNanos() - sendStart)
 	stats.BytesSent.Add(int64(5 + len(payload)))
 	c.fragments.Add(1)
 	c.countShipped(&f)
 
 	maxFrame := c.maxFrame()
 	var staged []Batch
+	var fstats *FragmentStats
 	for {
 		typ, payload, err := readFrame(conn, maxFrame)
 		if err != nil {
@@ -601,25 +714,33 @@ func (c *Cluster) attemptShipped(f Fragment, addr string) ([]Batch, error) {
 			} else {
 				err = fmt.Errorf("%w: %v", ErrWorkerDisconnected, err)
 			}
-			return nil, &WorkerError{Addr: addr, Err: err}
+			return nil, nil, &WorkerError{Addr: addr, Err: err}
 		}
 		stats.BytesRecv.Add(int64(5 + len(payload)))
 		switch typ {
 		case frameResult:
 			b, derr := decodeBatch(payload)
 			if derr != nil {
-				return nil, &WorkerError{Addr: addr, Err: derr}
+				return nil, nil, &WorkerError{Addr: addr, Err: derr}
 			}
 			stats.BatchesRecv.Add(1)
 			staged = append(staged, b)
 			if err := writeFrame(conn, frameCredit, []byte{creditResult}); err != nil {
-				return nil, &WorkerError{Addr: addr, Err: err}
+				return nil, nil, &WorkerError{Addr: addr, Err: err}
 			}
 			stats.BytesSent.Add(6)
+		case frameStats:
+			var fs FragmentStats
+			if json.Unmarshal(payload, &fs) == nil {
+				fs.Addr = addr
+				fs.Dispatched = dispatched
+				stats.StallResult.Add(fs.ResultStallNanos)
+				fstats = &fs
+			}
 		case frameEndResult:
-			return staged, nil
+			return staged, fstats, nil
 		case frameError:
-			return nil, &WorkerError{Addr: addr, Err: errors.New(string(payload))}
+			return nil, nil, &WorkerError{Addr: addr, Err: errors.New(string(payload))}
 		}
 	}
 }
@@ -627,8 +748,17 @@ func (c *Cluster) attemptShipped(f Fragment, addr string) ([]Batch, error) {
 // runFallback executes a fully-shipped fragment in the coordinator process:
 // both partitions are sourced from the configured store and joined with the
 // configured join function — the no-replica-left degradation of last
-// resort.
-func (c *Cluster) runFallback(f Fragment, j *shippedJoin) error {
+// resort. Measurements land in fb so the fallback is as observable as a
+// worker-run fragment.
+func (c *Cluster) runFallback(f Fragment, j *shippedJoin, fb *FragmentStats) error {
+	t0 := nowNanos()
+	since := func() int64 { return nowNanos() - t0 }
+	root := &RemoteSpan{Name: "fragment", Attrs: map[string]string{
+		"method":   f.Method,
+		"worker":   "coordinator",
+		"fallback": fb.FallbackReason,
+	}}
+	fb.Span = root
 	source := func(spec *ScanSpec) (chan Batch, error) {
 		rows, err := c.cfg.Store.ScanPartition(*spec, f.Part, f.Parts)
 		if err != nil {
@@ -656,13 +786,27 @@ func (c *Cluster) runFallback(f Fragment, j *shippedJoin) error {
 		go drainBatches(left)
 		return fmt.Errorf("exchange: fallback scan: %w", err)
 	}
+	joinSpan := root.child("join", since())
 	var staged []Batch
 	emit := func(b Batch) error {
+		off := since()
+		if fb.FirstNanos == 0 {
+			fb.FirstNanos = off
+			joinSpan.FirstNanos = off
+		}
+		fb.LastNanos = off
+		fb.Rows += int64(len(b))
+		fb.Batches++
 		staged = append(staged, b)
 		return nil
 	}
 	if err := c.cfg.Fn(f, left, right, emit); err != nil {
 		return fmt.Errorf("exchange: fallback join: %w", err)
+	}
+	joinSpan.EndNanos = since()
+	root.EndNanos = joinSpan.EndNanos
+	if fb.LastNanos == 0 {
+		fb.LastNanos = joinSpan.EndNanos
 	}
 	for _, b := range staged {
 		j.out <- b

@@ -87,6 +87,12 @@ type Fragment struct {
 	// Epoch is the coordinator's cluster-membership epoch when the fragment
 	// was dispatched — observability for re-dispatched fragments.
 	Epoch int64 `json:"epoch,omitempty"`
+	// TraceID propagates the coordinator's trace context across the wire:
+	// workers echo it in their FragmentStats so the coordinator can merge
+	// worker spans into the originating request trace. Empty when tracing
+	// is off; old workers ignore the field (unknown JSON keys) and old
+	// coordinators never set it, so it is compatible in both directions.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // FullyShipped reports whether both inputs are worker-sourced: the fragment

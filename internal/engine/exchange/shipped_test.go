@@ -223,6 +223,31 @@ func TestShippedFallbackToCoordinator(t *testing.T) {
 	if cluster.Fallbacks() < 1 {
 		t.Errorf("Fallbacks = %d, want ≥1", cluster.Fallbacks())
 	}
+	// The fallback carries a typed reason (a worker-side join error, not a
+	// death or an unreachable host) and synthesizes observable stats.
+	reasons := cluster.FallbackReasons()
+	if reasons["worker_error"] < 1 {
+		t.Errorf("FallbackReasons = %v, want worker_error ≥ 1", reasons)
+	}
+	sr, ok := j.(StatsReporter)
+	if !ok {
+		t.Fatalf("shipped join %T does not implement StatsReporter", j)
+	}
+	sawFallback := false
+	for _, fs := range sr.FragmentStats() {
+		if fs.FallbackReason != "" {
+			sawFallback = true
+			if fs.Worker != "coordinator" {
+				t.Errorf("fallback stats Worker = %q, want coordinator", fs.Worker)
+			}
+			if fs.Span == nil || fs.Span.Name != "fragment" {
+				t.Errorf("fallback stats missing fragment span: %+v", fs.Span)
+			}
+		}
+	}
+	if !sawFallback {
+		t.Error("no FragmentStats carried a fallback reason")
+	}
 }
 
 // TestShippedNoFallbackWithoutStore: every replica dead and no coordinator

@@ -7,7 +7,14 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// nowNanos is a monotonic nanosecond clock (durations are immune to wall
+// clock adjustments).
+var clockBase = time.Now()
+
+func nowNanos() int64 { return int64(time.Since(clockBase)) }
 
 // Wire format: length-prefixed frames
 //
@@ -27,6 +34,11 @@ const (
 	frameEndResult byte = 7 // worker → coordinator: join finished cleanly
 	frameError     byte = 8 // worker → coordinator: join failed, payload = message
 	frameCredit    byte = 9 // either direction: window credit, payload = direction
+	// frameStats is the observability frame: worker → coordinator, JSON
+	// FragmentStats, sent once immediately before frameEndResult (or
+	// frameError). Old coordinators ignore unknown frame types and old
+	// workers never send it, so the frame is compatible in both directions.
+	frameStats byte = 10
 )
 
 // Credit directions.
@@ -143,43 +155,65 @@ func decodeBatch(p []byte) (Batch, error) {
 	return b, nil
 }
 
-// LinkStats counts traffic on one coordinator↔worker link.
+// LinkStats counts traffic and backpressure on one coordinator↔worker link.
+// The stall counters are the direct measurement of the paper's pipeline sync
+// penalty δ(k): cumulative nanoseconds senders spent blocked on an empty
+// credit window, per direction. StallLeft/StallRight are coordinator-side
+// (waiting for the worker to credit an input batch); StallResult is
+// worker-side (waiting for the coordinator to credit a result batch, shipped
+// back in the FragmentStats frame). SendNanos is time spent inside frame
+// writes — the observed wire time of the link's sent bytes.
 type LinkStats struct {
 	Addr        string
 	BytesSent   atomic.Int64
 	BytesRecv   atomic.Int64
 	BatchesSent atomic.Int64
 	BatchesRecv atomic.Int64
+	StallLeft   atomic.Int64 // ns blocked sending left-input batches
+	StallRight  atomic.Int64 // ns blocked sending right-input batches
+	StallResult atomic.Int64 // ns the worker was blocked emitting results
+	SendNanos   atomic.Int64 // ns inside frame writes (observed wire time)
 }
 
 // LinkSnapshot is a point-in-time copy of LinkStats.
 type LinkSnapshot struct {
-	Addr        string `json:"addr"`
-	BytesSent   int64  `json:"bytes_sent"`
-	BytesRecv   int64  `json:"bytes_recv"`
-	BatchesSent int64  `json:"batches_sent"`
-	BatchesRecv int64  `json:"batches_recv"`
+	Addr             string `json:"addr"`
+	BytesSent        int64  `json:"bytes_sent"`
+	BytesRecv        int64  `json:"bytes_recv"`
+	BatchesSent      int64  `json:"batches_sent"`
+	BatchesRecv      int64  `json:"batches_recv"`
+	StallLeftNanos   int64  `json:"stall_left_nanos,omitempty"`
+	StallRightNanos  int64  `json:"stall_right_nanos,omitempty"`
+	StallResultNanos int64  `json:"stall_result_nanos,omitempty"`
+	SendNanos        int64  `json:"send_nanos,omitempty"`
 }
 
 // Snapshot reads the counters atomically (individually, not as a group).
 func (s *LinkStats) Snapshot() LinkSnapshot {
 	return LinkSnapshot{
-		Addr:        s.Addr,
-		BytesSent:   s.BytesSent.Load(),
-		BytesRecv:   s.BytesRecv.Load(),
-		BatchesSent: s.BatchesSent.Load(),
-		BatchesRecv: s.BatchesRecv.Load(),
+		Addr:             s.Addr,
+		BytesSent:        s.BytesSent.Load(),
+		BytesRecv:        s.BytesRecv.Load(),
+		BatchesSent:      s.BatchesSent.Load(),
+		BatchesRecv:      s.BatchesRecv.Load(),
+		StallLeftNanos:   s.StallLeft.Load(),
+		StallRightNanos:  s.StallRight.Load(),
+		StallResultNanos: s.StallResult.Load(),
+		SendNanos:        s.SendNanos.Load(),
 	}
 }
 
 // window is a closable credit counter: senders acquire one credit per batch
 // and block while the window is empty; the receiver's credits release them.
 // Closing wakes all waiters with acquire() = false, aborting the stream.
+// Every acquire that actually blocks accumulates its blocked duration into
+// stall — the per-direction backpressure measurement exported on /metrics.
 type window struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	avail  int
 	closed bool
+	stall  atomic.Int64 // cumulative ns acquirers spent blocked
 }
 
 func newWindow(n int) *window {
@@ -189,12 +223,18 @@ func newWindow(n int) *window {
 }
 
 // acquire takes one credit, blocking until one is available; it returns
-// false when the window was closed.
+// false when the window was closed. Time spent blocked is added to the
+// window's cumulative stall counter — the fast path (credit available)
+// never reads the clock.
 func (w *window) acquire() bool {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	for w.avail == 0 && !w.closed {
-		w.cond.Wait()
+	if w.avail == 0 && !w.closed {
+		start := nowNanos()
+		for w.avail == 0 && !w.closed {
+			w.cond.Wait()
+		}
+		w.stall.Add(nowNanos() - start)
 	}
 	if w.closed {
 		return false
@@ -217,4 +257,16 @@ func (w *window) close() {
 	w.closed = true
 	w.mu.Unlock()
 	w.cond.Broadcast()
+}
+
+// stallNanos reads the cumulative blocked time. Safe concurrently with
+// acquirers (in-progress stalls are counted when they end).
+func (w *window) stallNanos() int64 { return w.stall.Load() }
+
+// depth reads the currently available credits — the instantaneous window
+// depth for the direction this window guards.
+func (w *window) depth() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.avail
 }

@@ -2,14 +2,21 @@ package exchange
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net"
+	"strconv"
 	"sync"
 )
+
+var errStoreMissing = errors.New("exchange: fragment ships scans but worker has no store")
 
 // Worker serves join fragments over TCP: per connection it reads a Fragment,
 // demultiplexes left/right input batches into channels, runs Join over them,
 // and streams result batches back — all under per-direction credit windows
-// so neither side buffers unboundedly.
+// so neither side buffers unboundedly. Each fragment is measured (span tree,
+// rows, first/last-output offsets, result-window stall) and the measurements
+// ship back in a frameStats frame before the final result frame.
 type Worker struct {
 	// Join runs one fragment; required.
 	Join JoinFunc
@@ -21,6 +28,13 @@ type Worker struct {
 	Window int
 	// MaxFrame bounds incoming frames; 0 means DefaultMaxFrame.
 	MaxFrame uint32
+	// ID names this worker in the FragmentStats it ships back (usually its
+	// advertised address). Empty is fine — the coordinator stamps the link
+	// address on receipt anyway.
+	ID string
+	// Stats, when set, accumulates process-wide counters across fragments
+	// (exported by cmd/paroptw on /metrics and /healthz). Nil disables.
+	Stats *WorkerStats
 }
 
 func (w *Worker) window() int {
@@ -77,26 +91,86 @@ func (w *Worker) handle(conn net.Conn) {
 		return
 	}
 
+	// Every timestamp below is an offset from t0 (fragment receipt): the
+	// coordinator re-anchors the whole tree at its dispatch time, so the two
+	// processes never need to agree on a wall clock.
+	t0 := nowNanos()
+	since := func() int64 { return nowNanos() - t0 }
+	resWin := newWindow(win)
+	if w.Stats != nil {
+		w.Stats.ActiveFragments.Add(1)
+		defer w.Stats.ActiveFragments.Add(-1)
+	}
+	root := &RemoteSpan{Name: "fragment", Attrs: map[string]string{
+		"method": frag.Method,
+		"worker": w.ID,
+	}}
+	fs := &FragmentStats{
+		TraceID: frag.TraceID,
+		Worker:  w.ID,
+		Part:    frag.Part,
+		Parts:   frag.Parts,
+		Span:    root,
+	}
+	// finish seals the stats and ships them ahead of the final frame. The
+	// stats frame is always sent — on errors too — so the coordinator can
+	// annotate failed attempts; old coordinators skip the unknown frame type.
+	finish := func(failErr error) {
+		root.EndNanos = since()
+		fs.ResultStallNanos = resWin.stallNanos()
+		if failErr != nil {
+			fs.Error = failErr.Error()
+			root.Attrs["error"] = failErr.Error()
+		}
+		if w.Stats != nil {
+			if failErr != nil {
+				w.Stats.FragmentsFailed.Add(1)
+			} else {
+				w.Stats.FragmentsServed.Add(1)
+			}
+			w.Stats.RowsEmitted.Add(fs.Rows)
+			w.Stats.BatchesEmitted.Add(fs.Batches)
+			w.Stats.ResultStallNanos.Add(fs.ResultStallNanos)
+		}
+		if sp, err := json.Marshal(fs); err == nil {
+			_ = send(frameStats, sp)
+		}
+		if failErr != nil {
+			_ = send(frameError, []byte(failErr.Error()))
+		} else {
+			_ = send(frameEndResult, nil)
+		}
+	}
+
 	// Shipped sides are sourced from the local store before the join runs,
 	// so a store failure surfaces as a frame error with no results emitted —
 	// the coordinator can re-dispatch the fragment cleanly.
 	var lrows, rrows []Batch
 	if frag.LeftScan != nil || frag.RightScan != nil {
 		if w.Store == nil {
-			_ = send(frameError, []byte("exchange: fragment ships scans but worker has no store"))
+			finish(errStoreMissing)
 			return
 		}
 		bs := frag.BatchSize
 		if bs <= 0 {
 			bs = 256
 		}
-		scan := func(spec *ScanSpec) ([]Batch, error) {
+		scan := func(name string, spec *ScanSpec) ([]Batch, error) {
 			if spec == nil {
 				return nil, nil
 			}
+			sp := root.child(name, since())
 			rows, err := w.Store.ScanPartition(*spec, frag.Part, frag.Parts)
+			sp.EndNanos = since()
+			sp.Attrs = map[string]string{
+				"relation": spec.Relation,
+				"rows":     strconv.FormatInt(int64(len(rows)), 10),
+			}
 			if err != nil {
 				return nil, err
+			}
+			if w.Stats != nil {
+				w.Stats.ShippedScans.Add(1)
 			}
 			var bats []Batch
 			for start := 0; start < len(rows); start += bs {
@@ -109,18 +183,17 @@ func (w *Worker) handle(conn net.Conn) {
 			return bats, nil
 		}
 		var err error
-		if lrows, err = scan(frag.LeftScan); err == nil {
-			rrows, err = scan(frag.RightScan)
+		if lrows, err = scan("scan-left", frag.LeftScan); err == nil {
+			rrows, err = scan("scan-right", frag.RightScan)
 		}
 		if err != nil {
-			_ = send(frameError, []byte("exchange: shipped scan: "+err.Error()))
+			finish(fmt.Errorf("exchange: shipped scan: %w", err))
 			return
 		}
 	}
 
 	left := make(chan Batch, win)
 	right := make(chan Batch, win)
-	resWin := newWindow(win)
 	readerDone := make(chan struct{})
 	go func() {
 		defer close(readerDone)
@@ -199,21 +272,34 @@ func (w *Worker) handle(conn net.Conn) {
 		go pump(right, rightOut, creditRight)
 	}
 
+	joinSpan := root.child("join", since())
 	emit := func(b Batch) error {
 		if !resWin.acquire() {
 			return ErrWorkerDisconnected
 		}
+		off := since()
+		if fs.FirstNanos == 0 {
+			fs.FirstNanos = off
+			joinSpan.FirstNanos = off
+		}
+		fs.LastNanos = off
+		fs.Rows += int64(len(b))
+		fs.Batches++
 		return send(frameResult, encodeBatch(b))
 	}
 	joinErr := w.Join(frag, leftOut, rightOut, emit)
+	joinSpan.EndNanos = since()
+	joinSpan.Attrs = map[string]string{
+		"method": frag.Method,
+		"rows":   strconv.FormatInt(fs.Rows, 10),
+	}
+	if fs.LastNanos == 0 {
+		fs.LastNanos = joinSpan.EndNanos
+	}
 	// Unblock the pumps if the join bailed before exhausting its inputs.
 	go drainBatches(leftOut)
 	go drainBatches(rightOut)
-	if joinErr != nil {
-		_ = send(frameError, []byte(joinErr.Error()))
-	} else {
-		_ = send(frameEndResult, nil)
-	}
+	finish(joinErr)
 	// Wait for the coordinator to close its side before closing ours: a
 	// result credit can still be in flight for the last batch, and closing
 	// with unread data pending makes TCP reset the connection — discarding

@@ -54,6 +54,14 @@ func (e *Executor) parallelJoin(n *plan.Node, ls, rs Stream, lkeys, rkeys []int,
 		if err := j.Err(); err != nil {
 			e.fail(err)
 		}
+		// Cluster joins report the workers' own measurements once drained;
+		// fold them into the exec stats so EXPLAIN ANALYZE and the trace
+		// merge can see across the wire. Local joins don't implement it.
+		if e.Stats != nil {
+			if sr, ok := j.(exchange.StatsReporter); ok {
+				e.Stats.addRemote(n, e.nodeLabel(n), sr.FragmentStats())
+			}
+		}
 	}()
 	return out
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"paropt/internal/engine/exchange"
 	"paropt/internal/plan"
 )
 
@@ -36,14 +37,25 @@ type NodeStat struct {
 	Rows, Batches int64
 }
 
+// RemoteFragment groups the worker-side measurements of one distributed
+// join node: the FragmentStats every committed dispatch attempt shipped
+// back (including synthesized coordinator-fallback entries), keyed by the
+// node it executed and labeled like its NodeStat.
+type RemoteFragment struct {
+	Node  *plan.Node
+	Label string
+	Stats []*exchange.FragmentStats
+}
+
 // ExecStats collects runtime descriptors for one instrumented execution.
 // Install it on Executor.Stats before Execute; read it after Execute
 // returns (the stream-close chain orders all writes before the read).
 type ExecStats struct {
 	mu sync.Mutex
 	// T0 is the time base; set when the first node starts (or pre-set).
-	T0    time.Time
-	nodes []*NodeStat
+	T0     time.Time
+	nodes  []*NodeStat
+	remote []*RemoteFragment
 }
 
 // Nodes returns the collected descriptors in stream-open (bottom-up,
@@ -76,6 +88,25 @@ func (s *ExecStats) Wall() time.Duration {
 		}
 	}
 	return w
+}
+
+// Remote returns the worker-side fragment measurements collected from the
+// transport, one entry per distributed join node. Empty for local
+// transports — exchange.Local joins don't report FragmentStats.
+func (s *ExecStats) Remote() []*RemoteFragment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*RemoteFragment(nil), s.remote...)
+}
+
+// addRemote records one distributed node's worker-side stats.
+func (s *ExecStats) addRemote(n *plan.Node, label string, fs []*exchange.FragmentStats) {
+	if len(fs) == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.remote = append(s.remote, &RemoteFragment{Node: n, Label: label, Stats: fs})
+	s.mu.Unlock()
 }
 
 // open registers a node at stream-open time and returns its stat.

@@ -20,9 +20,47 @@ import (
 
 	"paropt/internal/cost"
 	"paropt/internal/engine"
+	"paropt/internal/engine/exchange"
 	"paropt/internal/optree"
 	"paropt/internal/plan"
 )
+
+// FragmentAccuracy joins one worker-run fragment's measured (tf, tl)
+// against its node's calibrated predictions — the distributed analogue of
+// OpAccuracy, one row per committed dispatch attempt. Under the paper's
+// uniformity assumption every clone of a parallel join shares the node's
+// descriptor, so each fragment is compared against the node-level (tf, tl);
+// measured times are offsets from the fragment's dispatch, not from
+// execution start, which is the same time base to within one frame's wire
+// latency.
+type FragmentAccuracy struct {
+	Label          string  `json:"label"`
+	Part           int     `json:"part"`
+	Parts          int     `json:"parts"`
+	Worker         string  `json:"worker"`
+	Addr           string  `json:"addr,omitempty"`
+	ActFirst       float64 `json:"actFirstSeconds"`
+	ActLast        float64 `json:"actLastSeconds"`
+	PredFirstSec   float64 `json:"predFirstSeconds"`
+	PredLastSec    float64 `json:"predLastSeconds"`
+	RelErrLast     float64 `json:"relErrLast"`
+	Rows           int64   `json:"rows"`
+	ResultStallSec float64 `json:"resultStallSeconds"`
+	Retried        int     `json:"retried,omitempty"`
+	FallbackReason string  `json:"fallbackReason,omitempty"`
+}
+
+// LinkAccuracy compares the cost model's interconnect charges against what
+// one coordinator↔worker link actually did: observed wire-write time and
+// credit-window stall vs the calibrated network prediction.
+type LinkAccuracy struct {
+	Addr           string  `json:"addr"`
+	BytesSent      int64   `json:"bytesSent"`
+	BytesRecv      int64   `json:"bytesRecv"`
+	SendSeconds    float64 `json:"sendSeconds"`
+	StallSeconds   float64 `json:"stallSeconds"`
+	PredNetSeconds float64 `json:"predNetSeconds"`
+}
 
 // OpAccuracy is the predicted-vs-actual join for one join-tree node.
 type OpAccuracy struct {
@@ -68,6 +106,15 @@ type Report struct {
 	MeanAbsRelErr float64 `json:"meanAbsRelErr"`
 	// MaxQErrRows is the worst cardinality q-error in the plan.
 	MaxQErrRows float64 `json:"maxQErrRows"`
+	// Fragments lists worker-side measurements for distributed executions,
+	// one row per committed fragment attempt. Empty for local transports.
+	Fragments []FragmentAccuracy `json:"fragments,omitempty"`
+	// PredNetSeconds is the model's total calibrated interconnect charge —
+	// the sum of every operator's network-resource demands times Scale.
+	PredNetSeconds float64 `json:"predNetSeconds,omitempty"`
+	// Links compares per-link observed wire time against the model's
+	// interconnect charges; attached by AttachLinks after execution.
+	Links []LinkAccuracy `json:"links,omitempty"`
 }
 
 // Analyze joins predicted descriptors against measured ones. mod prices the
@@ -103,6 +150,7 @@ func Analyze(mod *cost.Model, root *optree.Op, stats *engine.ExecStats) *Report 
 
 	var errSum float64
 	var errN int
+	predByNode := make(map[*plan.Node]OpAccuracy, len(nodes))
 	for _, st := range nodes {
 		op := topOp[st.Node]
 		if op == nil {
@@ -147,11 +195,83 @@ func Analyze(mod *cost.Model, root *optree.Op, stats *engine.ExecStats) *Report 
 			}
 		}
 		rep.Ops = append(rep.Ops, oa)
+		predByNode[st.Node] = oa
 	}
 	if errN > 0 {
 		rep.MeanAbsRelErr = errSum / float64(errN)
 	}
+
+	// Calibrated total interconnect charge, in seconds: each operator's own
+	// demand on the machine's network resources plus its redistribution
+	// transfer demands — repartitioned edges charge the wire entirely
+	// through the latter. Zero on single-node machines (no network
+	// resources) or before calibration.
+	if nets := mod.M.Networks(); len(nets) > 0 && rep.Scale > 0 {
+		var units float64
+		root.Walk(func(op *optree.Op) {
+			for _, w := range [2]cost.Vec{mod.OwnDemands(op), mod.TransferDemands(op)} {
+				for _, id := range nets {
+					if int(id) < len(w) {
+						units += w[id]
+					}
+				}
+			}
+		})
+		rep.PredNetSeconds = units * rep.Scale
+	}
+
+	// Join worker-side fragment measurements against their node's calibrated
+	// predictions — the distributed half of the report.
+	for _, rf := range stats.Remote() {
+		pred := predByNode[rf.Node]
+		for _, fs := range rf.Stats {
+			worker := fs.Worker
+			if worker == "" {
+				worker = fs.Addr
+			}
+			fa := FragmentAccuracy{
+				Label:          rf.Label,
+				Part:           fs.Part,
+				Parts:          fs.Parts,
+				Worker:         worker,
+				Addr:           fs.Addr,
+				ActFirst:       float64(fs.FirstNanos) / 1e9,
+				ActLast:        float64(fs.LastNanos) / 1e9,
+				PredFirstSec:   pred.PredFirstSec,
+				PredLastSec:    pred.PredLastSec,
+				Rows:           fs.Rows,
+				ResultStallSec: float64(fs.ResultStallNanos) / 1e9,
+				Retried:        fs.Retried,
+				FallbackReason: fs.FallbackReason,
+			}
+			if fa.ActLast > 0 && fa.PredLastSec > 0 {
+				fa.RelErrLast = (fa.PredLastSec - fa.ActLast) / fa.ActLast
+			}
+			rep.Fragments = append(rep.Fragments, fa)
+		}
+	}
 	return rep
+}
+
+// AttachLinks joins per-link transport counters against the report's
+// calibrated interconnect charge. The model prices total network demand,
+// not per-link flows, so the prediction is split evenly across links — a
+// documented simplification that still exposes order-of-magnitude drift.
+func (r *Report) AttachLinks(links []exchange.LinkSnapshot) {
+	if len(links) == 0 {
+		return
+	}
+	per := r.PredNetSeconds / float64(len(links))
+	for _, ls := range links {
+		r.Links = append(r.Links, LinkAccuracy{
+			Addr:           ls.Addr,
+			BytesSent:      ls.BytesSent,
+			BytesRecv:      ls.BytesRecv,
+			SendSeconds:    float64(ls.SendNanos) / 1e9,
+			StallSeconds:   float64(ls.StallLeftNanos+ls.StallRightNanos+ls.StallResultNanos) / 1e9,
+			PredNetSeconds: per,
+		})
+	}
 }
 
 // Errors returns the |relative error| samples of the report — the values a
@@ -195,6 +315,35 @@ func (r *Report) Table() string {
 		fmt.Fprintf(&b, "%-24s %13s %13s %13s %13s %8s %10d %10d %8s\n",
 			oa.Label, ms(oa.PredFirstSec), ms(oa.ActFirst), ms(oa.PredLastSec), ms(oa.ActLast),
 			errTl, oa.EstRows, oa.ActRows, qe)
+	}
+	if len(r.Fragments) > 0 {
+		fmt.Fprintf(&b, "\nworker fragments (measured at the worker, offsets from dispatch)\n")
+		fmt.Fprintf(&b, "%-24s %6s %-22s %13s %13s %13s %8s %10s %10s\n",
+			"node", "part", "worker", "pred tl (ms)", "act tf (ms)", "act tl (ms)", "err tl", "rows", "stall(ms)")
+		for _, fa := range r.Fragments {
+			errTl := "-"
+			if fa.ActLast > 0 && fa.PredLastSec > 0 {
+				errTl = fmt.Sprintf("%+.0f%%", 100*fa.RelErrLast)
+			}
+			who := fa.Worker
+			if fa.FallbackReason != "" {
+				who += " (fallback: " + fa.FallbackReason + ")"
+			} else if fa.Retried > 0 {
+				who += fmt.Sprintf(" (retried %d)", fa.Retried)
+			}
+			fmt.Fprintf(&b, "%-24s %3d/%-2d %-22s %13s %13s %13s %8s %10d %10s\n",
+				fa.Label, fa.Part, fa.Parts, who, ms(fa.PredLastSec), ms(fa.ActFirst), ms(fa.ActLast),
+				errTl, fa.Rows, ms(fa.ResultStallSec))
+		}
+	}
+	if len(r.Links) > 0 {
+		fmt.Fprintf(&b, "\ninterconnect links (predicted charge %.3f ms total, split evenly)\n", r.PredNetSeconds*1e3)
+		fmt.Fprintf(&b, "%-22s %12s %12s %13s %13s %13s\n",
+			"link", "sent (B)", "recv (B)", "pred (ms)", "wire (ms)", "stall (ms)")
+		for _, la := range r.Links {
+			fmt.Fprintf(&b, "%-22s %12d %12d %13s %13s %13s\n",
+				la.Addr, la.BytesSent, la.BytesRecv, ms(la.PredNetSeconds), ms(la.SendSeconds), ms(la.StallSeconds))
+		}
 	}
 	return b.String()
 }

@@ -5,6 +5,8 @@ import (
 	"testing"
 
 	"paropt/internal/core"
+	"paropt/internal/engine/exchange"
+	"paropt/internal/machine"
 	"paropt/internal/parser"
 	"paropt/internal/storage"
 )
@@ -121,5 +123,49 @@ func TestReportTable(t *testing.T) {
 	}
 	if got := strings.Count(tbl, "\n"); got != 2+len(rep.Ops) {
 		t.Errorf("table should have header+columns+%d rows, got %d lines", len(rep.Ops), got)
+	}
+}
+
+// TestAnalyzeChargesInterconnect: on a multi-node machine whose chosen plan
+// repartitions, the calibrated interconnect charge must be nonzero —
+// redistribution demands live in the transfer component, not the operators'
+// own demands — and AttachLinks must split it across the observed links.
+func TestAnalyzeChargesInterconnect(t *testing.T) {
+	cat, err := parser.ParseSchema(chainDDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := parser.ParseQuery("SELECT * FROM A, B, C WHERE A.y = B.y AND B.z = C.z", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := core.NewOptimizer(cat, q, core.Config{
+		Machine: machine.Config{CPUs: 1, Disks: 1, Nodes: 3, NetLatency: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := opt.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, _, err := opt.Analyze(p, storage.NewDatabase(cat, 7), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.PredNetSeconds <= 0 {
+		t.Fatalf("PredNetSeconds = %g on a 3-node machine with repartitioned edges, want > 0", rep.PredNetSeconds)
+	}
+	rep.AttachLinks([]exchange.LinkSnapshot{
+		{Addr: "w0", BytesSent: 10, SendNanos: 5e6},
+		{Addr: "w1", BytesSent: 10, SendNanos: 5e6},
+	})
+	if len(rep.Links) != 2 {
+		t.Fatalf("AttachLinks produced %d rows, want 2", len(rep.Links))
+	}
+	for _, la := range rep.Links {
+		if want := rep.PredNetSeconds / 2; la.PredNetSeconds != want {
+			t.Errorf("link %s charge %g, want even split %g", la.Addr, la.PredNetSeconds, want)
+		}
 	}
 }

@@ -132,6 +132,25 @@ func (t *Trace) Root() *Span {
 	return t.root
 }
 
+// Walk visits every span in the trace depth-first (parents before
+// children), passing each span's name and attributes. The whole walk runs
+// under the trace mutex, so fn must not touch the trace. Nil-safe.
+func (t *Trace) Walk(fn func(name string, attrs []Attr)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var visit func(s *Span)
+	visit = func(s *Span) {
+		fn(s.name, s.attrs)
+		for _, c := range s.children {
+			visit(c)
+		}
+	}
+	visit(t.root)
+}
+
 // Attr is one span attribute (stringified at set time, so rendering a trace
 // never chases live pointers).
 type Attr struct {

@@ -76,6 +76,18 @@ func (s *Store) Prewarm(m *Map, self string) error {
 	return nil
 }
 
+// ShardStats reports the cached shard count and their total rows — the
+// worker's /healthz gauge of how much placed data it is actually holding
+// (prewarmed owned shards plus any lazily materialized ones).
+func (s *Store) ShardStats() (shards int, rows int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, rs := range s.shards {
+		rows += int64(len(rs))
+	}
+	return len(s.shards), rows
+}
+
 // ScanPartition implements exchange.Store.
 func (s *Store) ScanPartition(spec exchange.ScanSpec, part, parts int) ([]storage.Row, error) {
 	if parts < 1 {

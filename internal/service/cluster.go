@@ -1,9 +1,15 @@
 package service
 
 import (
+	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
 	"sort"
+	"sync"
+	"time"
 
 	"paropt/internal/catalog"
 	"paropt/internal/cost"
@@ -24,20 +30,34 @@ import (
 // deregistration shrinks the candidate set instead of failing the query.
 
 // RegisterWorker adds a worker address to the cluster membership and returns
-// the resulting worker count. Idempotent; the epoch advances only when the
-// membership actually changes (steady-state heartbeat re-registrations are
-// free).
-func (s *Service) RegisterWorker(addr string) (int, error) {
+// the resulting worker count. httpURL, when non-empty, is the worker's own
+// HTTP base URL (its /metrics and /healthz), which GET /cluster/metrics
+// scrapes; workers predating the field register with "". Idempotent; the
+// epoch advances only when the membership actually changes (steady-state
+// heartbeat re-registrations are free).
+func (s *Service) RegisterWorker(addr, httpURL string) (int, error) {
 	if addr == "" {
 		return 0, badRequestError{errors.New("service: empty worker address")}
 	}
 	s.clusterMu.Lock()
 	defer s.clusterMu.Unlock()
 	if _, ok := s.workers[addr]; !ok {
-		s.workers[addr] = struct{}{}
 		s.epoch++
 	}
+	s.workers[addr] = httpURL
 	return len(s.workers), nil
+}
+
+// workerHTTP returns the registered workers' HTTP base URLs keyed by
+// exchange address ("" for workers that registered without one).
+func (s *Service) workerHTTP() map[string]string {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	out := make(map[string]string, len(s.workers))
+	for a, h := range s.workers {
+		out[a] = h
+	}
+	return out
 }
 
 // DeregisterWorker removes a worker address, reporting whether it was
@@ -196,8 +216,16 @@ func (s *Service) recordExchange(sp *obs.Span, c *exchange.Cluster) {
 	if n := c.Fallbacks(); n > 0 {
 		s.met.ExchangeFallbacks.Add(n)
 		sp.SetAttr("fallbacks", n)
+		// The typed reason distinguishes worker death from dispatch errors
+		// on both the span and the per-reason counter family.
+		for reason, n := range c.FallbackReasons() {
+			sp.SetAttr("fallbackReason."+reason, n)
+		}
 	}
 	s.clusterMu.Lock()
+	for reason, n := range c.FallbackReasons() {
+		s.fallbackReasons[reason] += n
+	}
 	for _, l := range c.Links() {
 		cum, ok := s.links[l.Addr]
 		if !ok {
@@ -208,10 +236,141 @@ func (s *Service) recordExchange(sp *obs.Span, c *exchange.Cluster) {
 		cum.BytesRecv += l.BytesRecv
 		cum.BatchesSent += l.BatchesSent
 		cum.BatchesRecv += l.BatchesRecv
+		cum.StallLeftNanos += l.StallLeftNanos
+		cum.StallRightNanos += l.StallRightNanos
+		cum.StallResultNanos += l.StallResultNanos
+		cum.SendNanos += l.SendNanos
 		sp.SetAttr("link."+l.Addr+".sent", l.BytesSent)
 		sp.SetAttr("link."+l.Addr+".recv", l.BytesRecv)
+		if stall := l.StallLeftNanos + l.StallRightNanos + l.StallResultNanos; stall > 0 {
+			sp.SetAttr("link."+l.Addr+".stallMicros", stall/1e3)
+		}
 	}
 	s.clusterMu.Unlock()
+}
+
+// fallbackReasonCounts copies the cumulative fallback-reason counters.
+func (s *Service) fallbackReasonCounts() map[string]int64 {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	out := make(map[string]int64, len(s.fallbackReasons))
+	for k, v := range s.fallbackReasons {
+		out[k] = v
+	}
+	return out
+}
+
+// Worker federation: GET /cluster/metrics scrapes every registered worker's
+// own /healthz and returns one snapshot of the fleet. The scrape is also the
+// daemon's liveness probe — its outcome feeds the per-worker
+// paroptd_cluster_worker_up gauge on /metrics.
+
+// scrapeTimeout bounds one worker health probe; a worker that cannot answer
+// within it is reported down rather than stalling the federated response.
+const scrapeTimeout = 2 * time.Second
+
+// WorkerStatus is one worker's row in the federated snapshot. Health is the
+// worker's own /healthz document, passed through verbatim; Error explains a
+// failed scrape.
+type WorkerStatus struct {
+	Addr   string          `json:"addr"`
+	HTTP   string          `json:"http,omitempty"`
+	Up     bool            `json:"up"`
+	Health json.RawMessage `json:"health,omitempty"`
+	Error  string          `json:"error,omitempty"`
+}
+
+// ClusterMetrics is the federated fleet snapshot returned by
+// GET /cluster/metrics.
+type ClusterMetrics struct {
+	Workers []WorkerStatus          `json:"workers"`
+	Live    int                     `json:"live"`
+	Total   int                     `json:"total"`
+	Epoch   int64                   `json:"epoch"`
+	Links   []exchange.LinkSnapshot `json:"links,omitempty"`
+}
+
+// scrapeWorkers probes every registered worker's /healthz in parallel and
+// records the liveness outcome for the /metrics worker_up gauges. Workers
+// that registered without an HTTP URL (pre-observability paroptw builds)
+// cannot be probed and are reported down with an explanatory error.
+func (s *Service) scrapeWorkers(ctx context.Context) ClusterMetrics {
+	ctx, cancel := context.WithTimeout(ctx, scrapeTimeout)
+	defer cancel()
+	targets := s.workerHTTP()
+	addrs := make([]string, 0, len(targets))
+	for a := range targets {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	out := ClusterMetrics{
+		Workers: make([]WorkerStatus, len(addrs)),
+		Total:   len(addrs),
+		Epoch:   s.Epoch(),
+		Links:   s.linkSnapshots(),
+	}
+	var wg sync.WaitGroup
+	for i, addr := range addrs {
+		ws := &out.Workers[i]
+		ws.Addr, ws.HTTP = addr, targets[addr]
+		if ws.HTTP == "" {
+			ws.Error = "worker registered without an http endpoint"
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, ws.HTTP+"/healthz", nil)
+			if err != nil {
+				ws.Error = err.Error()
+				return
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				ws.Error = err.Error()
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+			if err != nil {
+				ws.Error = err.Error()
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				ws.Error = fmt.Sprintf("healthz returned %d", resp.StatusCode)
+				return
+			}
+			if json.Valid(body) {
+				ws.Health = json.RawMessage(body)
+			}
+			ws.Up = true
+		}()
+	}
+	wg.Wait()
+	s.clusterMu.Lock()
+	s.workerUp = make(map[string]bool, len(out.Workers))
+	for _, ws := range out.Workers {
+		s.workerUp[ws.Addr] = ws.Up
+	}
+	s.clusterMu.Unlock()
+	for _, ws := range out.Workers {
+		if ws.Up {
+			out.Live++
+		}
+	}
+	return out
+}
+
+// workerLiveness copies the per-worker liveness from the last scrape.
+// Workers registered since the last scrape are absent (unknown), not false.
+func (s *Service) workerLiveness() map[string]bool {
+	s.clusterMu.Lock()
+	defer s.clusterMu.Unlock()
+	out := make(map[string]bool, len(s.workerUp))
+	for k, v := range s.workerUp {
+		out[k] = v
+	}
+	return out
 }
 
 // linkSnapshots copies the cumulative per-link traffic, sorted by address.

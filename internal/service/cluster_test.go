@@ -161,7 +161,7 @@ func TestDistributedAnalyze(t *testing.T) {
 	s := newTestService(t, nil)
 	ctx := context.Background()
 	for _, addr := range lb.Addrs() {
-		if _, err := s.RegisterWorker(addr); err != nil {
+		if _, err := s.RegisterWorker(addr, ""); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -246,7 +246,7 @@ func TestPlacementInstallAndShippedAnalyze(t *testing.T) {
 	}
 	defer lb.Close()
 	for _, addr := range lb.Addrs() {
-		if _, err := s.RegisterWorker(addr); err != nil {
+		if _, err := s.RegisterWorker(addr, ""); err != nil {
 			t.Fatal(err)
 		}
 	}

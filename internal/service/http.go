@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"paropt/internal/catalog"
+	"paropt/internal/obs"
 	"paropt/internal/obs/workload"
 	"paropt/internal/parser"
 	"paropt/internal/placement"
@@ -24,9 +25,12 @@ import (
 //	                         ?analyze=1 executes + reports accuracy,
 //	                         ?distributed=1 executes on registered workers)
 //	POST /schema            {"ddl": "..."}        → {"catalog": "<version>"}
-//	POST /cluster/register   {"addr": "host:port"} → worker membership
+//	POST /cluster/register   {"addr": "host:port", "http"?: "url"} → membership
 //	POST /cluster/deregister {"addr": "host:port"} → worker membership
 //	GET  /cluster/workers                         → registered workers + links
+//	GET  /cluster/metrics                         → federated worker snapshot
+//	                        (scrapes each registered worker's /healthz and
+//	                         reports per-worker liveness)
 //	POST /cluster/placement {"catalog"?, "columns"?} → build + install a
 //	                        placement map over the registered workers
 //	GET  /cluster/placement (?catalog=version)    → installed placement map
@@ -52,6 +56,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /cluster/register", s.handleClusterRegister)
 	mux.HandleFunc("POST /cluster/deregister", s.handleClusterDeregister)
 	mux.HandleFunc("GET /cluster/workers", s.handleClusterWorkers)
+	mux.HandleFunc("GET /cluster/metrics", s.handleClusterMetrics)
 	mux.HandleFunc("POST /cluster/placement", s.handleClusterPlacementInstall)
 	mux.HandleFunc("GET /cluster/placement", s.handleClusterPlacement)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -183,8 +188,11 @@ func (s *Service) handleSchema(w http.ResponseWriter, r *http.Request) {
 }
 
 // ClusterRequest names one worker process by its exchange listen address.
+// HTTP, when present, is the worker's own HTTP base URL (its /metrics and
+// /healthz), which GET /cluster/metrics federates.
 type ClusterRequest struct {
 	Addr string `json:"addr"`
+	HTTP string `json:"http,omitempty"`
 }
 
 // ClusterResponse reports the membership after a register/deregister.
@@ -197,7 +205,7 @@ func (s *Service) handleClusterRegister(w http.ResponseWriter, r *http.Request) 
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	if _, err := s.RegisterWorker(req.Addr); err != nil {
+	if _, err := s.RegisterWorker(req.Addr, req.HTTP); err != nil {
 		writeServiceError(w, err)
 		return
 	}
@@ -227,6 +235,10 @@ func (s *Service) handleClusterWorkers(w http.ResponseWriter, r *http.Request) {
 		"fragments": s.met.ExchangeFragments.Load(),
 		"links":     s.linkSnapshots(),
 	})
+}
+
+func (s *Service) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.scrapeWorkers(r.Context()))
 }
 
 // PlacementRequest installs a placement map: Catalog optionally names a
@@ -329,6 +341,8 @@ func (s *Service) gauges() Gauges {
 		ClusterEpoch:         s.Epoch(),
 		Placements:           s.placementCount(),
 		Links:                s.linkSnapshots(),
+		FallbackReasons:      s.fallbackReasonCounts(),
+		WorkerUp:             s.workerLiveness(),
 		QueryLogRecords:      records,
 		QueryLogDropped:      dropped,
 		QueryLogRotations:    rotations,
@@ -340,12 +354,39 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.WritePrometheus(w, s.gauges())
 }
 
+// TraceEntry summarizes one retained trace for the ring listing: how many
+// worker fragment spans it holds and how many distinct workers ran them, so
+// distributed queries stand out without fetching each full tree.
+type TraceEntry struct {
+	ID        string `json:"id"`
+	Fragments int    `json:"fragments"`
+	Workers   int    `json:"workers"`
+}
+
 func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
 	ids := s.tracer.IDs()
 	if ids == nil {
 		ids = []string{}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"traces": ids})
+	entries := make([]TraceEntry, 0, len(ids))
+	for _, id := range ids {
+		e := TraceEntry{ID: id}
+		workers := map[string]bool{}
+		s.tracer.Get(id).Walk(func(name string, attrs []obs.Attr) {
+			if name != "fragment" {
+				return
+			}
+			e.Fragments++
+			for _, a := range attrs {
+				if a.Key == "worker" {
+					workers[a.Value] = true
+				}
+			}
+		})
+		e.Workers = len(workers)
+		entries = append(entries, e)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"traces": ids, "entries": entries})
 }
 
 // handleWorkload serves the live per-fingerprint workload report: top-K

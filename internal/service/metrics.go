@@ -5,12 +5,23 @@ import (
 	"io"
 	"runtime"
 	"runtime/debug"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"paropt/internal/engine/exchange"
 	"paropt/internal/obs"
 )
+
+// sortedKeys returns m's keys sorted, for deterministic exposition order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // Histogram is the general bucketed histogram (internal/obs). The zero value
 // is ready to use and adopts the default latency buckets.
@@ -134,6 +145,12 @@ type Gauges struct {
 	Placements     int
 	Links          []exchange.LinkSnapshot
 
+	// FallbackReasons are the cumulative coordinator-fallback counts by typed
+	// reason (worker_died, worker_unreachable, worker_error). WorkerUp is the
+	// per-worker liveness outcome of the last /cluster/metrics scrape.
+	FallbackReasons map[string]int64
+	WorkerUp        map[string]bool
+
 	// Query-log cumulative counters.
 	QueryLogRecords   int64
 	QueryLogDropped   int64
@@ -198,6 +215,28 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	for _, l := range g.Links {
 		fmt.Fprintf(w, "paroptd_exchange_link_batches_total{link=%q,direction=\"sent\"} %d\n", l.Addr, l.BatchesSent)
 		fmt.Fprintf(w, "paroptd_exchange_link_batches_total{link=%q,direction=\"recv\"} %d\n", l.Addr, l.BatchesRecv)
+	}
+	fmt.Fprintf(w, "# HELP paroptd_exchange_stall_seconds_total Seconds exchange senders spent blocked on credit-window backpressure, per link and stream direction — the measured pipeline sync penalty.\n# TYPE paroptd_exchange_stall_seconds_total counter\n")
+	for _, l := range g.Links {
+		fmt.Fprintf(w, "paroptd_exchange_stall_seconds_total{link=%q,direction=\"left\"} %g\n", l.Addr, float64(l.StallLeftNanos)/1e9)
+		fmt.Fprintf(w, "paroptd_exchange_stall_seconds_total{link=%q,direction=\"right\"} %g\n", l.Addr, float64(l.StallRightNanos)/1e9)
+		fmt.Fprintf(w, "paroptd_exchange_stall_seconds_total{link=%q,direction=\"result\"} %g\n", l.Addr, float64(l.StallResultNanos)/1e9)
+	}
+	fmt.Fprintf(w, "# HELP paroptd_exchange_send_seconds_total Seconds spent writing frames to each worker link (wire time, coordinator side).\n# TYPE paroptd_exchange_send_seconds_total counter\n")
+	for _, l := range g.Links {
+		fmt.Fprintf(w, "paroptd_exchange_send_seconds_total{link=%q} %g\n", l.Addr, float64(l.SendNanos)/1e9)
+	}
+	fmt.Fprintf(w, "# HELP paroptd_exchange_fallback_reason_total Coordinator fallbacks by typed failure reason.\n# TYPE paroptd_exchange_fallback_reason_total counter\n")
+	for _, reason := range sortedKeys(g.FallbackReasons) {
+		fmt.Fprintf(w, "paroptd_exchange_fallback_reason_total{reason=%q} %d\n", reason, g.FallbackReasons[reason])
+	}
+	fmt.Fprintf(w, "# HELP paroptd_cluster_worker_up Per-worker liveness from the last /cluster/metrics scrape (1 = healthz answered).\n# TYPE paroptd_cluster_worker_up gauge\n")
+	for _, addr := range sortedKeys(g.WorkerUp) {
+		up := 0
+		if g.WorkerUp[addr] {
+			up = 1
+		}
+		fmt.Fprintf(w, "paroptd_cluster_worker_up{worker=%q} %d\n", addr, up)
 	}
 
 	fmt.Fprintf(w, "# HELP paroptd_optimize_latency_seconds End-to-end request latency.\n")

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"paropt/internal/engine"
+	"paropt/internal/engine/exchange"
 	"paropt/internal/obs"
 	"paropt/internal/obs/accuracy"
 	"paropt/internal/query"
@@ -67,4 +68,60 @@ func graftAnalyze(sp *obs.Span, rep *accuracy.Report, stats *engine.ExecStats) {
 			}
 		}
 	}
+}
+
+// graftRemote merges the workers' span trees into the request trace: each
+// fragment a worker executed arrives as a RemoteSpan tree of relative
+// nanosecond offsets, which is grafted under the execute span anchored at
+// the coordinator's dispatch timestamp. No cross-machine clock agreement is
+// needed — the offsets are worker-local durations and the anchor is
+// coordinator-local, so the merged tree lines up modulo one network hop.
+func graftRemote(sp *obs.Span, stats *engine.ExecStats) {
+	if sp == nil || stats == nil {
+		return
+	}
+	for _, rf := range stats.Remote() {
+		for _, fs := range rf.Stats {
+			if fs == nil || fs.Span == nil {
+				continue
+			}
+			anchor := fs.Dispatched
+			if anchor.IsZero() {
+				anchor = stats.T0
+			}
+			c := graftRemoteSpan(sp, fs.Span, anchor)
+			c.SetAttr("node", rf.Label)
+			c.SetAttr("part", fmt.Sprintf("%d/%d", fs.Part, fs.Parts))
+			if fs.Addr != "" {
+				c.SetAttr("addr", fs.Addr)
+			}
+			if fs.ResultStallNanos > 0 {
+				c.SetAttr("resultStallMicros", fs.ResultStallNanos/1e3)
+			}
+			if fs.Retried > 0 {
+				c.SetAttr("retried", fs.Retried)
+			}
+			if fs.FallbackReason != "" {
+				c.SetAttr("fallbackReason", fs.FallbackReason)
+			}
+		}
+	}
+}
+
+// graftRemoteSpan recursively converts one worker-measured span (relative
+// offsets) into a trace span anchored at the coordinator-side timestamp.
+func graftRemoteSpan(parent *obs.Span, rs *exchange.RemoteSpan, anchor time.Time) *obs.Span {
+	c := parent.Child(rs.Name)
+	var first time.Time
+	if rs.FirstNanos > 0 {
+		first = anchor.Add(time.Duration(rs.FirstNanos))
+	}
+	c.SetTimes(anchor.Add(time.Duration(rs.StartNanos)), first, anchor.Add(time.Duration(rs.EndNanos)))
+	for k, v := range rs.Attrs {
+		c.SetAttr(k, v)
+	}
+	for _, child := range rs.Children {
+		graftRemoteSpan(c, child, anchor)
+	}
+	return c
 }

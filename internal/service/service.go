@@ -128,6 +128,11 @@ type Config struct {
 	// NegCacheCapacity sizes the negative cache over parse/resolve failures;
 	// 0 means 256; negative disables it.
 	NegCacheCapacity int
+	// ExchangeWindow overrides the credit window (frames in flight per
+	// direction) for distributed exchanges when > 0; 0 keeps the exchange
+	// default. Small windows make backpressure stalls visible on /metrics,
+	// which is how EXPERIMENTS §OB3 measures the pipeline sync penalty.
+	ExchangeWindow int
 }
 
 // cacheEntry is one plan-cache value: the optimization session pinned to
@@ -177,11 +182,13 @@ type Service struct {
 	// placement maps keyed by catalog version, links the cumulative
 	// per-address exchange traffic from distributed analyze runs (see
 	// cluster.go).
-	clusterMu  sync.Mutex
-	workers    map[string]struct{}
-	epoch      int64
-	placements map[string]*placement.Map
-	links      map[string]*exchange.LinkSnapshot
+	clusterMu       sync.Mutex
+	workers         map[string]string // exchange addr → worker HTTP base URL ("" when unknown)
+	epoch           int64
+	placements      map[string]*placement.Map
+	links           map[string]*exchange.LinkSnapshot
+	fallbackReasons map[string]int64 // cumulative typed fallback reasons
+	workerUp        map[string]bool  // liveness from the last /cluster/metrics scrape
 
 	// sweepStop/sweepWG manage the background drift sweeper (SweepInterval).
 	sweepStop chan struct{}
@@ -241,9 +248,11 @@ func New(cfg Config) (*Service, error) {
 		logger:     cfg.Logger,
 		dbs:        make(map[string]*storage.Database),
 		fstores:    make(map[string]*placement.Store),
-		workers:    make(map[string]struct{}),
-		placements: make(map[string]*placement.Map),
-		links:      make(map[string]*exchange.LinkSnapshot),
+		workers:         make(map[string]string),
+		placements:      make(map[string]*placement.Map),
+		links:           make(map[string]*exchange.LinkSnapshot),
+		fallbackReasons: make(map[string]int64),
+		workerUp:        make(map[string]bool),
 		start:      time.Now(),
 	}
 	if s.logger == nil {
@@ -910,7 +919,13 @@ func (s *Service) analyze(req *OptimizeRequest, served *servedPlan, out *Explain
 			sp.End()
 			return err
 		}
-		ccfg := exchange.ClusterConfig{Members: s.Members}
+		ccfg := exchange.ClusterConfig{
+			Members: s.Members,
+			Window:  s.cfg.ExchangeWindow,
+			// Trace propagation: fragments carry the request's trace ID so
+			// worker-side spans come home tagged with it.
+			TraceID: served.trace.ID(),
+		}
 		if pm := s.PlacementFor(out.Catalog); pm != nil {
 			// Ship leaf scans to the data: restrict ownership to live
 			// members (any worker can materialize any shard, so pruning
@@ -938,7 +953,13 @@ func (s *Service) analyze(req *OptimizeRequest, served *servedPlan, out *Explain
 	if err != nil {
 		return err
 	}
+	if cluster != nil {
+		// Join the interconnect predictions against observed wire time and
+		// merge the workers' span trees into this request's trace.
+		rep.AttachLinks(cluster.Links())
+	}
 	graftAnalyze(sp, rep, stats)
+	graftRemote(sp, stats)
 	for _, e := range rep.Errors() {
 		s.met.CostRelErr.Observe(e)
 	}

@@ -23,7 +23,9 @@ go build "${build_flags[@]}" -o "$tmp/paroptd" ./cmd/paroptd
 go build "${build_flags[@]}" -o "$tmp/paroptw" ./cmd/paroptw
 
 addr=localhost:7272
-"$tmp/paroptd" -addr "$addr" -workload portfolio -nodes 3 -log none &
+# -exchange-window 2 keeps the credit windows tiny so backpressure stalls are
+# guaranteed to register on the stall metric during the streamed runs.
+"$tmp/paroptd" -addr "$addr" -workload portfolio -nodes 3 -log none -exchange-window 2 &
 pids+=($!)
 
 for i in $(seq 1 50); do
@@ -118,6 +120,63 @@ echo "cluster_smoke: $frags fragments dispatched, all links carried traffic"
 echo "cluster_smoke: streamed chain: $chain_base bytes sent, $chain_rows rows, ${chain_ms} ms"
 echo "cluster_smoke: streamed pair:  $pair_base bytes sent, $pair_rows rows, ${pair_ms} ms"
 
+# The repartitioned joins above ran under a 2-frame credit window, so the
+# per-link stall counters — the first direct measurement of the paper's
+# pipeline sync penalty — must be nonzero.
+stall=$(echo "$metrics" | awk '/^paroptd_exchange_stall_seconds_total\{/ {s += $2} END {printf "%.9f\n", s}')
+if ! awk -v s="$stall" 'BEGIN {exit (s > 0) ? 0 : 1}'; then
+  echo "cluster_smoke: expected nonzero credit-stall seconds, got '$stall'" >&2
+  echo "$metrics" | grep paroptd_exchange_stall || true
+  exit 1
+fi
+echo "cluster_smoke: $stall s of credit-window stall measured across links"
+
+# Distributed trace merge: a traced query must return ONE trace whose
+# worker-side fragment spans (with their join children) were grafted into the
+# coordinator's tree, and the ring listing must count them per entry.
+traced=$(curl -fsS --max-time 120 -X POST "http://$addr/explain?analyze=1&distributed=1&trace=1" \
+  -H 'Content-Type: application/json' -d "{\"query\": \"$pair\"}")
+tid=$(echo "$traced" | jq -r '.traceId')
+if [ -z "$tid" ] || [ "$tid" = null ]; then
+  echo "cluster_smoke: traced explain returned no traceId: $traced" >&2
+  exit 1
+fi
+trace=$(curl -fsS "http://$addr/debug/trace/$tid")
+wspans=$(echo "$trace" | jq '[.. | objects | select(.name? == "fragment")] | length')
+wjoins=$(echo "$trace" | jq '[.. | objects | select(.name? == "fragment") | .children[]? | select(.name == "join")] | length')
+if [ "$wspans" -lt 1 ] || [ "$wjoins" -lt 1 ]; then
+  echo "cluster_smoke: merged trace has $wspans fragment spans / $wjoins join children, want >=1 each" >&2
+  echo "$trace" | jq '.root.children[].name' >&2 || true
+  exit 1
+fi
+listed=$(curl -fsS "http://$addr/debug/traces" | jq --arg id "$tid" '.entries[] | select(.id == $id) | .fragments')
+if [ -z "$listed" ] || [ "$listed" -lt 1 ]; then
+  echo "cluster_smoke: /debug/traces entry for $tid counts no fragments: '$listed'" >&2
+  exit 1
+fi
+echo "cluster_smoke: merged trace $tid carries $wspans worker fragment spans ($wjoins join children)"
+
+# Fleet federation: the daemon scrapes each worker's own /healthz and all
+# three must report live (their HTTP URLs rode along with registration).
+fleet=$(curl -fsS "http://$addr/cluster/metrics")
+live=$(echo "$fleet" | jq -r '.live')
+total=$(echo "$fleet" | jq -r '.total')
+if [ "$live" != 3 ] || [ "$total" != 3 ]; then
+  echo "cluster_smoke: /cluster/metrics reports $live/$total workers live, want 3/3: $fleet" >&2
+  exit 1
+fi
+served=$(echo "$fleet" | jq '[.workers[].health.stats.fragments_served] | add')
+if [ -z "$served" ] || [ "$served" = null ] || [ "$served" -lt 1 ]; then
+  echo "cluster_smoke: federated snapshot shows no fragments served: $fleet" >&2
+  exit 1
+fi
+up=$(curl -fsS "http://$addr/metrics" | grep -c '^paroptd_cluster_worker_up{.*} 1$' || true)
+if [ "$up" != 3 ]; then
+  echo "cluster_smoke: expected 3 worker_up gauges at 1, got $up" >&2
+  exit 1
+fi
+echo "cluster_smoke: /cluster/metrics federates 3/3 live workers, $served fragments served fleet-wide"
+
 # Install a placement map over the registered workers: partition every
 # relation of the default catalog on its join key and hand each worker its
 # shards. Queries from here on ship leaf scans instead of streaming tables.
@@ -135,6 +194,10 @@ got_fp=$(curl -fsS "http://$addr/cluster/placement" | jq -r '.fingerprint')
 }
 echo "cluster_smoke: placement $fp installed"
 
+# Re-anchor the byte snapshot: the traced query above ran pre-placement and
+# streamed the pair inputs again, so its traffic must not be charged to the
+# placed runs below.
+s2=$(sent_bytes)
 read -r placed_pair_rows placed_pair_ms < <(run_query "$pair")
 s3=$(sent_bytes)
 read -r placed_chain_rows placed_chain_ms < <(run_query "$chain")
