@@ -5,6 +5,7 @@
 //	paropt [-workload portfolio|chain|star|cycle|clique] [-n 5] [-seed 1]
 //	       [-alg podp|podp-bushy|work|naive-rt|brute|brute-bushy|two-phase|anneal]
 //	       [-cpus 4] [-disks 4] [-k 0] [-costbenefit 0] [-simulate] [-analyze]
+//	       [-why] [-profile]
 //	       [-schema schema.ddl -query "SELECT ... FROM ... WHERE ..."]
 //	paropt replay [-addr http://host:7077 | -workload ...] [-strict] <log.jsonl>
 //	paropt workload [-top 20] [-by traffic|latency|drift] <log.jsonl>
@@ -64,6 +65,8 @@ func main() {
 	timeline := flag.Bool("timeline", false, "with -simulate, print a Gantt timeline of the execution")
 	dot := flag.Bool("dot", false, "print the operator tree as Graphviz DOT")
 	trace := flag.Bool("trace", false, "trace the search as it runs")
+	why := flag.Bool("why", false, "print plan provenance: the chosen plan's cost breakdown plus rejected frontier alternatives with loss reasons")
+	profile := flag.Bool("profile", false, "print the per-layer search profile (time, candidates kept, prunes by reason)")
 	jsonOut := flag.Bool("json", false, "print the plan as JSON instead of text")
 	analyze := flag.Bool("analyze", false, "execute the plan on deterministic synthetic data and print per-operator predicted-vs-actual (tf, tl) descriptors")
 	analyzePar := flag.Int("analyze-parallel", 0, "engine parallelism for -analyze (0 = machine CPUs)")
@@ -111,6 +114,14 @@ func main() {
 		return
 	}
 	fmt.Print(opt.Explain(p))
+	if *why {
+		fmt.Println()
+		fmt.Print(opt.PlanProvenance(p, cfg.Bound, 5).Text())
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(p.Profile().Table())
+	}
 	if *dot {
 		fmt.Println()
 		fmt.Print(p.Op.Dot(q.Name))

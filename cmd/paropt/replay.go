@@ -36,6 +36,7 @@ func replayMain(args []string) {
 	cpus := fs.Int("cpus", 4, "in-process machine CPUs")
 	disks := fs.Int("disks", 4, "in-process machine disks")
 	beam := fs.Int("beam", 0, "in-process cover-set cap (0 = exact)")
+	planLogFile := fs.String("plan-log-file", "", "append detected plan changes as JSONL audit entries to this file (in-process mode only)")
 	fs.Parse(args) //nolint:errcheck // ExitOnError
 	if fs.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: paropt replay [flags] <query-log.jsonl>")
@@ -47,15 +48,29 @@ func replayMain(args []string) {
 		fatal(err)
 	}
 	var exec workload.Executor
+	var svc *paropt.Service
 	if *addr != "" {
+		if *planLogFile != "" {
+			fatal(fmt.Errorf("replay: -plan-log-file needs in-process mode (drop -addr); a daemon keeps its own /debug/planlog"))
+		}
 		exec = httpExecutor(*addr)
 	} else {
-		exec, err = inProcessExecutor(*schemaFile, *wl, *alg, *cpus, *disks, *beam)
+		svc, exec, err = inProcessExecutor(*schemaFile, *wl, *alg, *cpus, *disks, *beam, *planLogFile)
 		if err != nil {
 			fatal(err)
 		}
+		defer svc.Close()
 	}
 	rep := workload.Replay(recs, exec, *verbose)
+	// Feed detected regressions into the plan-change audit log: with
+	// -plan-log-file each one persists as a JSONL entry for post-hoc audits.
+	if svc != nil {
+		for _, d := range rep.Deltas {
+			if d.PlanChanged {
+				svc.RecordReplayChange(d.Fingerprint, "", d.RecordedPlan, d.ReplayedPlan, d.RecordedRT, d.ReplayedRT)
+			}
+		}
+	}
 	fmt.Print(rep.Table())
 	if *strict && (rep.PlanChanges > 0 || rep.Errors > 0) {
 		os.Exit(1)
@@ -102,13 +117,14 @@ func httpExecutor(base string) workload.Executor {
 	}
 }
 
-// inProcessExecutor replays against a fresh service in this process. Records
-// that name a catalog version other than the configured default fail — an
-// in-process replay can only know the catalogs its flags build.
-func inProcessExecutor(schemaFile, wl, alg string, cpus, disks, beam int) (workload.Executor, error) {
+// inProcessExecutor replays against a fresh service in this process (also
+// returned so replayMain can feed regressions into its plan-change audit
+// log). Records that name a catalog version other than the configured default
+// fail — an in-process replay can only know the catalogs its flags build.
+func inProcessExecutor(schemaFile, wl, alg string, cpus, disks, beam int, planLogFile string) (*paropt.Service, workload.Executor, error) {
 	cat, err := defaultCatalog(schemaFile, wl, disks)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	algorithm := paropt.PartialOrderDP
 	switch alg {
@@ -116,19 +132,20 @@ func inProcessExecutor(schemaFile, wl, alg string, cpus, disks, beam int) (workl
 	case "podp-bushy":
 		algorithm = paropt.PartialOrderDPBushy
 	default:
-		return nil, fmt.Errorf("replay: -alg must be podp or podp-bushy (got %q)", alg)
+		return nil, nil, fmt.Errorf("replay: -alg must be podp or podp-bushy (got %q)", alg)
 	}
 	svc, err := paropt.NewService(paropt.ServiceConfig{
-		Catalog:   cat,
-		Machine:   machine.Config{CPUs: cpus, Disks: disks, Networks: 1},
-		Algorithm: algorithm,
-		CoverCap:  beam,
+		Catalog:     cat,
+		Machine:     machine.Config{CPUs: cpus, Disks: disks, Networks: 1},
+		Algorithm:   algorithm,
+		CoverCap:    beam,
+		PlanLogPath: planLogFile,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ctx := context.Background()
-	return func(r workload.Record) workload.Outcome {
+	return svc, func(r workload.Record) workload.Outcome {
 		start := time.Now()
 		resp, err := svc.Optimize(ctx, service.OptimizeRequest{
 			Query:       r.Query,

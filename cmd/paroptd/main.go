@@ -13,12 +13,15 @@
 //	        [-query-log q.jsonl] [-profiles 4096] [-negcache 256]
 //	        [-sweep 1m] [-drift-threshold 2] [-sweep-limit 4]
 //	        [-exchange-window 16]
+//	        [-search-log 64] [-plan-log 256] [-plan-log-file changes.jsonl]
 //
 // Endpoints:
 //
 //	POST /optimize          {"query": "SELECT ...", "k": 1.5}  → plan JSON
 //	POST /explain           same request (?trace=1 ?analyze=1) → plan + report
-//	                        (?distributed=1 executes join fragments on
+//	                        (?why=1 adds plan provenance — the chosen plan's
+//	                         cost breakdown plus rejected alternatives;
+//	                         ?distributed=1 executes join fragments on
 //	                         registered paroptw workers)
 //	POST /schema            {"ddl": "relation R card=1000 ..."}→ catalog version
 //	                        ("default": true makes it the default — the
@@ -42,6 +45,9 @@
 //	GET  /debug/traces                                         → trace IDs
 //	GET  /debug/trace/{id}                                     → one span tree
 //	GET  /debug/workload                                       → per-template profiles
+//	GET  /debug/search                                         → recent searches with
+//	                                                             per-layer telemetry
+//	GET  /debug/planlog                                        → plan-change audit log
 //
 // The default catalog comes from -schema (DDL file) or -workload; requests
 // can also carry inline "schema" DDL or a registered "catalog" version.
@@ -108,6 +114,9 @@ func main() {
 	sweepLimit := flag.Int("sweep-limit", 0, "max re-optimizations per sweeper pass (0 = 4)")
 	negCache := flag.Int("negcache", 0, "negative-cache capacity for parse/resolve failures (0 = 256, negative disables)")
 	exchWindow := flag.Int("exchange-window", 0, "credit window (frames in flight per direction) for distributed exchanges (0 = exchange default)")
+	searchLog := flag.Int("search-log", 0, "recent searches retained with per-layer telemetry for /debug/search (0 = 64, negative disables)")
+	planLog := flag.Int("plan-log", 0, "plan-change audit entries retained for /debug/planlog (0 = 256, negative disables)")
+	planLogFile := flag.String("plan-log-file", "", "additionally append plan changes as JSONL to this file (empty = memory only)")
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -156,24 +165,27 @@ func main() {
 			CPUs: *cpus, Disks: *disks, Networks: *networks, Nodes: *nodes,
 			NetLatency: *netLatency, AggregateDisks: *aggDisks, AggregateLinks: *aggLinks,
 		},
-		Algorithm:        algorithm,
-		CoverCap:         *beam,
-		Workers:          *workers,
-		QueueDepth:       *queue,
-		CacheShards:      *shards,
-		CacheCapacity:    *cacheCap,
-		RequestTimeout:   *timeout,
-		TraceCapacity:    *traces,
-		Logger:           logger,
-		DataSeed:         *dataSeed,
-		QueryLog:         qlog,
-		WorkloadCapacity: *profiles,
-		DriftThreshold:   *driftThreshold,
-		SweepMinSamples:  *driftSamples,
-		SweepInterval:    *sweep,
-		SweepLimit:       *sweepLimit,
-		NegCacheCapacity: *negCache,
-		ExchangeWindow:   *exchWindow,
+		Algorithm:         algorithm,
+		CoverCap:          *beam,
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		CacheShards:       *shards,
+		CacheCapacity:     *cacheCap,
+		RequestTimeout:    *timeout,
+		TraceCapacity:     *traces,
+		Logger:            logger,
+		DataSeed:          *dataSeed,
+		QueryLog:          qlog,
+		WorkloadCapacity:  *profiles,
+		DriftThreshold:    *driftThreshold,
+		SweepMinSamples:   *driftSamples,
+		SweepInterval:     *sweep,
+		SweepLimit:        *sweepLimit,
+		NegCacheCapacity:  *negCache,
+		ExchangeWindow:    *exchWindow,
+		SearchLogCapacity: *searchLog,
+		PlanLogCapacity:   *planLog,
+		PlanLogPath:       *planLogFile,
 	})
 	if err != nil {
 		log.Fatalf("paroptd: %v", err)

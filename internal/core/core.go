@@ -157,6 +157,11 @@ func (p *Plan) RT() float64 { return p.Desc.RT() }
 // Work is the estimated total work.
 func (p *Plan) Work() float64 { return p.Desc.Work() }
 
+// Profile aggregates the search's per-layer telemetry records into the
+// white-box SearchProfile (layer wall times, frontier sizes, prunes by
+// reason) — attached to every optimize result via Stats.
+func (p *Plan) Profile() search.SearchProfile { return p.Stats.Profile() }
+
 // NewOptimizer validates the query and assembles the session.
 func NewOptimizer(cat *catalog.Catalog, q *query.Query, cfg Config) (*Optimizer, error) {
 	if cat == nil || q == nil {

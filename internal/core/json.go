@@ -5,6 +5,7 @@ import (
 
 	"paropt/internal/optree"
 	"paropt/internal/plan"
+	"paropt/internal/search"
 )
 
 // JSON explain: a stable machine-readable rendering of an optimized plan
@@ -43,12 +44,19 @@ type OpJSON struct {
 	Depth        int    `json:"depth"`
 }
 
-// SearchJSON serializes the search counters.
+// SearchJSON serializes the search counters, the prune counts split by
+// rejecting test, and the per-layer profile.
 type SearchJSON struct {
 	PlansConsidered int64 `json:"plansConsidered"`
 	PhysicalPlans   int64 `json:"physicalPlans"`
 	MaxCoverSize    int   `json:"maxCoverSize"`
 	Pruned          int64 `json:"pruned"`
+	PrunedDominance int64 `json:"prunedDominance,omitempty"`
+	PrunedWork      int64 `json:"prunedWork,omitempty"`
+	PrunedMemory    int64 `json:"prunedMemory,omitempty"`
+	PrunedBeam      int64 `json:"prunedBeam,omitempty"`
+
+	Profile *search.SearchProfile `json:"profile,omitempty"`
 }
 
 // BaselineRef summarizes the §2 work-optimal baseline.
@@ -69,7 +77,15 @@ func (o *Optimizer) ExplainJSON(p *Plan) ([]byte, error) {
 			PhysicalPlans:   p.Stats.PhysicalPlans,
 			MaxCoverSize:    p.Stats.MaxCoverSize,
 			Pruned:          p.Stats.Pruned,
+			PrunedDominance: p.Stats.PrunedDominance,
+			PrunedWork:      p.Stats.PrunedWork,
+			PrunedMemory:    p.Stats.PrunedMemory,
+			PrunedBeam:      p.Stats.PrunedBeam,
 		},
+	}
+	if len(p.Stats.Layers) > 0 {
+		prof := p.Stats.Profile()
+		out.Search.Profile = &prof
 	}
 	if p.Baseline != nil {
 		out.Baseline = &BaselineRef{RT: p.Baseline.RT(), Work: p.Baseline.Work()}

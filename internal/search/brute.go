@@ -18,6 +18,7 @@ func (s *Searcher) BruteForceLeftDeep() (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("search: query has no relations")
 	}
+	mark := s.beginLayer()
 	var best *Candidate
 	keep := func(c *Candidate) {
 		if c != nil && (best == nil || s.opt.Final(c, best)) {
@@ -77,6 +78,13 @@ func (s *Searcher) BruteForceLeftDeep() (*Result, error) {
 	if err := rec(nil); err != nil {
 		return nil, err
 	}
+	kept := int64(0)
+	if best != nil {
+		kept = 1
+	}
+	// One pseudo-layer: brute force is not layered, but the record still
+	// carries the search's totals and wall time for the profile.
+	s.endLayer(mark, n, 1, kept, 1)
 	if best == nil {
 		return &Result{Stats: s.stats}, nil
 	}
@@ -91,6 +99,7 @@ func (s *Searcher) BruteForceBushy() (*Result, error) {
 	if n == 0 {
 		return nil, fmt.Errorf("search: query has no relations")
 	}
+	mark := s.beginLayer()
 	var best *Candidate
 	s.stats.MaxLayerPlans = 1
 
@@ -138,6 +147,11 @@ func (s *Searcher) BruteForceBushy() (*Result, error) {
 			best = c
 		}
 	}
+	kept := int64(0)
+	if best != nil {
+		kept = 1
+	}
+	s.endLayer(mark, n, 1, kept, 1)
 	if best == nil {
 		return &Result{Stats: s.stats}, nil
 	}

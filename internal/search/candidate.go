@@ -114,12 +114,23 @@ type Stats struct {
 	MaxOrderClasses int
 	// Pruned counts candidates rejected by dominance or the work limit.
 	Pruned int64
+	// Prune reasons: Pruned split by the test that rejected the candidate —
+	// the Theorem 3 cover-set test (PrunedDominance), the §2 work bound
+	// (PrunedWork), the memory constraint (PrunedMemory), and beam eviction
+	// under CoverCap (PrunedBeam). The four always sum to Pruned.
+	PrunedDominance int64
+	PrunedWork      int64
+	PrunedMemory    int64
+	PrunedBeam      int64
 	// MetricDims is the dimensionality of the pruning metric actually used
 	// (partial-order algorithms only; 0 for total orders). On a multi-node
 	// machine this grows with the node count — every interconnect link is a
 	// resource-vector coordinate — which is what makes local and
 	// repartitioned plans incomparable.
 	MetricDims int
+	// Layers holds one telemetry record per DP layer (one pseudo-layer for
+	// non-layered strategies) — the raw material of the SearchProfile.
+	Layers []LayerRecord
 }
 
 // Searcher runs the §6 algorithms over one query and cost model.
@@ -152,10 +163,12 @@ func (s *Searcher) cost(n *plan.Node) (*Candidate, error) {
 	s.stats.PhysicalPlans++
 	if s.opt.WorkLimit > 0 && d.Work() > s.opt.WorkLimit {
 		s.stats.Pruned++
+		s.stats.PrunedWork++
 		return nil, nil
 	}
 	if s.opt.MemoryLimit > 0 && s.opt.Model.MemoryEstimate(op).PeakPages > s.opt.MemoryLimit {
 		s.stats.Pruned++
+		s.stats.PrunedMemory++
 		return nil, nil
 	}
 	return &Candidate{Node: n, Desc: d}, nil

@@ -19,6 +19,7 @@ func (s *Searcher) DPLeftDeep() (*Result, error) {
 	if metric == nil {
 		metric = WorkMetric{}
 	}
+	mark := s.beginLayer()
 	prev := make(map[query.RelSet]*Candidate, n)
 	for i := 0; i < n; i++ {
 		s.stats.PlansConsidered++ // accessPlan(Ri)
@@ -31,9 +32,10 @@ func (s *Searcher) DPLeftDeep() (*Result, error) {
 		}
 	}
 	s.noteLayer(int64(len(prev)))
-	s.emitLayer(1, len(prev), int64(len(prev)))
+	s.endLayer(mark, 1, len(prev), int64(len(prev)), 1)
 
 	for i := 2; i <= n; i++ {
+		mark = s.beginLayer()
 		cur := make(map[query.RelSet]*Candidate)
 		query.SubsetsOfSize(n, i, func(set query.RelSet) {
 			var best *Candidate
@@ -53,6 +55,7 @@ func (s *Searcher) DPLeftDeep() (*Result, error) {
 						best = e
 					} else {
 						s.stats.Pruned++
+						s.stats.PrunedDominance++
 					}
 				}
 			})
@@ -62,7 +65,7 @@ func (s *Searcher) DPLeftDeep() (*Result, error) {
 			}
 		})
 		s.noteLayer(int64(len(cur)))
-		s.emitLayer(i, len(cur), int64(len(cur)))
+		s.endLayer(mark, i, len(cur), int64(len(cur)), 1)
 		prev = cur
 	}
 	best, ok := prev[query.FullSet(n)]
@@ -86,6 +89,7 @@ func (s *Searcher) DPBushy() (*Result, error) {
 	if metric == nil {
 		metric = WorkMetric{}
 	}
+	mark := s.beginLayer()
 	opt := make(map[query.RelSet]*Candidate)
 	for i := 0; i < n; i++ {
 		s.stats.PlansConsidered++
@@ -98,8 +102,10 @@ func (s *Searcher) DPBushy() (*Result, error) {
 		}
 	}
 	s.noteLayer(int64(len(opt)))
+	s.endLayer(mark, 1, len(opt), int64(len(opt)), 1)
 
 	for i := 2; i <= n; i++ {
+		mark = s.beginLayer()
 		layer := int64(0)
 		query.SubsetsOfSize(n, i, func(set query.RelSet) {
 			var best *Candidate
@@ -119,6 +125,7 @@ func (s *Searcher) DPBushy() (*Result, error) {
 						best = e
 					} else {
 						s.stats.Pruned++
+						s.stats.PrunedDominance++
 					}
 				}
 			})
@@ -128,6 +135,7 @@ func (s *Searcher) DPBushy() (*Result, error) {
 			}
 		})
 		s.noteLayer(layer)
+		s.endLayer(mark, i, int(layer), layer, 1)
 	}
 	best, ok := opt[query.FullSet(n)]
 	if !ok {

@@ -81,12 +81,14 @@ func (s *Searcher) costLocked(mu *sync.Mutex, n *plan.Node) (*Candidate, error) 
 	if s.opt.WorkLimit > 0 && d.Work() > s.opt.WorkLimit {
 		mu.Lock()
 		s.stats.Pruned++
+		s.stats.PrunedWork++
 		mu.Unlock()
 		return nil, nil
 	}
 	if s.opt.MemoryLimit > 0 && s.opt.Model.MemoryEstimate(op).PeakPages > s.opt.MemoryLimit {
 		mu.Lock()
 		s.stats.Pruned++
+		s.stats.PrunedMemory++
 		mu.Unlock()
 		return nil, nil
 	}

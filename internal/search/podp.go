@@ -18,6 +18,7 @@ func (s *Searcher) PODPLeftDeep() (*Result, error) {
 	}
 	metric := s.defaultPartialMetric()
 
+	mark := s.beginLayer()
 	prev := make(map[query.RelSet]*CoverSet, n)
 	for i := 0; i < n; i++ {
 		s.stats.PlansConsidered++ // accessPlans(Ri)
@@ -33,10 +34,10 @@ func (s *Searcher) PODPLeftDeep() (*Result, error) {
 			prev[query.NewRelSet(i)] = cs
 		}
 	}
-	s.noteCoverLayer(prev)
-	s.emitLayer(1, len(prev), coverTotal(prev))
+	s.closeCoverLayer(mark, 1, prev)
 
 	for i := 2; i <= n; i++ {
+		mark = s.beginLayer()
 		cur := make(map[query.RelSet]*CoverSet)
 		query.SubsetsOfSize(n, i, func(set query.RelSet) {
 			best := s.newCover(metric) // bestPlans := ∅ (line 5)
@@ -63,20 +64,30 @@ func (s *Searcher) PODPLeftDeep() (*Result, error) {
 				s.emitSubset(set, best.Len(), s.stats.PlansConsidered)
 			}
 		})
-		s.noteCoverLayer(cur)
-		s.emitLayer(i, len(cur), coverTotal(cur))
+		s.closeCoverLayer(mark, i, cur)
 		prev = cur
 	}
 	return s.finish(prev[query.FullSet(n)])
 }
 
-// coverTotal sums stored plans across a layer's covers.
-func coverTotal(layer map[query.RelSet]*CoverSet) int64 {
-	var n int64
+// coverStats sums stored plans across a layer's covers and finds the
+// largest single cover.
+func coverStats(layer map[query.RelSet]*CoverSet) (total int64, maxCover int) {
 	for _, cs := range layer {
-		n += int64(cs.Len())
+		total += int64(cs.Len())
+		if cs.Len() > maxCover {
+			maxCover = cs.Len()
+		}
 	}
-	return n
+	return total, maxCover
+}
+
+// closeCoverLayer records a finished cover layer: the space statistic plus
+// the layer's telemetry record.
+func (s *Searcher) closeCoverLayer(mark layerMark, card int, layer map[query.RelSet]*CoverSet) {
+	kept, maxCover := coverStats(layer)
+	s.noteLayer(kept)
+	s.endLayer(mark, card, len(layer), kept, maxCover)
 }
 
 // PODPBushy is Figure 2 generalized to bushy trees per §6.4: cover sets per
@@ -89,6 +100,7 @@ func (s *Searcher) PODPBushy() (*Result, error) {
 	}
 	metric := s.defaultPartialMetric()
 
+	mark := s.beginLayer()
 	opt := make(map[query.RelSet]*CoverSet)
 	for i := 0; i < n; i++ {
 		s.stats.PlansConsidered++
@@ -104,9 +116,10 @@ func (s *Searcher) PODPBushy() (*Result, error) {
 			opt[query.NewRelSet(i)] = cs
 		}
 	}
-	s.noteCoverLayer(opt)
+	s.closeCoverLayer(mark, 1, opt)
 
 	for i := 2; i <= n; i++ {
+		mark = s.beginLayer()
 		layerSets := make(map[query.RelSet]*CoverSet)
 		query.SubsetsOfSize(n, i, func(set query.RelSet) {
 			best := s.newCover(metric)
@@ -132,12 +145,13 @@ func (s *Searcher) PODPBushy() (*Result, error) {
 			if !best.Empty() {
 				layerSets[set] = best
 				s.noteOrderClasses(best)
+				s.emitSubset(set, best.Len(), s.stats.PlansConsidered)
 			}
 		})
 		for set, cs := range layerSets {
 			opt[set] = cs
 		}
-		s.noteCoverLayer(layerSets)
+		s.closeCoverLayer(mark, i, layerSets)
 	}
 	return s.finish(opt[query.FullSet(n)])
 }
@@ -166,10 +180,19 @@ func (s *Searcher) newCover(metric Metric) *CoverSet {
 	return NewCoverSet(metric)
 }
 
-// insert adds a candidate to a cover set, tracking statistics.
+// insert adds a candidate to a cover set, tracking statistics. A rejected
+// candidate is classified by what rejected it: the Theorem 3 dominance test
+// (some stored plan covers it) or beam eviction (it survived dominance but
+// was the cap's eviction victim).
 func (s *Searcher) insert(cs *CoverSet, c *Candidate) {
+	rejected := cs.Rejected
 	if !cs.Insert(c) {
 		s.stats.Pruned++
+		if cs.Rejected > rejected {
+			s.stats.PrunedDominance++
+		} else {
+			s.stats.PrunedBeam++
+		}
 	}
 	if cs.Len() > s.stats.MaxCoverSize {
 		s.stats.MaxCoverSize = cs.Len()
@@ -185,17 +208,6 @@ func (s *Searcher) noteOrderClasses(cs *CoverSet) {
 	}
 	if len(seen) > s.stats.MaxOrderClasses {
 		s.stats.MaxOrderClasses = len(seen)
-	}
-}
-
-// noteCoverLayer records the total plans stored across one layer's covers.
-func (s *Searcher) noteCoverLayer(layer map[query.RelSet]*CoverSet) {
-	var n int64
-	for _, cs := range layer {
-		n += int64(cs.Len())
-	}
-	if n > s.stats.MaxLayerPlans {
-		s.stats.MaxLayerPlans = n
 	}
 }
 

@@ -1,0 +1,163 @@
+package search
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Per-layer search telemetry: the lattice of a dynamic program is layered by
+// subset cardinality, and parallelizing the search (per-subset sharding with
+// cover-set merges at layer barriers) will live or die by where the time and
+// the cover growth actually are. Every search therefore records one
+// LayerRecord per layer — wall time, subsets expanded, join pairs
+// considered, candidates kept, and prunes split by the test that rejected
+// them — aggregated into a SearchProfile on the result's Stats.
+//
+// Collection is deliberately cheap: counters are snapshotted at layer
+// boundaries (two time.Now calls and a handful of integer deltas per layer),
+// never per subset, so the untraced hot path stays allocation-free.
+
+// LayerRecord is the telemetry of one DP layer (all subsets of one
+// cardinality). Non-layered strategies (brute force, randomized, two-phase)
+// record their whole run as a single pseudo-layer so totals stay comparable
+// across algorithms.
+type LayerRecord struct {
+	// Card is the subset cardinality this layer solved (the relation count
+	// for pseudo-layers).
+	Card int `json:"card"`
+	// Subsets is the number of subsets with a surviving (non-empty) cover.
+	Subsets int `json:"subsets"`
+	// Considered counts joinPlan/accessPlan invocations in this layer — the
+	// join pairs (cover member × extension) the layer expanded.
+	Considered int64 `json:"considered"`
+	// Physical counts method × access-path combinations costed.
+	Physical int64 `json:"physical"`
+	// Kept is the total plans stored across this layer's covers — the
+	// layer's frontier size.
+	Kept int64 `json:"kept"`
+	// Prunes by reason: the Theorem 3 cover-set test (dominance), the §2
+	// work bound, the memory constraint, and beam (CoverCap) eviction.
+	PrunedDominance int64 `json:"prunedDominance"`
+	PrunedWork      int64 `json:"prunedWork"`
+	PrunedMemory    int64 `json:"prunedMemory"`
+	PrunedBeam      int64 `json:"prunedBeam"`
+	// MaxCover is the largest single cover set in the layer (k in §6.2).
+	MaxCover int `json:"maxCover"`
+	// BytesRetained estimates the memory held by the layer's stored
+	// candidates (descriptor vectors dominate; shared plan nodes are not
+	// charged per candidate).
+	BytesRetained int64 `json:"bytesRetained"`
+	// WallNanos is the layer's wall-clock time.
+	WallNanos int64 `json:"wallNanos"`
+}
+
+// Pruned is the layer's total prune count across all reasons.
+func (r LayerRecord) Pruned() int64 {
+	return r.PrunedDominance + r.PrunedWork + r.PrunedMemory + r.PrunedBeam
+}
+
+// SearchProfile aggregates the per-layer records of one search — the
+// white-box view attached to every optimize result.
+type SearchProfile struct {
+	// Relations is the query size (the deepest layer's cardinality).
+	Relations int `json:"relations"`
+	// WallNanos is the summed layer wall time.
+	WallNanos int64 `json:"wallNanos"`
+	// PeakBytesRetained is the largest per-layer retained-bytes estimate.
+	PeakBytesRetained int64 `json:"peakBytesRetained"`
+	// Layers are the per-layer records in cardinality order.
+	Layers []LayerRecord `json:"layers,omitempty"`
+}
+
+// Profile aggregates the collected layer records. It is cheap (no search
+// state needed) and safe on a zero-value Stats.
+func (st Stats) Profile() SearchProfile {
+	p := SearchProfile{Layers: st.Layers}
+	for _, l := range st.Layers {
+		if l.Card > p.Relations {
+			p.Relations = l.Card
+		}
+		p.WallNanos += l.WallNanos
+		if l.BytesRetained > p.PeakBytesRetained {
+			p.PeakBytesRetained = l.BytesRetained
+		}
+	}
+	return p
+}
+
+// Table renders the profile as a fixed-width text table (one row per layer).
+func (p SearchProfile) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s %8s %11s %9s %7s %8s %7s %7s %7s %9s %10s\n",
+		"layer", "subsets", "considered", "physical", "kept",
+		"prDom", "prWork", "prMem", "prBeam", "maxCover", "wall")
+	for _, l := range p.Layers {
+		fmt.Fprintf(&b, "%5d %8d %11d %9d %7d %8d %7d %7d %7d %9d %10s\n",
+			l.Card, l.Subsets, l.Considered, l.Physical, l.Kept,
+			l.PrunedDominance, l.PrunedWork, l.PrunedMemory, l.PrunedBeam,
+			l.MaxCover, time.Duration(l.WallNanos).Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "total: %d relations, wall %s, peak retained ≈ %d bytes\n",
+		p.Relations, time.Duration(p.WallNanos).Round(time.Microsecond), p.PeakBytesRetained)
+	return b.String()
+}
+
+// layerMark snapshots the prune/consider counters at a layer boundary so the
+// layer's record can be computed as deltas when it closes.
+type layerMark struct {
+	start      time.Time
+	considered int64
+	physical   int64
+	prunedDom  int64
+	prunedWork int64
+	prunedMem  int64
+	prunedBeam int64
+}
+
+// beginLayer opens a layer: one clock read plus six integer copies.
+func (s *Searcher) beginLayer() layerMark {
+	return layerMark{
+		start:      time.Now(),
+		considered: s.stats.PlansConsidered,
+		physical:   s.stats.PhysicalPlans,
+		prunedDom:  s.stats.PrunedDominance,
+		prunedWork: s.stats.PrunedWork,
+		prunedMem:  s.stats.PrunedMemory,
+		prunedBeam: s.stats.PrunedBeam,
+	}
+}
+
+// endLayer closes a layer: it appends the record to the stats (the raw
+// material of the SearchProfile) and forwards it to the tracer, if any.
+func (s *Searcher) endLayer(m layerMark, card, subsets int, kept int64, maxCover int) {
+	rec := LayerRecord{
+		Card:            card,
+		Subsets:         subsets,
+		Considered:      s.stats.PlansConsidered - m.considered,
+		Physical:        s.stats.PhysicalPlans - m.physical,
+		Kept:            kept,
+		PrunedDominance: s.stats.PrunedDominance - m.prunedDom,
+		PrunedWork:      s.stats.PrunedWork - m.prunedWork,
+		PrunedMemory:    s.stats.PrunedMemory - m.prunedMem,
+		PrunedBeam:      s.stats.PrunedBeam - m.prunedBeam,
+		MaxCover:        maxCover,
+		BytesRetained:   kept * s.candidateBytes(),
+		WallNanos:       time.Since(m.start).Nanoseconds(),
+	}
+	s.stats.Layers = append(s.stats.Layers, rec)
+	if s.opt.Trace != nil {
+		s.opt.Trace.Layer(rec)
+	}
+}
+
+// candidateBytes estimates the bytes one stored candidate retains: the
+// Candidate struct, its resource descriptor (two vectors of T plus one work
+// coordinate per machine resource), and the cover-set slot holding it. Plan
+// nodes are shared across extensions and not charged per candidate.
+func (s *Searcher) candidateBytes() int64 {
+	dim := s.opt.Model.Dim()
+	const candidateOverhead = 3 * 8 // struct + slice slot + node pointer
+	vector := 8 + 24 + 8*int64(dim) // T + slice header + coordinates
+	return candidateOverhead + 2*vector
+}

@@ -88,6 +88,7 @@ func (s *Searcher) Randomized(opts RandomizedOptions) (*Result, error) {
 		return nil, err
 	}
 
+	mark := s.beginLayer()
 	var bestEver *Candidate
 	for r := 0; r < opts.Restarts; r++ {
 		cur := randomShape(n, rng, accessCounts)
@@ -133,6 +134,12 @@ func (s *Searcher) Randomized(opts RandomizedOptions) (*Result, error) {
 			temp *= opts.Cooling
 		}
 	}
+	kept := int64(0)
+	if bestEver != nil {
+		kept = 1
+	}
+	// One pseudo-layer covering all restarts and moves.
+	s.endLayer(mark, n, 1, kept, 1)
 	if bestEver == nil {
 		return &Result{Stats: s.stats}, nil
 	}

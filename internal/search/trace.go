@@ -10,10 +10,12 @@ import (
 // Tracer observes the dynamic program as it runs — which subsets were
 // solved, how large their cover sets grew, what was pruned — the
 // explain-analyze of the optimizer. Implementations must be cheap; the DP
-// calls them in its inner loops.
+// calls them in its inner loops. When Options.Trace is nil the emit hooks
+// are skipped entirely and cost nothing beyond a nil check.
 type Tracer interface {
-	// Layer is called after all subsets of one cardinality are solved.
-	Layer(card int, subsets int, plansStored int64)
+	// Layer is called after all subsets of one cardinality are solved, with
+	// the layer's full telemetry record.
+	Layer(rec LayerRecord)
 	// Subset is called after one relation subset's plans are finalized.
 	Subset(set query.RelSet, kept int, considered int64)
 	// Final is called with the winning plan (nil if none).
@@ -28,8 +30,11 @@ type WriterTracer struct {
 }
 
 // Layer implements Tracer.
-func (t *WriterTracer) Layer(card int, subsets int, plansStored int64) {
-	fmt.Fprintf(t.W, "layer %d: %d subsets, %d plans stored\n", card, subsets, plansStored)
+func (t *WriterTracer) Layer(rec LayerRecord) {
+	fmt.Fprintf(t.W, "layer %d: %d subsets, %d plans stored, pruned %d (dom %d, work %d, mem %d, beam %d), %.3fms\n",
+		rec.Card, rec.Subsets, rec.Kept, rec.Pruned(),
+		rec.PrunedDominance, rec.PrunedWork, rec.PrunedMemory, rec.PrunedBeam,
+		float64(rec.WallNanos)/1e6)
 }
 
 // Subset implements Tracer.
@@ -51,40 +56,49 @@ func (t *WriterTracer) Final(best *Candidate, stats Stats) {
 
 // MultiTracer fans every event out to several tracers — e.g. a WriterTracer
 // capturing text for the service's explain endpoint plus a span adapter
-// feeding the request trace.
+// feeding the request trace. Nil members are skipped, so callers can build
+// one from optional tracers without filtering.
 type MultiTracer []Tracer
 
 // Layer implements Tracer.
-func (m MultiTracer) Layer(card int, subsets int, plansStored int64) {
+func (m MultiTracer) Layer(rec LayerRecord) {
 	for _, t := range m {
-		t.Layer(card, subsets, plansStored)
+		if t != nil {
+			t.Layer(rec)
+		}
 	}
 }
 
 // Subset implements Tracer.
 func (m MultiTracer) Subset(set query.RelSet, kept int, considered int64) {
 	for _, t := range m {
-		t.Subset(set, kept, considered)
+		if t != nil {
+			t.Subset(set, kept, considered)
+		}
 	}
 }
 
 // Final implements Tracer.
 func (m MultiTracer) Final(best *Candidate, stats Stats) {
 	for _, t := range m {
-		t.Final(best, stats)
+		if t != nil {
+			t.Final(best, stats)
+		}
 	}
 }
 
 // CountingTracer accumulates events for tests and tooling.
 type CountingTracer struct {
 	Layers  []int64 // plans stored per layer
+	Records []LayerRecord
 	Subsets int
 	Best    *Candidate
 }
 
 // Layer implements Tracer.
-func (t *CountingTracer) Layer(_ int, _ int, plansStored int64) {
-	t.Layers = append(t.Layers, plansStored)
+func (t *CountingTracer) Layer(rec LayerRecord) {
+	t.Layers = append(t.Layers, rec.Kept)
+	t.Records = append(t.Records, rec)
 }
 
 // Subset implements Tracer.
@@ -93,14 +107,8 @@ func (t *CountingTracer) Subset(query.RelSet, int, int64) { t.Subsets++ }
 // Final implements Tracer.
 func (t *CountingTracer) Final(best *Candidate, _ Stats) { t.Best = best }
 
-// emitLayer forwards a layer event if a tracer is installed.
-func (s *Searcher) emitLayer(card, subsets int, stored int64) {
-	if s.opt.Trace != nil {
-		s.opt.Trace.Layer(card, subsets, stored)
-	}
-}
-
-// emitSubset forwards a subset event.
+// emitSubset forwards a subset event. The args are scalars already on hand,
+// so an uninstalled tracer costs one nil check and no allocation.
 func (s *Searcher) emitSubset(set query.RelSet, kept int, considered int64) {
 	if s.opt.Trace != nil {
 		s.opt.Trace.Subset(set, kept, considered)

@@ -9,6 +9,7 @@ package search
 // optimizer on a tree whose parallelized form is inferior to what the
 // one-phase partial-order DP finds; benchmarks compare the two.
 func (s *Searcher) TwoPhase() (*Result, error) {
+	mark := s.beginLayer()
 	base, err := s.WorkOptimalBaseline()
 	if err != nil {
 		return nil, err
@@ -35,5 +36,11 @@ func (s *Searcher) TwoPhase() (*Result, error) {
 		}
 	}
 	s.stats.MaxLayerPlans = 1
+	kept := int64(0)
+	if best != nil {
+		kept = 1
+	}
+	// One pseudo-layer spanning both phases.
+	s.endLayer(mark, len(s.q.Relations), 1, kept, 1)
 	return &Result{Best: best, Frontier: []*Candidate{best}, Stats: s.stats}, nil
 }

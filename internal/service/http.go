@@ -15,13 +15,17 @@ import (
 	"paropt/internal/obs/workload"
 	"paropt/internal/parser"
 	"paropt/internal/placement"
+	"paropt/internal/search"
 )
 
 // HTTP surface of the daemon (stdlib net/http only):
 //
 //	POST /optimize          OptimizeRequest JSON  → OptimizeResponse JSON
 //	POST /explain           OptimizeRequest JSON  → ExplainResponse JSON
-//	                        (?trace=1 adds the DP search trace,
+//	                        (?trace=1 adds the DP search trace — labeled
+//	                         "replayed from cache" on cache hits,
+//	                         ?why=1 adds plan provenance: the chosen plan's
+//	                         full cost breakdown plus rejected alternatives,
 //	                         ?analyze=1 executes + reports accuracy,
 //	                         ?distributed=1 executes on registered workers)
 //	POST /schema            {"ddl": "..."}        → {"catalog": "<version>"}
@@ -42,6 +46,11 @@ import (
 //	GET  /debug/workload                          → per-fingerprint profiles
 //	                        (?top=K bounds rows, ?by=traffic|latency|drift
 //	                         orders them, ?format=text renders a table)
+//	GET  /debug/search                            → recent DP searches with
+//	                        per-layer telemetry (?n=K bounds entries,
+//	                         ?format=text renders layer tables)
+//	GET  /debug/planlog                           → plan-change audit log
+//	                        (?n=K bounds entries, ?format=text renders it)
 //
 // Error mapping: client errors (parse/validation/unknown catalog) → 400,
 // queue-full admission rejection → 429 with Retry-After, request timeout →
@@ -64,6 +73,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /debug/workload", s.handleWorkload)
+	mux.HandleFunc("GET /debug/search", s.handleSearchLog)
+	mux.HandleFunc("GET /debug/planlog", s.handlePlanLog)
 	return mux
 }
 
@@ -140,6 +151,9 @@ func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	if q.Get("distributed") == "1" {
 		req.Distributed = true
+	}
+	if q.Get("why") == "1" {
+		req.Why = true
 	}
 	resp, err := s.Explain(r.Context(), req)
 	if err != nil {
@@ -437,6 +451,94 @@ func (s *Service) handleWorkload(w http.ResponseWriter, r *http.Request) {
 		},
 		"profiles": snaps,
 	})
+}
+
+// limitParam parses an optional ?n=K bound (default def); returns -1 and
+// writes a 400 on a bad value.
+func limitParam(w http.ResponseWriter, r *http.Request, def int) int {
+	v := r.URL.Query().Get("n")
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad n %q", v))
+		return -1
+	}
+	return n
+}
+
+// handleSearchLog serves the recent-search telemetry ring: per-layer records
+// for every search actually run, newest first.
+func (s *Service) handleSearchLog(w http.ResponseWriter, r *http.Request) {
+	n := limitParam(w, r, 20)
+	if n < 0 {
+		return
+	}
+	entries := s.SearchLog()
+	if len(entries) > n {
+		entries = entries[:n]
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, e := range entries {
+			fmt.Fprintf(w, "#%d %s source=%s fingerprint=%s catalog=%s relations=%d frontier=%d elapsed=%.3fms hits=%d cached=%v\n",
+				e.ID, e.Time.Format(time.RFC3339), e.Source, e.Fingerprint, e.Catalog,
+				e.Relations, e.FrontierSize, float64(e.ElapsedMicros)/1e3, e.CacheHits, e.Cached)
+			p := search.SearchProfile{
+				Relations:         e.Relations,
+				WallNanos:         e.ElapsedMicros * 1e3,
+				PeakBytesRetained: e.PeakBytesRetained,
+				Layers:            e.Layers,
+			}
+			io.WriteString(w, p.Table()) //nolint:errcheck
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	if entries == nil {
+		entries = []SearchLogEntry{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"searches": entries})
+}
+
+// handlePlanLog serves the plan-change audit log, newest first.
+func (s *Service) handlePlanLog(w http.ResponseWriter, r *http.Request) {
+	n := limitParam(w, r, 50)
+	if n < 0 {
+		return
+	}
+	changes := s.PlanChanges()
+	if len(changes) > n {
+		changes = changes[:n]
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, c := range changes {
+			fmt.Fprintf(w, "#%d %s source=%s fingerprint=%s catalog=%s->%s\n",
+				c.ID, c.Time.Format(time.RFC3339), c.Source, c.Fingerprint, c.PrevCatalog, c.Catalog)
+			fmt.Fprintf(w, "  plan: %s -> %s\n", c.PrevPlan, c.NewPlan)
+			fmt.Fprintf(w, "  rt: %.2f -> %.2f (%+.1f%%)  work: %.2f -> %.2f\n",
+				c.PrevRT, c.NewRT, pctDelta(c.PrevRT, c.NewRT), c.PrevWork, c.NewWork)
+			for _, d := range c.Diff {
+				fmt.Fprintf(w, "  %s\n", d)
+			}
+			fmt.Fprintln(w)
+		}
+		return
+	}
+	if changes == nil {
+		changes = []PlanChange{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"changes": changes})
+}
+
+// pctDelta is the relative change in percent (0 when the base is zero).
+func pctDelta(prev, next float64) float64 {
+	if prev == 0 {
+		return 0
+	}
+	return (next - prev) / prev * 100
 }
 
 func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {

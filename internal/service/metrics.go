@@ -75,6 +75,22 @@ type Metrics struct {
 	SweepRuns        atomic.Int64
 	SweepReoptimized atomic.Int64
 
+	// Search prune counters by rejecting test, accumulated across every DP
+	// search run: the Theorem 3 cover-set dominance test, the §2 work bound,
+	// the memory constraint, and beam (cover-cap) eviction.
+	PrunedDominance atomic.Int64
+	PrunedWork      atomic.Int64
+	PrunedMemory    atomic.Int64
+	PrunedBeam      atomic.Int64
+
+	// Plan-change audit counters by source (see planlog.go): "search" swaps
+	// under unchanged inputs, "refresh" after a catalog move, "sweeper" drift
+	// re-optimizations, "replay" regressions reported by replay runs.
+	PlanChangesSearch  atomic.Int64
+	PlanChangesRefresh atomic.Int64
+	PlanChangesSweeper atomic.Int64
+	PlanChangesReplay  atomic.Int64
+
 	// CatalogRetired counts catalog versions retired by RefreshCatalog (each
 	// retirement sweeps the version's plan-cache and negative-cache entries).
 	CatalogRetired atomic.Int64
@@ -108,6 +124,24 @@ type Metrics struct {
 	// (tf, tl) predictions from analyze runs — the live fidelity signal of
 	// the §5 cost model. Buckets are obs.RelErrorBuckets.
 	CostRelErr Histogram
+
+	// SearchLayerSeconds observes the wall time of every DP layer (one
+	// observation per layer per search) — where time goes inside the lattice.
+	SearchLayerSeconds Histogram
+}
+
+// notePlanChange bumps the audit counter for one plan-change source.
+func (m *Metrics) notePlanChange(source string) {
+	switch source {
+	case "search":
+		m.PlanChangesSearch.Add(1)
+	case "refresh":
+		m.PlanChangesRefresh.Add(1)
+	case "sweeper":
+		m.PlanChangesSweeper.Add(1)
+	case "replay":
+		m.PlanChangesReplay.Add(1)
+	}
 }
 
 // ensureInit pins non-default bucket bounds; called from New and defensively
@@ -187,6 +221,16 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	counter("paroptd_negcache_hits_total", "Parse/resolve failures answered from the negative cache.", m.NegCacheHits.Load())
 	counter("paroptd_sweeper_runs_total", "Drift-sweeper passes.", m.SweepRuns.Load())
 	counter("paroptd_sweeper_reoptimized_total", "Cache entries re-optimized by the drift sweeper.", m.SweepReoptimized.Load())
+	fmt.Fprintf(w, "# HELP paroptd_search_pruned_total Candidates pruned during DP search, by rejecting test.\n# TYPE paroptd_search_pruned_total counter\n")
+	fmt.Fprintf(w, "paroptd_search_pruned_total{reason=\"dominance\"} %d\n", m.PrunedDominance.Load())
+	fmt.Fprintf(w, "paroptd_search_pruned_total{reason=\"work\"} %d\n", m.PrunedWork.Load())
+	fmt.Fprintf(w, "paroptd_search_pruned_total{reason=\"memory\"} %d\n", m.PrunedMemory.Load())
+	fmt.Fprintf(w, "paroptd_search_pruned_total{reason=\"beam\"} %d\n", m.PrunedBeam.Load())
+	fmt.Fprintf(w, "# HELP paroptd_plan_changes_total Cached-plan swaps recorded in the plan-change audit log, by source.\n# TYPE paroptd_plan_changes_total counter\n")
+	fmt.Fprintf(w, "paroptd_plan_changes_total{source=\"search\"} %d\n", m.PlanChangesSearch.Load())
+	fmt.Fprintf(w, "paroptd_plan_changes_total{source=\"refresh\"} %d\n", m.PlanChangesRefresh.Load())
+	fmt.Fprintf(w, "paroptd_plan_changes_total{source=\"sweeper\"} %d\n", m.PlanChangesSweeper.Load())
+	fmt.Fprintf(w, "paroptd_plan_changes_total{source=\"replay\"} %d\n", m.PlanChangesReplay.Load())
 	counter("paroptd_catalog_versions_retired", "Catalog versions retired by statistics refreshes (plan + negative caches swept).", m.CatalogRetired.Load())
 	counter("paroptd_exchange_fragments_total", "Join fragments dispatched to worker processes (re-dispatches count again).", m.ExchangeFragments.Load())
 	counter("paroptd_exchange_shipped_scans_total", "Leaf-scan sides sourced at workers instead of streamed from the coordinator.", m.ShippedScans.Load())
@@ -264,4 +308,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "# HELP paroptd_cost_rel_error Absolute relative error of calibrated per-operator (tf, tl) predictions, from analyze runs.\n")
 	fmt.Fprintf(w, "# TYPE paroptd_cost_rel_error histogram\n")
 	m.CostRelErr.WritePrometheus(w, "paroptd_cost_rel_error", "")
+
+	fmt.Fprintf(w, "# HELP paroptd_search_layer_seconds Wall time per DP search layer (one observation per layer per search).\n")
+	fmt.Fprintf(w, "# TYPE paroptd_search_layer_seconds histogram\n")
+	m.SearchLayerSeconds.WritePrometheus(w, "paroptd_search_layer_seconds", "")
 }

@@ -18,10 +18,13 @@ import (
 type spanTracer struct{ sp *obs.Span }
 
 // Layer implements search.Tracer.
-func (t spanTracer) Layer(card int, subsets int, plansStored int64) {
-	c := t.sp.Child(fmt.Sprintf("dp-layer-%d", card))
-	c.SetAttr("subsets", subsets)
-	c.SetAttr("plansStored", plansStored)
+func (t spanTracer) Layer(rec search.LayerRecord) {
+	c := t.sp.Child(fmt.Sprintf("dp-layer-%d", rec.Card))
+	c.SetAttr("subsets", rec.Subsets)
+	c.SetAttr("plansStored", rec.Kept)
+	c.SetAttr("considered", rec.Considered)
+	c.SetAttr("pruned", rec.Pruned())
+	c.SetAttr("maxCover", rec.MaxCover)
 	c.End()
 }
 

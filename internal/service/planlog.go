@@ -1,0 +1,240 @@
+package service
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"paropt/internal/search"
+)
+
+// Plan-change audit log: every time the service's answer for a query
+// fingerprint *changes* — the drift sweeper re-optimized it, a statistics
+// refresh moved the catalog, or a replay regression was reported — one
+// PlanChange records the before/after plan fingerprints, the cost deltas,
+// and a structural diff of the join trees. The log is a bounded in-memory
+// ring served at /debug/planlog, optionally persisted as JSONL so swaps
+// survive a restart for post-hoc audits.
+
+// PlanChange is one recorded plan swap.
+type PlanChange struct {
+	ID   int64     `json:"id"`
+	Time time.Time `json:"time"`
+	// Source attributes the swap: "search" (a later request's search chose
+	// differently under unchanged inputs — should not happen for a fixed
+	// catalog), "refresh" (catalog version moved under the template),
+	// "sweeper" (drift re-optimization), "replay" (a replay run reported a
+	// regression against a recorded log).
+	Source      string `json:"source"`
+	Fingerprint string `json:"fingerprint"`
+	// PrevCatalog/Catalog are the catalog versions before and after.
+	PrevCatalog string `json:"prevCatalog,omitempty"`
+	Catalog     string `json:"catalog"`
+	// PrevPlan/NewPlan are the plan signatures (join trees in functional
+	// notation).
+	PrevPlan string `json:"prevPlan"`
+	NewPlan  string `json:"newPlan"`
+	// Cost deltas: estimated response time and work before and after.
+	PrevRT   float64 `json:"prevRT"`
+	NewRT    float64 `json:"newRT"`
+	PrevWork float64 `json:"prevWork"`
+	NewWork  float64 `json:"newWork"`
+	// Diff is the structural plan diff: tree-rendering lines only in the
+	// previous plan ("- ") or only in the new one ("+ ").
+	Diff []string `json:"diff,omitempty"`
+}
+
+// planLog is the bounded ring plus the optional JSONL persister. A nil
+// *planLog is disabled: every method is a cheap no-op.
+type planLog struct {
+	mu      sync.Mutex
+	cap     int
+	nextID  int64
+	entries []PlanChange
+	file    *os.File
+}
+
+// newPlanLog builds a log retaining up to capacity changes; a non-empty path
+// additionally appends one JSON line per change to that file.
+func newPlanLog(capacity int, path string) (*planLog, error) {
+	l := &planLog{cap: capacity}
+	if path != "" {
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.file = f
+	}
+	return l, nil
+}
+
+// add records one change and persists it when a file is attached.
+func (l *planLog) add(c PlanChange) PlanChange {
+	if l == nil {
+		return c
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	c.ID = l.nextID
+	c.Time = time.Now()
+	l.entries = append(l.entries, c)
+	if len(l.entries) > l.cap {
+		l.entries = append(l.entries[:0:0], l.entries[len(l.entries)-l.cap:]...)
+	}
+	if l.file != nil {
+		if b, err := json.Marshal(c); err == nil {
+			l.file.Write(append(b, '\n')) //nolint:errcheck // audit log is best-effort
+		}
+	}
+	return c
+}
+
+// snapshot returns the retained changes newest-first.
+func (l *planLog) snapshot() []PlanChange {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]PlanChange, 0, len(l.entries))
+	for i := len(l.entries) - 1; i >= 0; i-- {
+		out = append(out, l.entries[i])
+	}
+	return out
+}
+
+// close releases the JSONL file, if any.
+func (l *planLog) close() {
+	if l == nil || l.file == nil {
+		return
+	}
+	l.file.Close() //nolint:errcheck
+}
+
+// PlanChanges returns the retained audit-log entries, newest first (nil when
+// the log is disabled).
+func (s *Service) PlanChanges() []PlanChange { return s.planlog.snapshot() }
+
+// prevPlan is the last answer remembered per query fingerprint — the "before"
+// side of the next swap.
+type prevPlan struct {
+	catalog string
+	sig     string
+	rt      float64
+	work    float64
+	lines   []string
+}
+
+// lastPlansCap bounds the per-fingerprint memory; beyond it an arbitrary
+// entry is dropped (the map is advisory — a dropped fingerprint just misses
+// one swap's "before" side).
+const lastPlansCap = 4096
+
+// notePlan observes the representative plan a fresh search produced for a
+// fingerprint and records a PlanChange when it differs from the last one. The
+// representative is the frontier's unbounded best (minimum response time):
+// the answer an unbounded request would get, which makes swap detection
+// independent of per-request bound knobs. A swap seen under a new catalog
+// version is reclassified from "search" to "refresh".
+func (s *Service) notePlan(source, fp, version string, best *search.Candidate) {
+	if s.planlog == nil || best == nil {
+		return
+	}
+	sig := best.Node.String()
+	lines := treeLines(best.Node.Indent())
+	next := prevPlan{catalog: version, sig: sig, rt: best.RT(), work: best.Work(), lines: lines}
+
+	s.planMu.Lock()
+	prev, seen := s.lastPlans[fp]
+	if !seen && len(s.lastPlans) >= lastPlansCap {
+		for k := range s.lastPlans {
+			delete(s.lastPlans, k)
+			break
+		}
+	}
+	s.lastPlans[fp] = next
+	s.planMu.Unlock()
+
+	if !seen || (prev.sig == sig && prev.catalog == version && prev.rt == next.rt && prev.work == next.work) {
+		return
+	}
+	if source == "search" && prev.catalog != version {
+		source = "refresh"
+	}
+	c := s.planlog.add(PlanChange{
+		Source:      source,
+		Fingerprint: fp,
+		PrevCatalog: prev.catalog,
+		Catalog:     version,
+		PrevPlan:    prev.sig,
+		NewPlan:     sig,
+		PrevRT:      prev.rt,
+		NewRT:       next.rt,
+		PrevWork:    prev.work,
+		NewWork:     next.work,
+		Diff:        diffLines(prev.lines, lines),
+	})
+	s.met.notePlanChange(source)
+	s.logger.Info("plan change",
+		"source", source, "fingerprint", fp,
+		"prevRT", prev.rt, "newRT", next.rt,
+		"prevWork", prev.work, "newWork", next.work,
+		"id", c.ID)
+}
+
+// RecordReplayChange feeds one replay-detected regression into the audit log:
+// a replayed request whose plan signature no longer matches the recorded one.
+// Exported for the replay CLI's in-process mode.
+func (s *Service) RecordReplayChange(fingerprint, catalog, recordedPlan, replayedPlan string, recordedRT, replayedRT float64) {
+	if s.planlog == nil {
+		return
+	}
+	s.planlog.add(PlanChange{
+		Source:      "replay",
+		Fingerprint: fingerprint,
+		Catalog:     catalog,
+		PrevPlan:    recordedPlan,
+		NewPlan:     replayedPlan,
+		PrevRT:      recordedRT,
+		NewRT:       replayedRT,
+		Diff:        diffLines([]string{recordedPlan}, []string{replayedPlan}),
+	})
+	s.met.notePlanChange("replay")
+}
+
+// treeLines splits an indented tree rendering into diffable lines.
+func treeLines(indent string) []string {
+	return strings.Split(strings.TrimRight(indent, "\n"), "\n")
+}
+
+// diffLines is a deterministic multiset line diff: lines of prev not in next
+// come out "- ", lines of next not in prev "+ ", each side in original order.
+func diffLines(prev, next []string) []string {
+	prevCount := make(map[string]int, len(prev))
+	for _, l := range prev {
+		prevCount[l]++
+	}
+	nextCount := make(map[string]int, len(next))
+	for _, l := range next {
+		nextCount[l]++
+	}
+	var out []string
+	for _, l := range prev {
+		if nextCount[l] > 0 {
+			nextCount[l]--
+		} else {
+			out = append(out, "- "+l)
+		}
+	}
+	for _, l := range next {
+		if prevCount[l] > 0 {
+			prevCount[l]--
+		} else {
+			out = append(out, "+ "+l)
+		}
+	}
+	return out
+}

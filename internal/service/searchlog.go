@@ -1,0 +1,120 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"paropt/internal/search"
+)
+
+// Search telemetry log: a bounded ring of recent DP searches with their
+// per-layer breakdowns, served at /debug/search. One entry is recorded per
+// search actually run (request misses and sweeper re-optimizations); cache
+// hits bump the originating entry's hit counter instead, so the listing
+// shows which searches are still earning their keep.
+
+// SearchLogEntry describes one recorded search.
+type SearchLogEntry struct {
+	ID   int64     `json:"id"`
+	Time time.Time `json:"time"`
+	// Source is what triggered the search: "search" (request miss) or
+	// "sweeper" (drift re-optimization).
+	Source      string `json:"source"`
+	Fingerprint string `json:"fingerprint"`
+	Catalog     string `json:"catalog"`
+	Relations   int    `json:"relations"`
+	// FrontierSize is the root cover set's size; ElapsedMicros the search
+	// wall time (baseline + partial-order DP).
+	FrontierSize  int   `json:"frontierSize"`
+	ElapsedMicros int64 `json:"elapsedMicros"`
+
+	// Totals from the search counters.
+	PlansConsidered int64 `json:"plansConsidered"`
+	PhysicalPlans   int64 `json:"physicalPlans"`
+	MaxCoverSize    int   `json:"maxCoverSize"`
+	Pruned          int64 `json:"pruned"`
+	PrunedDominance int64 `json:"prunedDominance"`
+	PrunedWork      int64 `json:"prunedWork"`
+	PrunedMemory    int64 `json:"prunedMemory"`
+	PrunedBeam      int64 `json:"prunedBeam"`
+	// PeakBytesRetained is the largest per-layer retained-bytes estimate.
+	PeakBytesRetained int64 `json:"peakBytesRetained"`
+
+	// CacheHits counts requests served from this search's cached cover set
+	// after it was computed (filled at snapshot time).
+	CacheHits int64 `json:"cacheHits"`
+	// Cached marks a snapshot entry whose trace/profile is being replayed
+	// from cache rather than freshly computed (true iff CacheHits > 0).
+	Cached bool `json:"cached"`
+
+	// Layers is the per-layer telemetry (cardinality order).
+	Layers []search.LayerRecord `json:"layers"`
+}
+
+// searchLogRecord is the mutable stored form: the hit counter advances on
+// every cache hit without taking the log mutex.
+type searchLogRecord struct {
+	entry SearchLogEntry
+	hits  atomic.Int64
+}
+
+// noteHit is nil-safe: cache entries from a disabled log carry no record.
+func (r *searchLogRecord) noteHit() {
+	if r != nil {
+		r.hits.Add(1)
+	}
+}
+
+// searchLog is the bounded ring. A nil *searchLog is a disabled log: every
+// method is a cheap no-op.
+type searchLog struct {
+	mu     sync.Mutex
+	cap    int
+	nextID int64
+	recs   []*searchLogRecord
+}
+
+// newSearchLog builds a log retaining up to capacity entries.
+func newSearchLog(capacity int) *searchLog {
+	return &searchLog{cap: capacity}
+}
+
+// add records one search and returns the stored record (for hit counting).
+func (l *searchLog) add(e SearchLogEntry) *searchLogRecord {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.nextID++
+	e.Time = time.Now()
+	e.ID = l.nextID
+	rec := &searchLogRecord{entry: e}
+	l.recs = append(l.recs, rec)
+	if len(l.recs) > l.cap {
+		l.recs = append(l.recs[:0:0], l.recs[len(l.recs)-l.cap:]...)
+	}
+	return rec
+}
+
+// snapshot returns the retained entries newest-first with hit counts filled.
+func (l *searchLog) snapshot() []SearchLogEntry {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SearchLogEntry, 0, len(l.recs))
+	for i := len(l.recs) - 1; i >= 0; i-- {
+		e := l.recs[i].entry
+		e.CacheHits = l.recs[i].hits.Load()
+		e.Cached = e.CacheHits > 0
+		out = append(out, e)
+	}
+	return out
+}
+
+// SearchLog returns the retained search-telemetry entries, newest first
+// (nil when the log is disabled).
+func (s *Service) SearchLog() []SearchLogEntry { return s.searchlog.snapshot() }

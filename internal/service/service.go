@@ -133,6 +133,16 @@ type Config struct {
 	// default. Small windows make backpressure stalls visible on /metrics,
 	// which is how EXPERIMENTS §OB3 measures the pipeline sync penalty.
 	ExchangeWindow int
+	// SearchLogCapacity sizes the ring of search-telemetry entries served at
+	// /debug/search (per-layer breakdowns of recent DP searches). 0 means the
+	// default (64); negative disables the log.
+	SearchLogCapacity int
+	// PlanLogCapacity sizes the plan-change audit log served at
+	// /debug/planlog. 0 means the default (256); negative disables it.
+	PlanLogCapacity int
+	// PlanLogPath, when non-empty, additionally appends every plan change as
+	// one JSON line to this file, so swaps survive restarts.
+	PlanLogPath string
 }
 
 // cacheEntry is one plan-cache value: the optimization session pinned to
@@ -146,6 +156,9 @@ type cacheEntry struct {
 	opt         *core.Optimizer
 	cover       *core.CoverSet
 	searchTrace string
+	// logRec points at the /debug/search entry recorded when this search
+	// ran; cache hits bump its counter so replayed traces are labeled.
+	logRec *searchLogRecord
 }
 
 // Service is the optimizer daemon. Safe for concurrent use.
@@ -189,6 +202,15 @@ type Service struct {
 	links           map[string]*exchange.LinkSnapshot
 	fallbackReasons map[string]int64 // cumulative typed fallback reasons
 	workerUp        map[string]bool  // liveness from the last /cluster/metrics scrape
+
+	// Optimizer introspection: searchlog retains recent searches' per-layer
+	// telemetry (/debug/search), planlog the plan-change audit trail
+	// (/debug/planlog), lastPlans the per-fingerprint "before" side swap
+	// detection compares against. All nil-safe when disabled.
+	searchlog *searchLog
+	planlog   *planLog
+	planMu    sync.Mutex
+	lastPlans map[string]prevPlan
 
 	// sweepStop/sweepWG manage the background drift sweeper (SweepInterval).
 	sweepStop chan struct{}
@@ -241,19 +263,38 @@ func New(cfg Config) (*Service, error) {
 		cfg.SweepLimit = 4
 	}
 	s := &Service{
-		cfg:        cfg,
-		mcfg:       mcfg,
-		catalogs:   make(map[string]*catalog.Catalog),
-		pool:       newWorkerPool(cfg.Workers, cfg.QueueDepth),
-		logger:     cfg.Logger,
-		dbs:        make(map[string]*storage.Database),
-		fstores:    make(map[string]*placement.Store),
+		cfg:             cfg,
+		mcfg:            mcfg,
+		catalogs:        make(map[string]*catalog.Catalog),
+		pool:            newWorkerPool(cfg.Workers, cfg.QueueDepth),
+		logger:          cfg.Logger,
+		dbs:             make(map[string]*storage.Database),
+		fstores:         make(map[string]*placement.Store),
 		workers:         make(map[string]string),
 		placements:      make(map[string]*placement.Map),
 		links:           make(map[string]*exchange.LinkSnapshot),
 		fallbackReasons: make(map[string]int64),
 		workerUp:        make(map[string]bool),
-		start:      time.Now(),
+		lastPlans:       make(map[string]prevPlan),
+		start:           time.Now(),
+	}
+	if cfg.SearchLogCapacity >= 0 {
+		n := cfg.SearchLogCapacity
+		if n == 0 {
+			n = 64
+		}
+		s.searchlog = newSearchLog(n)
+	}
+	if cfg.PlanLogCapacity >= 0 {
+		n := cfg.PlanLogCapacity
+		if n == 0 {
+			n = 256
+		}
+		pl, err := newPlanLog(n, cfg.PlanLogPath)
+		if err != nil {
+			return nil, fmt.Errorf("service: plan log: %w", err)
+		}
+		s.planlog = pl
 	}
 	if s.logger == nil {
 		s.logger = obs.DiscardLogger()
@@ -301,6 +342,7 @@ func (s *Service) Close() {
 			s.sweepWG.Wait()
 		}
 		s.pool.Close()
+		s.planlog.close()
 	}
 }
 
@@ -414,8 +456,12 @@ type OptimizeRequest struct {
 	CostBenefit float64 `json:"costBenefit,omitempty"`
 	// Trace includes the DP search trace text in Explain responses (also
 	// settable as ?trace=1 on POST /explain). Cache hits return the trace
-	// captured when the cover set was computed.
+	// captured when the cover set was computed, labeled as replayed.
 	Trace bool `json:"trace,omitempty"`
+	// Why (Explain only; ?why=1) includes the plan provenance: the chosen
+	// plan's full cost-descriptor breakdown plus the top rejected frontier
+	// alternatives with the reason each one lost.
+	Why bool `json:"why,omitempty"`
 	// Analyze (Explain only; ?analyze=1) executes the chosen plan against
 	// deterministic synthetic data and reports per-operator predicted vs
 	// actual (tf, tl) descriptors with relative errors.
@@ -489,8 +535,16 @@ type ExplainResponse struct {
 	// Breakdown is the per-operator cost-breakdown table (resource demands
 	// and cumulative descriptors).
 	Breakdown string `json:"breakdown"`
-	// SearchTrace is the DP search trace text (requests with Trace set).
-	SearchTrace string `json:"searchTrace,omitempty"`
+	// SearchTrace is the DP search trace text (requests with Trace set);
+	// SearchTraceCached marks it as replayed from the cached cover set
+	// rather than freshly produced by this request's search.
+	SearchTrace       string `json:"searchTrace,omitempty"`
+	SearchTraceCached bool   `json:"searchTraceCached,omitempty"`
+	// Why is the plan provenance (requests with Why set): chosen-plan cost
+	// breakdown plus top rejected alternatives with loss reasons. WhyText is
+	// its report rendering.
+	Why     *core.Provenance `json:"why,omitempty"`
+	WhyText string           `json:"whyText,omitempty"`
 	// Analyze is the predicted-vs-actual accuracy report and AnalyzeTable
 	// its text rendering (requests with Analyze set).
 	Analyze      *accuracy.Report `json:"analyze,omitempty"`
@@ -559,6 +613,7 @@ func (s *Service) entryFor(ctx context.Context, key, version string, cat *catalo
 	if e, ok := s.cache.Get(key); ok {
 		s.met.CacheHits.Add(1)
 		s.met.CoverReuse.Add(1)
+		e.logRec.noteHit()
 		return e, true, false, nil
 	}
 	s.met.CacheMisses.Add(1)
@@ -579,7 +634,7 @@ func (s *Service) entryFor(ctx context.Context, key, version string, cat *catalo
 		}
 		ch := make(chan result, 1)
 		if !s.pool.TrySubmit(func() {
-			e, err := s.runSearch(cat, q, placed, sp)
+			e, err := s.runSearch(cat, q, placed, sp, "search", version)
 			sp.Err(err)
 			sp.End()
 			if err == nil {
@@ -610,12 +665,16 @@ func (s *Service) entryFor(ctx context.Context, key, version string, cat *catalo
 // runSearch builds a session and computes the reusable cover set. The DP is
 // always observed by a text tracer (the trace rides the cache entry for
 // trace-requesting explains) and, when sp is live, by a span adapter feeding
-// the request trace.
-func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query, placed map[string]cost.PlacedRelation, sp *obs.Span) (*cacheEntry, error) {
+// the request trace. source attributes the search ("search" for request
+// misses, "sweeper" for drift re-optimizations) in the search-telemetry log,
+// the layer-seconds histogram, the prune-reason counters, and — when the
+// representative plan swapped — the plan-change audit log.
+func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query, placed map[string]cost.PlacedRelation, sp *obs.Span, source, version string) (*cacheEntry, error) {
 	if hook := s.searchHook; hook != nil {
 		hook()
 	}
 	s.met.FullSearch.Add(1)
+	start := time.Now()
 	var buf bytes.Buffer
 	trace := search.MultiTracer{&search.WriterTracer{W: &buf}}
 	if sp != nil {
@@ -637,7 +696,46 @@ func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query, placed map[str
 		return nil, err
 	}
 	sp.SetAttr("frontier", len(cover.Frontier))
-	return &cacheEntry{opt: opt, cover: cover, searchTrace: buf.String()}, nil
+	logRec := s.recordSearch(source, version, q, cover, time.Since(start))
+	fp := query.Fingerprint(q)
+	s.notePlan(source, fp, version, search.FilterFrontier(cover.Frontier, nil, 0, 0, nil))
+	return &cacheEntry{opt: opt, cover: cover, searchTrace: buf.String(), logRec: logRec}, nil
+}
+
+// recordSearch feeds one finished search into the telemetry surfaces: the
+// /debug/search ring, the per-layer wall-time histogram, and the
+// prune-reason counters.
+func (s *Service) recordSearch(source, version string, q *query.Query, cover *core.CoverSet, elapsed time.Duration) *searchLogRecord {
+	st := cover.Stats
+	s.met.PrunedDominance.Add(st.PrunedDominance)
+	s.met.PrunedWork.Add(st.PrunedWork)
+	s.met.PrunedMemory.Add(st.PrunedMemory)
+	s.met.PrunedBeam.Add(st.PrunedBeam)
+	for _, l := range st.Layers {
+		s.met.SearchLayerSeconds.Observe(float64(l.WallNanos) / 1e9)
+	}
+	if s.searchlog == nil {
+		return nil
+	}
+	prof := st.Profile()
+	return s.searchlog.add(SearchLogEntry{
+		Source:            source,
+		Fingerprint:       query.Fingerprint(q),
+		Catalog:           version,
+		Relations:         len(q.Relations),
+		FrontierSize:      len(cover.Frontier),
+		ElapsedMicros:     elapsed.Microseconds(),
+		PlansConsidered:   st.PlansConsidered,
+		PhysicalPlans:     st.PhysicalPlans,
+		MaxCoverSize:      st.MaxCoverSize,
+		Pruned:            st.Pruned,
+		PrunedDominance:   st.PrunedDominance,
+		PrunedWork:        st.PrunedWork,
+		PrunedMemory:      st.PrunedMemory,
+		PrunedBeam:        st.PrunedBeam,
+		PeakBytesRetained: prof.PeakBytesRetained,
+		Layers:            st.Layers,
+	})
 }
 
 // Optimize serves one request: parse, fingerprint, cache lookup or search,
@@ -671,6 +769,17 @@ func (s *Service) Explain(ctx context.Context, req OptimizeRequest) (*ExplainRes
 	}
 	if req.Trace {
 		out.SearchTrace = served.entry.searchTrace
+		if resp.Cache == "hit" {
+			// The trace was captured when the cover set was computed, not by
+			// this request; say so in-band for text consumers too.
+			out.SearchTraceCached = true
+			out.SearchTrace = "replayed from cache (captured when the cover set was computed)\n" + out.SearchTrace
+		}
+	}
+	if req.Why {
+		pv := served.entry.opt.PlanProvenance(served.plan, req.bound(), 5)
+		out.Why = pv
+		out.WhyText = pv.Text()
 	}
 	if req.Analyze {
 		if err := s.analyze(&req, served, out); err != nil {

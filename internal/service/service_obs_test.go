@@ -121,6 +121,9 @@ func TestExplainSearchTraceSurvivesCacheHits(t *testing.T) {
 	if !strings.Contains(miss.SearchTrace, "layer 2:") || !strings.Contains(miss.SearchTrace, "best:") {
 		t.Errorf("search trace missing DP layers/final:\n%s", miss.SearchTrace)
 	}
+	if miss.SearchTraceCached {
+		t.Error("fresh search must not be labeled as replayed from cache")
+	}
 	hit, err := s.Explain(ctx, req)
 	if err != nil {
 		t.Fatal(err)
@@ -128,7 +131,13 @@ func TestExplainSearchTraceSurvivesCacheHits(t *testing.T) {
 	if hit.Cache != "hit" {
 		t.Fatalf("second explain should hit the cache, got %q", hit.Cache)
 	}
-	if hit.SearchTrace != miss.SearchTrace {
+	if !hit.SearchTraceCached {
+		t.Error("cache hits should label the replayed trace as cached")
+	}
+	if !strings.HasPrefix(hit.SearchTrace, "replayed from cache") {
+		t.Errorf("cached trace should carry a replayed-from-cache label:\n%s", hit.SearchTrace)
+	}
+	if !strings.HasSuffix(hit.SearchTrace, miss.SearchTrace) {
 		t.Error("cache hits should return the trace captured at search time")
 	}
 	// Without the flag the trace stays out of the payload.

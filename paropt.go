@@ -116,6 +116,11 @@ type (
 	CostBenefit = search.CostBenefit
 	// SearchStats are the Table 1 counters.
 	SearchStats = search.Stats
+	// LayerRecord is one DP layer's telemetry (time, candidates kept,
+	// prunes by reason).
+	LayerRecord = search.LayerRecord
+	// SearchProfile aggregates a search's per-layer records.
+	SearchProfile = search.SearchProfile
 )
 
 // Optimizer facade.
@@ -128,6 +133,10 @@ type (
 	Plan = core.Plan
 	// Algorithm selects the search strategy.
 	Algorithm = core.Algorithm
+	// Provenance explains why a plan was chosen: the winner's cost
+	// breakdown plus rejected frontier alternatives with loss reasons
+	// (Optimizer.PlanProvenance, `paropt -why`, /explain?why=1).
+	Provenance = core.Provenance
 )
 
 // Algorithms (the rows of Table 1).
@@ -163,6 +172,12 @@ type (
 	// CoverSet is a reusable search result: baseline + root Pareto
 	// frontier, re-filterable under any §2 bound.
 	CoverSet = core.CoverSet
+	// SearchLogEntry is one recorded search with per-layer telemetry
+	// (Service.SearchLog, /debug/search).
+	SearchLogEntry = service.SearchLogEntry
+	// PlanChange is one plan-change audit entry (Service.PlanChanges,
+	// /debug/planlog).
+	PlanChange = service.PlanChange
 )
 
 // NewService builds and starts an optimizer daemon.

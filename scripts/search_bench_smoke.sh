@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Search-bench smoke: run the PODP search benchmark untraced and traced and
+# fail if tracing costs more than 10% wall time or adds meaningful per-op
+# allocations — the telemetry layer must stay out of the untraced hot path,
+# and a live tracer must stay cheap enough to leave on in production.
+#
+# Each benchmark runs -count 3 and the minimum ns/op is compared, so a single
+# noisy run cannot fail (or mask) the regression check.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench '^BenchmarkPODP(Traced)?$' -benchtime 3x -count 3 ./internal/search/)
+echo "$out"
+
+min() { awk -v pat="$1" '$0 ~ pat { if (m == "" || $3 < m) m = $3 } END { print m }' <<<"$out"; }
+allocs() { awk -v pat="$1" '$0 ~ pat { if (m == "" || $7 < m) m = $7 } END { print m }' <<<"$out"; }
+
+base=$(min '^BenchmarkPODP-|^BenchmarkPODP[[:space:]]')
+traced=$(min '^BenchmarkPODPTraced')
+base_allocs=$(allocs '^BenchmarkPODP-|^BenchmarkPODP[[:space:]]')
+traced_allocs=$(allocs '^BenchmarkPODPTraced')
+
+if [ -z "$base" ] || [ -z "$traced" ]; then
+  echo "search_bench_smoke: could not parse benchmark output" >&2
+  exit 1
+fi
+
+echo "search_bench_smoke: untraced ${base} ns/op (${base_allocs} allocs/op), traced ${traced} ns/op (${traced_allocs} allocs/op)"
+
+if ! awk -v b="$base" -v t="$traced" 'BEGIN { exit !(t <= 1.10 * b) }'; then
+  echo "search_bench_smoke: traced search is >10% slower than untraced" >&2
+  exit 1
+fi
+# The tracer fans out one Layer record per DP layer; per-op allocations may
+# grow by a few events, never proportionally to the search.
+if ! awk -v b="$base_allocs" -v t="$traced_allocs" 'BEGIN { exit !(t <= 1.01 * b + 64) }'; then
+  echo "search_bench_smoke: tracing adds per-op allocations beyond the layer records" >&2
+  exit 1
+fi
+echo "search_bench_smoke: ok"
