@@ -9,11 +9,15 @@
 //	       [-schema schema.ddl -query "SELECT ... FROM ... WHERE ..."]
 //	paropt replay [-addr http://host:7077 | -workload ...] [-strict] <log.jsonl>
 //	paropt workload [-top 20] [-by traffic|latency|drift] <log.jsonl>
+//	paropt top [-addr http://host:7077] [-interval 2s] [-once] [-cancel id]
 //
 // The replay and workload subcommands consume the JSONL query log a daemon
 // writes with -query-log: replay re-executes the recorded requests (against
 // a daemon or in-process) and reports plan-choice and latency deltas;
 // workload renders the per-template traffic/latency/drift report offline.
+// top polls a daemon's /debug/queries and renders the in-flight queries with
+// live per-operator progress and model-predicted ETAs; -cancel sends a
+// DELETE for one query and exits.
 //
 // -k sets the §2 throughput-degradation factor (0 = unbounded);
 // -costbenefit sets the cost–benefit ratio bound instead. With -schema and
@@ -46,6 +50,9 @@ func main() {
 			return
 		case "workload":
 			workloadMain(os.Args[2:])
+			return
+		case "top":
+			topMain(os.Args[2:])
 			return
 		}
 	}

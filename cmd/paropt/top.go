@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"paropt/internal/service"
+)
+
+// topMain implements `paropt top`: poll a daemon's /debug/queries registry
+// and render the in-flight queries — phase, elapsed time, per-operator
+// percent complete mapped against the plan's (tf, tl) descriptors, the
+// model-predicted ETA, and the drift flag. With -cancel it instead sends
+// DELETE /debug/queries/{id} and exits.
+func topMain(args []string) {
+	fs := flag.NewFlagSet("paropt top", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:7077", "daemon base URL")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	once := fs.Bool("once", false, "print one snapshot and exit")
+	count := fs.Int("n", 0, "snapshots to print before exiting (0 = until interrupted)")
+	cancel := fs.Int64("cancel", 0, "cancel this query ID (DELETE /debug/queries/{id}) and exit")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+	base := strings.TrimSuffix(*addr, "/")
+
+	if *cancel > 0 {
+		req, err := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/debug/queries/%d", base, *cancel), nil)
+		if err != nil {
+			fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			fatal(fmt.Errorf("top: cancel %d: %s: %s", *cancel, resp.Status, strings.TrimSpace(string(body))))
+		}
+		fmt.Printf("cancelled query %d\n", *cancel)
+		return
+	}
+
+	for i := 0; ; i++ {
+		snaps, err := fetchQueries(base)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s  %s\n", time.Now().Format("15:04:05"), base)
+		renderQueries(os.Stdout, snaps)
+		if *once || (*count > 0 && i+1 >= *count) {
+			return
+		}
+		time.Sleep(*interval)
+		fmt.Println()
+	}
+}
+
+// fetchQueries pulls one /debug/queries snapshot.
+func fetchQueries(base string) ([]service.QuerySnapshot, error) {
+	resp, err := http.Get(base + "/debug/queries")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("top: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	var out struct {
+		Queries []service.QuerySnapshot `json:"queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out.Queries, nil
+}
+
+// renderQueries renders the snapshot as a table, one summary row per query
+// plus an indented per-operator progress row for executing queries.
+func renderQueries(w io.Writer, snaps []service.QuerySnapshot) {
+	if len(snaps) == 0 {
+		fmt.Fprintln(w, "no queries in flight")
+		return
+	}
+	fmt.Fprintf(w, "%4s %-9s %-9s %10s %6s %12s %-6s %s\n",
+		"id", "kind", "phase", "elapsed", "pct", "eta", "drift", "query")
+	for _, qs := range snaps {
+		pct, eta, drift := "-", "-", ""
+		if p := qs.Progress; p != nil {
+			pct = fmt.Sprintf("%.0f%%", p.Percent*100)
+			if p.ETAMs >= 0 {
+				eta = fmt.Sprintf("%.0fms", p.ETAMs)
+			}
+			if p.Drift {
+				drift = "DRIFT"
+			}
+		}
+		kind := qs.Kind
+		if qs.Distributed {
+			kind += "*"
+		}
+		query := qs.Query
+		if len(query) > 48 {
+			query = query[:45] + "..."
+		}
+		fmt.Fprintf(w, "%4d %-9s %-9s %9.0fms %6s %12s %-6s %s\n",
+			qs.ID, kind, qs.Phase, qs.ElapsedMs, pct, eta, drift, query)
+		if qs.Progress != nil {
+			for _, op := range qs.Progress.Ops {
+				done := ""
+				if op.Done {
+					done = " done"
+				}
+				fmt.Fprintf(w, "     · %-24s %d/%d rows (%.0f%%)%s\n",
+					op.Label, op.Rows, op.PredRows, op.Percent*100, done)
+			}
+		}
+	}
+}

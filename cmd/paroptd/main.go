@@ -14,6 +14,7 @@
 //	        [-sweep 1m] [-drift-threshold 2] [-sweep-limit 4]
 //	        [-exchange-window 16]
 //	        [-search-log 64] [-plan-log 256] [-plan-log-file changes.jsonl]
+//	        [-inflight-log queries.jsonl] [-drain 5s]
 //
 // Endpoints:
 //
@@ -48,10 +49,15 @@
 //	GET  /debug/search                                         → recent searches with
 //	                                                             per-layer telemetry
 //	GET  /debug/planlog                                        → plan-change audit log
+//	GET  /debug/queries                                        → in-flight queries with
+//	                                                             live (tf, tl) progress + ETA
+//	GET  /debug/queries/{id}                                   → one in-flight query
+//	DELETE /debug/queries/{id}                                 → cancel it (workers too)
 //
 // The default catalog comes from -schema (DDL file) or -workload; requests
 // can also carry inline "schema" DDL or a registered "catalog" version.
-// SIGINT/SIGTERM drain in-flight requests before exit.
+// SIGINT/SIGTERM drain in-flight requests for up to -drain, then cancel the
+// stragglers (reason "shutdown") before exit.
 //
 // Workload analytics: every served request feeds the per-fingerprint
 // profiler behind /debug/workload and, with -query-log, an append-only JSONL
@@ -117,6 +123,8 @@ func main() {
 	searchLog := flag.Int("search-log", 0, "recent searches retained with per-layer telemetry for /debug/search (0 = 64, negative disables)")
 	planLog := flag.Int("plan-log", 0, "plan-change audit entries retained for /debug/planlog (0 = 256, negative disables)")
 	planLogFile := flag.String("plan-log-file", "", "additionally append plan changes as JSONL to this file (empty = memory only)")
+	inflightLog := flag.String("inflight-log", "", "append one JSONL record per finished query (normal, failed or cancelled) to this file (empty = disabled)")
+	drain := flag.Duration("drain", 5*time.Second, "how long shutdown waits for in-flight queries before cancelling them")
 	flag.Parse()
 
 	var logger *slog.Logger
@@ -186,6 +194,7 @@ func main() {
 		SearchLogCapacity: *searchLog,
 		PlanLogCapacity:   *planLog,
 		PlanLogPath:       *planLogFile,
+		InflightLogPath:   *inflightLog,
 	})
 	if err != nil {
 		log.Fatalf("paroptd: %v", err)
@@ -227,13 +236,16 @@ func main() {
 		log.Fatalf("paroptd: %v", err)
 	case <-ctx.Done():
 	}
-	log.Printf("paroptd: shutting down")
+	log.Printf("paroptd: shutting down (drain %s)", *drain)
+	// Drain or cancel in-flight queries first — cancelled queries unwind
+	// through the engine's checkpoints and tear down worker fragments — then
+	// stop the HTTP listener.
+	svc.Shutdown(*drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("paroptd: shutdown: %v", err)
 	}
-	svc.Close()
 }
 
 // pprofMux serves net/http/pprof on its own mux, so profiling stays off the

@@ -218,6 +218,8 @@ func obsMux(id string, stats *exchange.WorkerStats, box *storeBox, start time.Ti
 		counter("paroptw_batches_emitted_total", "Result batches streamed back to coordinators.", s.BatchesEmitted)
 		fmt.Fprintf(w, "# HELP paroptw_result_stall_seconds_total Seconds blocked on the result credit window (backpressure from coordinators).\n# TYPE paroptw_result_stall_seconds_total counter\nparoptw_result_stall_seconds_total %g\n", s.ResultStallSeconds)
 		gauge("paroptw_active_fragments", "Fragments currently executing.", s.ActiveFragments)
+		gauge("paroptw_staged_bytes", "Bytes of shipped-scan partitions currently staged for in-flight fragments.", s.StagedBytes)
+		counter("paroptw_fragments_cancelled_total", "Fragments abandoned on a coordinator cancel frame.", s.Cancelled)
 		gauge("paroptw_store_shards", "Placement shards materialized in the local store.", int64(shards))
 		gauge("paroptw_store_rows", "Rows held across materialized placement shards.", rows)
 	})

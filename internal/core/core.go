@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -328,8 +329,19 @@ func (o *Optimizer) Analyze(p *Plan, db *storage.Database, parallel int) (*accur
 // to shared-nothing worker processes and streams partitioned batches over the
 // wire — the same instrumented execution, distributed.
 func (o *Optimizer) AnalyzeWith(p *Plan, db *storage.Database, parallel int, tr exchange.Transport) (*accuracy.Report, *engine.ExecStats, error) {
-	stats := &engine.ExecStats{}
-	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel, Stats: stats, Transport: tr}
+	return o.AnalyzeLive(context.Background(), p, db, parallel, tr, &engine.ExecStats{})
+}
+
+// AnalyzeLive is AnalyzeWith for observable, cancellable executions: the
+// caller supplies the ExecStats collector — so an in-flight registry can
+// sample its live per-operator counters while the plan runs — and a context
+// whose cancellation unwinds the execution at the engine's operator
+// checkpoints. The error on a cancelled run is the context's cause.
+func (o *Optimizer) AnalyzeLive(ctx context.Context, p *Plan, db *storage.Database, parallel int, tr exchange.Transport, stats *engine.ExecStats) (*accuracy.Report, *engine.ExecStats, error) {
+	if stats == nil {
+		stats = &engine.ExecStats{}
+	}
+	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel, Stats: stats, Transport: tr, Ctx: ctx}
 	if _, err := e.Execute(p.Tree); err != nil {
 		return nil, nil, err
 	}

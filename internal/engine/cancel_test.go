@@ -1,0 +1,158 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"paropt/internal/plan"
+)
+
+// errTestCancel is the typed cause the tests install, mirroring the
+// service's QueryCancelledError.
+var errTestCancel = errors.New("test: query cancelled")
+
+// chainPlan builds an R1⋈R2⋈R3 tree over the given methods.
+func chainPlan(t *testing.T, est *plan.Estimator, m plan.JoinMethod) *plan.Node {
+	t.Helper()
+	j1 := join(t, est, leaf(t, est, "R1"), leaf(t, est, "R2"), m)
+	return join(t, est, j1, leaf(t, est, "R3"), m)
+}
+
+// TestCancelPreCancelled: an already-dead context must surface its cause
+// without executing anything, for every join method and both the serial and
+// parallel paths.
+func TestCancelPreCancelled(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		for _, m := range plan.AllJoinMethods {
+			e, est := rig(t, 2000, 1500, 1000)
+			e.Parallel = par
+			ctx, cancel := context.WithCancelCause(context.Background())
+			cancel(errTestCancel)
+			e.Ctx = ctx
+			_, err := e.Execute(chainPlan(t, est, m))
+			if !errors.Is(err, errTestCancel) {
+				t.Errorf("par=%d method=%v: err = %v, want cause %v", par, m, err, errTestCancel)
+			}
+		}
+	}
+}
+
+// TestCancelMidExecution cancels a running multi-join and requires the
+// executor to return the installed cause promptly. The plan is big enough
+// that execution cannot finish before the cancel lands.
+func TestCancelMidExecution(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		e, est := rig(t, 60000, 60000, 40000)
+		e.Parallel = par
+		ctx, cancel := context.WithCancelCause(context.Background())
+		e.Ctx = ctx
+		p := chainPlan(t, est, plan.HashJoin)
+		done := make(chan error, 1)
+		start := time.Now()
+		go func() {
+			_, err := e.Execute(p)
+			done <- err
+		}()
+		time.Sleep(2 * time.Millisecond)
+		cancel(errTestCancel)
+		select {
+		case err := <-done:
+			// A very fast machine may finish the join inside the 2ms window;
+			// only a non-nil error must be the cancel cause.
+			if err != nil && !errors.Is(err, errTestCancel) {
+				t.Fatalf("par=%d: err = %v, want cause %v", par, err, errTestCancel)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("par=%d: execution did not return within 5s of cancel (started %s ago)", par, time.Since(start))
+		}
+	}
+}
+
+// TestCancelDeadline: a context deadline preempts execution with
+// context.DeadlineExceeded — the end-to-end RequestTimeout path.
+func TestCancelDeadline(t *testing.T) {
+	e, est := rig(t, 60000, 60000, 40000)
+	e.Parallel = 2
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	e.Ctx = ctx
+	_, err := e.Execute(chainPlan(t, est, plan.SortMerge))
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if err == nil {
+		t.Skip("execution finished inside 1ms; nothing to assert")
+	}
+}
+
+// TestCancelNoGoroutineLeak: cancelled executions must unwind every operator
+// goroutine — consumers keep draining after a cancel precisely so producers
+// blocked on channel sends can exit.
+func TestCancelNoGoroutineLeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		e, est := rig(t, 30000, 30000, 20000)
+		e.Parallel = 4
+		ctx, cancel := context.WithCancelCause(context.Background())
+		e.Ctx = ctx
+		go func() {
+			time.Sleep(time.Millisecond)
+			cancel(errTestCancel)
+		}()
+		_, _ = e.Execute(chainPlan(t, est, plan.HashJoin))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d, want ≤ %d (+2 slack): cancelled executions leaked operators", runtime.NumGoroutine(), base+2)
+}
+
+// TestCancelParallelLocalFragments: the in-process Local transport inherits
+// the executor context, so a cancel unwinds inside the partition joins too.
+func TestCancelParallelLocalFragments(t *testing.T) {
+	e, est := rig(t, 60000, 60000)
+	e.Parallel = 4
+	ctx, cancel := context.WithCancelCause(context.Background())
+	e.Ctx = ctx
+	p := join(t, est, leaf(t, est, "R1"), leaf(t, est, "R2"), plan.HashJoin)
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Execute(p)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel(errTestCancel)
+	select {
+	case err := <-done:
+		if err != nil && !errors.Is(err, errTestCancel) {
+			t.Fatalf("err = %v, want cause %v", err, errTestCancel)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parallel execution did not return within 5s of cancel")
+	}
+}
+
+// TestCancelledResultNotReturned: success after a cancel is fine (the race
+// is inherent), but a cancelled error must never come with partial rows
+// being mistaken for a result — Execute returns nil on error.
+func TestCancelledResultNotReturned(t *testing.T) {
+	e, est := rig(t, 60000, 60000, 40000)
+	e.Parallel = 2
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errTestCancel)
+	e.Ctx = ctx
+	res, err := e.Execute(chainPlan(t, est, plan.HashJoin))
+	if err == nil {
+		t.Fatal("pre-cancelled execution succeeded")
+	}
+	if res != nil {
+		t.Fatalf("cancelled execution returned a resultset (%d rows)", res.Len())
+	}
+}

@@ -9,6 +9,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -57,6 +58,12 @@ type Executor struct {
 	// means the in-process channel transport; an exchange.Cluster sends the
 	// partitioned streams to worker processes instead.
 	Transport exchange.Transport
+	// Ctx, when non-nil, bounds the execution: operators poll it at cheap
+	// checkpoints (per batch in pipelined loops, every few thousand rows in
+	// tight scans) and the run unwinds with the context's cause. Consumers
+	// keep draining their inputs after a cancellation — discarding batches —
+	// so producer goroutines blocked on channel sends always exit.
+	Ctx context.Context
 
 	// execErr holds the first asynchronous transport failure of the current
 	// Execute call (operator goroutines can't return errors through
@@ -79,6 +86,36 @@ func (e *Executor) asyncErr() error {
 	e.errMu.Lock()
 	defer e.errMu.Unlock()
 	return e.execErr
+}
+
+// cancelCheckRows is how many rows a tight scan loop processes between
+// context polls — small enough that a cancel lands within microseconds,
+// large enough that the select stays off the profile.
+const cancelCheckRows = 4096
+
+// cancelled reports whether the execution context is done, recording its
+// cause as the run's failure. The nil-context fast path is one comparison.
+func (e *Executor) cancelled() bool {
+	if e.Ctx == nil {
+		return false
+	}
+	select {
+	case <-e.Ctx.Done():
+		e.fail(context.Cause(e.Ctx))
+		return true
+	default:
+		return false
+	}
+}
+
+// discard consumes a stream without retaining batches so that, after a
+// cancellation, upstream producers blocked on sends unblock and exit.
+func discard(s Stream) {
+	if s == nil {
+		return
+	}
+	for range s {
+	}
 }
 
 // Resultset is a fully materialized query result.
@@ -106,6 +143,10 @@ func (e *Executor) Execute(n *plan.Node) (*Resultset, error) {
 	var rows []storage.Row
 	for b := range stream {
 		rows = append(rows, b...)
+		if e.cancelled() {
+			discard(stream)
+			break
+		}
 	}
 	if err := e.asyncErr(); err != nil {
 		return nil, err
@@ -365,7 +406,11 @@ func (e *Executor) scan(n *plan.Node) (Stream, Schema, error) {
 			go func(w int) {
 				defer wg.Done()
 				batch := make(Batch, 0, bs)
+				seen := 0
 				for i := w; i < len(tab.Rows); i += e.Parallel {
+					if seen++; seen%cancelCheckRows == 0 && e.cancelled() {
+						return
+					}
 					if row := tab.Rows[i]; keep(row) {
 						batch = append(batch, row)
 						if len(batch) == bs {
@@ -397,9 +442,13 @@ func (e *Executor) scan(n *plan.Node) (Stream, Schema, error) {
 				batch = make(Batch, 0, bs)
 			}
 		}
+		seen := 0
 		if n.Access == plan.IndexScan && n.Index != nil {
 			if ix, err := storage.BuildOrderedIndex(tab, n.Index.Columns[0]); err == nil {
 				ix.Scan(func(_ int64, rowPos int) bool {
+					if seen++; seen%cancelCheckRows == 0 && e.cancelled() {
+						return false
+					}
 					if row := tab.Rows[rowPos]; keep(row) {
 						emit(row)
 					}
@@ -412,6 +461,9 @@ func (e *Executor) scan(n *plan.Node) (Stream, Schema, error) {
 			}
 		}
 		for _, row := range tab.Rows {
+			if seen++; seen%cancelCheckRows == 0 && e.cancelled() {
+				return
+			}
 			if keep(row) {
 				emit(row)
 			}
@@ -501,6 +553,11 @@ func matchExtra(l, r storage.Row, lkeys, rkeys []int) bool {
 func (e *Executor) hashJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
 	build := make(map[int64][]storage.Row)
 	for b := range rs {
+		if e.cancelled() {
+			discard(rs)
+			discard(ls)
+			return
+		}
 		for _, row := range b {
 			k := row[rkeys[0]]
 			build[k] = append(build[k], row)
@@ -508,6 +565,10 @@ func (e *Executor) hashJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int)
 	}
 	em := newEmitter(out, e.batchSize())
 	for b := range ls {
+		if e.cancelled() {
+			discard(ls)
+			return
+		}
 		for _, l := range b {
 			for _, r := range build[l[lkeys[0]]] {
 				if matchExtra(l, r, lkeys, rkeys) {
@@ -522,14 +583,21 @@ func (e *Executor) hashJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int)
 // mergeJoin materializes and sorts both inputs on the key, then merges,
 // joining duplicate runs pairwise.
 func (e *Executor) mergeJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
-	l := drain(ls)
-	r := drain(rs)
+	l := e.drain(ls)
+	r := e.drain(rs)
+	if e.cancelled() {
+		return
+	}
 	lk, rk := lkeys[0], rkeys[0]
 	sort.SliceStable(l, func(a, b int) bool { return l[a][lk] < l[b][lk] })
 	sort.SliceStable(r, func(a, b int) bool { return r[a][rk] < r[b][rk] })
 	em := newEmitter(out, e.batchSize())
 	i, j := 0, 0
+	steps := 0
 	for i < len(l) && j < len(r) {
+		if steps++; steps%cancelCheckRows == 0 && e.cancelled() {
+			return
+		}
 		switch {
 		case l[i][lk] < r[j][rk]:
 			i++
@@ -561,7 +629,7 @@ func (e *Executor) mergeJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int
 // nlJoin is nested loops with the create-index inflection: the inner is
 // materialized and hash-indexed on the key, then probed per outer row.
 func (e *Executor) nlJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
-	inner := drain(rs)
+	inner := e.drain(rs)
 	index := make(map[int64][]storage.Row)
 	for _, row := range inner {
 		k := row[rkeys[0]]
@@ -569,6 +637,10 @@ func (e *Executor) nlJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
 	}
 	em := newEmitter(out, e.batchSize())
 	for b := range ls {
+		if e.cancelled() {
+			discard(ls)
+			return
+		}
 		for _, l := range b {
 			for _, r := range index[l[lkeys[0]]] {
 				if matchExtra(l, r, lkeys, rkeys) {
@@ -585,9 +657,13 @@ func (e *Executor) crossProduct(ls, rs Stream) Stream {
 	out := make(chan Batch, 4)
 	go func() {
 		defer close(out)
-		inner := drain(rs)
+		inner := e.drain(rs)
 		em := newEmitter(out, e.batchSize())
 		for b := range ls {
+			if e.cancelled() {
+				discard(ls)
+				return
+			}
 			for _, l := range b {
 				for _, r := range inner {
 					em.emit(l, r)
@@ -604,6 +680,21 @@ func drain(s Stream) []storage.Row {
 	var rows []storage.Row
 	for b := range s {
 		rows = append(rows, b...)
+	}
+	return rows
+}
+
+// drain materializes a stream, but stops retaining rows — while still
+// consuming the stream so producers unblock — once the executor's context
+// is cancelled.
+func (e *Executor) drain(s Stream) []storage.Row {
+	var rows []storage.Row
+	for b := range s {
+		rows = append(rows, b...)
+		if e.cancelled() {
+			discard(s)
+			break
+		}
 	}
 	return rows
 }

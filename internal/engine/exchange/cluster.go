@@ -16,6 +16,10 @@ import (
 // after its first attempt fails.
 const DefaultRetries = 2
 
+// ErrJoinCancelled aborts in-flight joins when the coordinator cancels the
+// query (client cancel, deadline, or daemon shutdown).
+var ErrJoinCancelled = errors.New("exchange: join cancelled")
+
 // DefaultRetryBackoff is the pause before each fragment re-dispatch.
 const DefaultRetryBackoff = 50 * time.Millisecond
 
@@ -71,10 +75,35 @@ type Cluster struct {
 	shipped   atomic.Int64
 	retries   atomic.Int64
 	fallbacks atomic.Int64
+	cancelled atomic.Bool
 
 	mu              sync.Mutex
 	links           map[string]*LinkStats
 	fallbackReasons map[string]int64
+
+	// In-flight state Cancel tears down: streamed joins (cancelled with a
+	// frameCancel per link plus the usual fail teardown) and the open
+	// connections of shipped dispatch attempts (sent a frameCancel and
+	// write-half-closed, so the worker abandons the fragment and frees its
+	// staged partitions gracefully).
+	actMu    sync.Mutex
+	actJoins map[*clusterJoin]struct{}
+	actConns map[net.Conn]*shippedConn
+}
+
+// shippedConn pairs a dispatch attempt's connection with a write mutex so
+// Cancel can inject a clean frameCancel between the attempt's own frames —
+// writeFrame is two Writes, so unsynchronized writers could interleave
+// mid-frame and corrupt the stream.
+type shippedConn struct {
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+func (sc *shippedConn) send(typ byte, payload []byte) error {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	return writeFrame(sc.conn, typ, payload)
 }
 
 // NewCluster builds a transport over the given worker addresses.
@@ -84,7 +113,85 @@ func NewCluster(addrs []string, cfg ClusterConfig) *Cluster {
 		cfg:             cfg,
 		links:           make(map[string]*LinkStats),
 		fallbackReasons: make(map[string]int64),
+		actJoins:        make(map[*clusterJoin]struct{}),
+		actConns:        make(map[net.Conn]*shippedConn),
 	}
+}
+
+// Cancelled reports whether Cancel has been called.
+func (c *Cluster) Cancelled() bool { return c.cancelled.Load() }
+
+// cancelGrace bounds how long a cancelled shipped attempt may keep reading
+// while the worker unwinds; a hung worker surfaces as a read timeout.
+const cancelGrace = time.Second
+
+// Cancel aborts every in-flight join and blocks new dispatches: streamed
+// joins get a best-effort frameCancel on each worker link before the usual
+// fail teardown; shipped dispatch attempts get a frameCancel followed by a
+// write-half close (the worker sees the cancel, abandons the fragment, and
+// frees its staged partitions — its final stats/error frames still drain
+// cleanly instead of being reset away), with a read deadline as backstop
+// against hung workers. Pending retries or fallbacks are skipped.
+// Idempotent and safe concurrently with running joins.
+func (c *Cluster) Cancel() {
+	c.cancelled.Store(true)
+	c.actMu.Lock()
+	joins := make([]*clusterJoin, 0, len(c.actJoins))
+	for j := range c.actJoins {
+		joins = append(joins, j)
+	}
+	conns := make([]*shippedConn, 0, len(c.actConns))
+	for _, sc := range c.actConns {
+		conns = append(conns, sc)
+	}
+	c.actMu.Unlock()
+	for _, j := range joins {
+		j.cancel()
+	}
+	for _, sc := range conns {
+		_ = sc.send(frameCancel, nil)
+		if tc, ok := sc.conn.(*net.TCPConn); ok {
+			_ = tc.CloseWrite()
+		} else {
+			sc.conn.Close()
+			continue
+		}
+		_ = sc.conn.SetReadDeadline(time.Now().Add(cancelGrace))
+	}
+}
+
+// trackJoin registers a streamed join for Cancel teardown.
+func (c *Cluster) trackJoin(j *clusterJoin) {
+	c.actMu.Lock()
+	c.actJoins[j] = struct{}{}
+	c.actMu.Unlock()
+}
+
+func (c *Cluster) untrackJoin(j *clusterJoin) {
+	c.actMu.Lock()
+	delete(c.actJoins, j)
+	c.actMu.Unlock()
+}
+
+// trackConn registers a shipped attempt's connection for Cancel teardown
+// and returns its write handle; it returns nil — without registering —
+// when the cluster is already cancelled, so the attempt aborts instead of
+// racing the teardown.
+func (c *Cluster) trackConn(cn net.Conn) *shippedConn {
+	c.actMu.Lock()
+	defer c.actMu.Unlock()
+	if c.cancelled.Load() {
+		return nil
+	}
+	sc := &shippedConn{conn: cn}
+	c.actConns[cn] = sc
+	return sc
+}
+
+func (c *Cluster) untrackConn(cn net.Conn) {
+	c.actMu.Lock()
+	delete(c.actConns, cn)
+	c.actMu.Unlock()
 }
 
 // Addrs returns the worker addresses the cluster dispatches to.
@@ -305,6 +412,16 @@ func (j *clusterJoin) addStats(fs *FragmentStats) {
 	j.mu.Unlock()
 }
 
+// cancel sends a best-effort frameCancel on every link — letting workers
+// abandon the fragment gracefully and free staged partitions — then runs
+// the usual fail teardown.
+func (j *clusterJoin) cancel() {
+	for _, wc := range j.conns {
+		_ = wc.send(frameCancel, nil)
+	}
+	j.fail(ErrJoinCancelled)
+}
+
 // fail records the first error and tears the join down: windows close so
 // partitioners stop sending, connections close so receivers unblock.
 func (j *clusterJoin) fail(err error) {
@@ -329,6 +446,11 @@ func (j *clusterJoin) fail(err error) {
 // failure the join aborts with a typed *WorkerError, with both input
 // streams still consumed to exhaustion so upstream operators never block.
 func (c *Cluster) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
+	if c.cancelled.Load() {
+		go drainBatches(left)
+		go drainBatches(right)
+		return nil, ErrJoinCancelled
+	}
 	if len(c.addrs) == 0 {
 		go drainBatches(left)
 		go drainBatches(right)
@@ -530,6 +652,14 @@ func (c *Cluster) joinStreamed(frag Fragment, left, right <-chan Batch, p, bs in
 		go recv(wc)
 	}
 
+	// Register for Cancel teardown, then re-check: a Cancel that landed
+	// between the cancelled-check in Join and this registration would have
+	// missed the join.
+	c.trackJoin(j)
+	if c.cancelled.Load() {
+		j.cancel()
+	}
+
 	go func() {
 		recvWG.Wait()
 		sendWG.Wait()
@@ -540,6 +670,7 @@ func (c *Cluster) joinStreamed(frag Fragment, left, right <-chan Batch, p, bs in
 			wc.stats.StallRight.Add(wc.rightWin.stallNanos())
 			wc.conn.Close()
 		}
+		c.untrackJoin(j)
 		close(j.out)
 	}()
 	return j, nil
@@ -621,6 +752,9 @@ func (c *Cluster) runShipped(f Fragment, j *shippedJoin) error {
 	addr := c.ownerFor(&f, f.Part)
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		if c.cancelled.Load() {
+			return ErrJoinCancelled
+		}
 		if attempt > 0 {
 			c.retries.Add(1)
 			time.Sleep(c.retryBackoff())
@@ -652,9 +786,12 @@ func (c *Cluster) runShipped(f Fragment, j *shippedJoin) error {
 			return nil
 		}
 		lastErr = err
-		if attempt >= c.retryBudget() {
+		if errors.Is(err, ErrJoinCancelled) || attempt >= c.retryBudget() {
 			break
 		}
+	}
+	if c.cancelled.Load() {
+		return ErrJoinCancelled
 	}
 	if c.cfg.Store != nil && c.cfg.Fn != nil {
 		reason := failureReason(lastErr)
@@ -685,6 +822,11 @@ func (c *Cluster) attemptShipped(f Fragment, addr string) ([]Batch, *FragmentSta
 		return nil, nil, &WorkerError{Addr: addr, Err: err}
 	}
 	defer conn.Close()
+	sc := c.trackConn(conn)
+	if sc == nil {
+		return nil, nil, ErrJoinCancelled
+	}
+	defer c.untrackConn(conn)
 	if err := conn.SetDeadline(time.Time{}); err != nil {
 		return nil, nil, &WorkerError{Addr: addr, Err: err}
 	}
@@ -695,7 +837,7 @@ func (c *Cluster) attemptShipped(f Fragment, addr string) ([]Batch, *FragmentSta
 		return nil, nil, err
 	}
 	sendStart := nowNanos()
-	if err := writeFrame(conn, frameFragment, payload); err != nil {
+	if err := sc.send(frameFragment, payload); err != nil {
 		return nil, nil, &WorkerError{Addr: addr, Err: err}
 	}
 	stats.SendNanos.Add(nowNanos() - sendStart)
@@ -725,7 +867,7 @@ func (c *Cluster) attemptShipped(f Fragment, addr string) ([]Batch, *FragmentSta
 			}
 			stats.BatchesRecv.Add(1)
 			staged = append(staged, b)
-			if err := writeFrame(conn, frameCredit, []byte{creditResult}); err != nil {
+			if err := sc.send(frameCredit, []byte{creditResult}); err != nil {
 				return nil, nil, &WorkerError{Addr: addr, Err: err}
 			}
 			stats.BytesSent.Add(6)

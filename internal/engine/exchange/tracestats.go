@@ -80,6 +80,8 @@ type WorkerStats struct {
 	BatchesEmitted   atomic.Int64 // result batches streamed back
 	ResultStallNanos atomic.Int64 // ns blocked on the result credit window
 	ActiveFragments  atomic.Int64 // fragments currently executing (gauge)
+	StagedBytes      atomic.Int64 // bytes of shipped-scan partitions currently staged (gauge)
+	Cancelled        atomic.Int64 // fragments abandoned on a coordinator cancel
 }
 
 // WorkerSnapshot is a point-in-time copy of WorkerStats for /healthz.
@@ -91,6 +93,8 @@ type WorkerSnapshot struct {
 	BatchesEmitted     int64   `json:"batches_emitted"`
 	ResultStallSeconds float64 `json:"result_stall_seconds"`
 	ActiveFragments    int64   `json:"active_fragments"`
+	StagedBytes        int64   `json:"staged_bytes"`
+	Cancelled          int64   `json:"cancelled"`
 }
 
 // Snapshot reads the counters (individually, not as a group).
@@ -103,5 +107,7 @@ func (s *WorkerStats) Snapshot() WorkerSnapshot {
 		BatchesEmitted:     s.BatchesEmitted.Load(),
 		ResultStallSeconds: float64(s.ResultStallNanos.Load()) / 1e9,
 		ActiveFragments:    s.ActiveFragments.Load(),
+		StagedBytes:        s.StagedBytes.Load(),
+		Cancelled:          s.Cancelled.Load(),
 	}
 }

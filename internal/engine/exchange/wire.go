@@ -39,6 +39,12 @@ const (
 	// frameError). Old coordinators ignore unknown frame types and old
 	// workers never send it, so the frame is compatible in both directions.
 	frameStats byte = 10
+	// frameCancel is the cancellation frame: coordinator → worker, no
+	// payload. The worker abandons the fragment — tears down its input
+	// streams so the join unwinds — and frees any staged partitions. Old
+	// workers ignore the unknown type (the coordinator also closes the
+	// connection, which aborts them the pre-cancel way).
+	frameCancel byte = 11
 )
 
 // Credit directions.

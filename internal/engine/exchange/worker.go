@@ -144,8 +144,16 @@ func (w *Worker) handle(conn net.Conn) {
 
 	// Shipped sides are sourced from the local store before the join runs,
 	// so a store failure surfaces as a frame error with no results emitted —
-	// the coordinator can re-dispatch the fragment cleanly.
+	// the coordinator can re-dispatch the fragment cleanly. Staged partition
+	// bytes are metered on the StagedBytes gauge and must reach zero again on
+	// every exit path, error paths included.
 	var lrows, rrows []Batch
+	var lbytes, rbytes int64
+	addStaged := func(n int64) {
+		if w.Stats != nil && n != 0 {
+			w.Stats.StagedBytes.Add(n)
+		}
+	}
 	if frag.LeftScan != nil || frag.RightScan != nil {
 		if w.Store == nil {
 			finish(errStoreMissing)
@@ -155,9 +163,9 @@ func (w *Worker) handle(conn net.Conn) {
 		if bs <= 0 {
 			bs = 256
 		}
-		scan := func(name string, spec *ScanSpec) ([]Batch, error) {
+		scan := func(name string, spec *ScanSpec) ([]Batch, int64, error) {
 			if spec == nil {
-				return nil, nil
+				return nil, 0, nil
 			}
 			sp := root.child(name, since())
 			rows, err := w.Store.ScanPartition(*spec, frag.Part, frag.Parts)
@@ -167,12 +175,13 @@ func (w *Worker) handle(conn net.Conn) {
 				"rows":     strconv.FormatInt(int64(len(rows)), 10),
 			}
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			if w.Stats != nil {
 				w.Stats.ShippedScans.Add(1)
 			}
 			var bats []Batch
+			var bytes int64
 			for start := 0; start < len(rows); start += bs {
 				end := start + bs
 				if end > len(rows) {
@@ -180,13 +189,21 @@ func (w *Worker) handle(conn net.Conn) {
 				}
 				bats = append(bats, Batch(rows[start:end]))
 			}
-			return bats, nil
+			if len(rows) > 0 {
+				bytes = int64(len(rows)) * int64(len(rows[0])) * 8
+			}
+			addStaged(bytes)
+			return bats, bytes, nil
 		}
 		var err error
-		if lrows, err = scan("scan-left", frag.LeftScan); err == nil {
-			rrows, err = scan("scan-right", frag.RightScan)
+		if lrows, lbytes, err = scan("scan-left", frag.LeftScan); err == nil {
+			rrows, rbytes, err = scan("scan-right", frag.RightScan)
 		}
 		if err != nil {
+			// Free whatever was staged before the failure: without this a
+			// fragment whose second scan fails fast pins the first side's
+			// partition bytes on the gauge until process exit.
+			addStaged(-(lbytes + rbytes))
 			finish(fmt.Errorf("exchange: shipped scan: %w", err))
 			return
 		}
@@ -239,6 +256,15 @@ func (w *Worker) handle(conn net.Conn) {
 				if len(payload) == 1 && payload[0] == creditResult {
 					resWin.release(1)
 				}
+			case frameCancel:
+				// Coordinator abandoned the fragment: return so the deferred
+				// closes tear down the input streams and the result window —
+				// the join unwinds, staged partitions are freed, and the
+				// final error frame tells the coordinator we are done.
+				if w.Stats != nil {
+					w.Stats.Cancelled.Add(1)
+				}
+				return
 			}
 		}
 	}()
@@ -255,19 +281,22 @@ func (w *Worker) handle(conn net.Conn) {
 			_ = send(frameCredit, []byte{dir})
 		}
 	}
-	feed := func(rows []Batch, out chan<- Batch) {
+	feed := func(rows []Batch, out chan<- Batch, bytes int64) {
 		defer close(out)
-		for _, b := range rows {
+		defer addStaged(-bytes)
+		for i := range rows {
+			b := rows[i]
+			rows[i] = nil // drop the staged reference as each batch ships
 			out <- b
 		}
 	}
 	if frag.LeftScan != nil {
-		go feed(lrows, leftOut)
+		go feed(lrows, leftOut, lbytes)
 	} else {
 		go pump(left, leftOut, creditLeft)
 	}
 	if frag.RightScan != nil {
-		go feed(rrows, rightOut)
+		go feed(rrows, rightOut, rbytes)
 	} else {
 		go pump(right, rightOut, creditRight)
 	}

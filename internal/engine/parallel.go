@@ -37,7 +37,13 @@ func (e *Executor) parallelJoin(n *plan.Node, ls, rs Stream, lkeys, rkeys []int,
 	}
 	tr := e.Transport
 	if tr == nil {
-		tr = &exchange.Local{Fn: FragmentJoin}
+		// Local fragments inherit the executor's context so a cancelled run
+		// unwinds inside the partition joins too, not only at the stream
+		// edges.
+		tr = &exchange.Local{Fn: func(f exchange.Fragment, l, r <-chan exchange.Batch, emit func(exchange.Batch) error) error {
+			fe := &Executor{BatchSize: f.BatchSize, Ctx: e.Ctx}
+			return fe.fragmentJoin(f, l, r, emit)
+		}}
 	}
 	out := make(chan Batch, e.Parallel)
 	j, err := tr.Join(frag, ls, rs)
@@ -73,6 +79,13 @@ func (e *Executor) parallelJoin(n *plan.Node, ls, rs Stream, lkeys, rkeys []int,
 // implementation.
 func FragmentJoin(frag exchange.Fragment, left, right <-chan exchange.Batch, emit func(exchange.Batch) error) error {
 	e := &Executor{BatchSize: frag.BatchSize}
+	return e.fragmentJoin(frag, left, right, emit)
+}
+
+// fragmentJoin runs one partition pair through the serial join on this
+// executor. When e.Ctx is set (the Local transport's in-process fragments) a
+// cancelled context unwinds the join and surfaces the cause.
+func (e *Executor) fragmentJoin(frag exchange.Fragment, left, right <-chan exchange.Batch, emit func(exchange.Batch) error) error {
 	out := e.serialJoin(planMethod(frag.Method), left, right, frag.LKeys, frag.RKeys)
 	for b := range out {
 		if err := emit(b); err != nil {
@@ -80,8 +93,13 @@ func FragmentJoin(frag exchange.Fragment, left, right <-chan exchange.Batch, emi
 			}
 			return err
 		}
+		if e.cancelled() {
+			for range out {
+			}
+			break
+		}
 	}
-	return nil
+	return e.asyncErr()
 }
 
 // wireMethod names a join method for fragment dispatch.

@@ -3,6 +3,7 @@ package engine
 import (
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"paropt/internal/engine/exchange"
@@ -35,6 +36,46 @@ type NodeStat struct {
 	// Rows and Batches count the node's actual output — the per-node work
 	// the cardinality model predicted as plan.Node.Card.
 	Rows, Batches int64
+
+	// Live counters, updated atomically per batch while the stream runs so
+	// an observer (the in-flight query registry) can sample progress without
+	// taking any lock the execution path contends on. liveFirst and liveLast
+	// are nanosecond offsets from ExecStats.T0; liveLast non-zero means the
+	// stream has closed and Rows/First/Last above are final.
+	liveRows  atomic.Int64
+	liveBytes atomic.Int64
+	liveFirst atomic.Int64
+	liveLast  atomic.Int64
+}
+
+// LiveRows returns the rows produced so far, readable mid-execution.
+func (st *NodeStat) LiveRows() int64 { return st.liveRows.Load() }
+
+// LiveBytes returns the approximate bytes produced so far (8 bytes per
+// column value), readable mid-execution.
+func (st *NodeStat) LiveBytes() int64 { return st.liveBytes.Load() }
+
+// LiveFirst returns the first-output offset observed so far; zero when the
+// stream has produced nothing yet.
+func (st *NodeStat) LiveFirst() time.Duration { return time.Duration(st.liveFirst.Load()) }
+
+// LiveDone reports whether the node's stream has closed.
+func (st *NodeStat) LiveDone() bool { return st.liveLast.Load() != 0 }
+
+// LiveLast returns the stream-close offset; zero while still running.
+func (st *NodeStat) LiveLast() time.Duration { return time.Duration(st.liveLast.Load()) }
+
+// NodeProgress is a point-in-time sample of one node's live counters, safe
+// to take while the plan is executing.
+type NodeProgress struct {
+	Node  *plan.Node
+	Label string
+	Rows  int64
+	Bytes int64
+	// First and Last are offsets from the execution start; zero means "not
+	// yet". Last non-zero marks the stream closed.
+	First time.Duration
+	Last  time.Duration
 }
 
 // RemoteFragment groups the worker-side measurements of one distributed
@@ -75,6 +116,36 @@ func (s *ExecStats) ByNode() map[*plan.Node]*NodeStat {
 		m[n.Node] = n
 	}
 	return m
+}
+
+// Started returns the execution time base; zero before the first node
+// opens its stream.
+func (s *ExecStats) Started() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.T0
+}
+
+// Progress samples every node's live counters. The mutex only guards the
+// node slice (appended to at stream-open); the counters themselves are
+// atomics the execution path updates lock-free, so sampling never stalls a
+// running operator.
+func (s *ExecStats) Progress() []NodeProgress {
+	s.mu.Lock()
+	nodes := append([]*NodeStat(nil), s.nodes...)
+	s.mu.Unlock()
+	out := make([]NodeProgress, 0, len(nodes))
+	for _, st := range nodes {
+		out = append(out, NodeProgress{
+			Node:  st.Node,
+			Label: st.Label,
+			Rows:  st.LiveRows(),
+			Bytes: st.LiveBytes(),
+			First: st.LiveFirst(),
+			Last:  st.LiveLast(),
+		})
+	}
+	return out
 }
 
 // Wall is the total measured execution time: the latest node Last.
@@ -152,15 +223,24 @@ func (e *Executor) instrument(n *plan.Node, in Stream) Stream {
 		for b := range in {
 			if rows == 0 && len(b) > 0 {
 				first = time.Since(e.Stats.T0)
+				st.liveFirst.Store(int64(first))
 			}
 			rows += int64(len(b))
 			batches++
+			st.liveRows.Store(rows)
+			if len(b) > 0 {
+				st.liveBytes.Add(int64(len(b)) * int64(len(b[0])) * 8)
+			}
 			out <- b
 		}
 		last := time.Since(e.Stats.T0)
+		if last == 0 {
+			last = 1 // non-zero marks the stream closed for samplers
+		}
 		e.Stats.mu.Lock()
 		st.First, st.Last, st.Rows, st.Batches = first, last, rows, batches
 		e.Stats.mu.Unlock()
+		st.liveLast.Store(int64(last))
 	}()
 	return out
 }

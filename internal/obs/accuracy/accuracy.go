@@ -253,6 +253,47 @@ func Analyze(mod *cost.Model, root *optree.Op, stats *engine.ExecStats) *Report 
 	return rep
 }
 
+// OpTimeline is one join-tree node's predicted (tf, tl) schedule in model
+// units, computed before execution so a live coordinator can map measured
+// progress onto the model's timeline. PredRows is the cardinality estimate
+// the percent-complete heuristic divides measured rows by.
+type OpTimeline struct {
+	Node      *plan.Node `json:"-"`
+	PredFirst float64    `json:"predFirst"`
+	PredLast  float64    `json:"predLast"`
+	PredRows  int64      `json:"predRows"`
+	Root      bool       `json:"root,omitempty"`
+}
+
+// Timeline prices every join-tree node under the op tree root and returns
+// the per-node predicted schedule plus the root response time (model
+// units). It is the plan-time half of Analyze: the same topmost-op walk,
+// with no measurements to join against yet.
+func Timeline(mod *cost.Model, root *optree.Op) ([]OpTimeline, float64) {
+	topOp := make(map[*plan.Node]*optree.Op)
+	var order []*plan.Node
+	root.Walk(func(op *optree.Op) {
+		if op.Source != nil {
+			if _, seen := topOp[op.Source]; !seen {
+				order = append(order, op.Source)
+			}
+			topOp[op.Source] = op
+		}
+	})
+	out := make([]OpTimeline, 0, len(order))
+	for _, n := range order {
+		desc := mod.Descriptor(topOp[n])
+		out = append(out, OpTimeline{
+			Node:      n,
+			PredFirst: desc.First.T,
+			PredLast:  desc.Last.T,
+			PredRows:  n.Card,
+			Root:      n == root.Source,
+		})
+	}
+	return out, mod.Descriptor(root).RT()
+}
+
 // AttachLinks joins per-link transport counters against the report's
 // calibrated interconnect charge. The model prices total network demand,
 // not per-link flows, so the prediction is split evenly across links — a

@@ -42,7 +42,17 @@ import (
 //	GET  /healthz                                 → liveness + uptime
 //	GET  /metrics                                 → Prometheus text format
 //	GET  /debug/traces                            → retained trace IDs
+//	                        (?fingerprint=fp keeps traces of one query
+//	                         template, ?min_ms=N keeps traces at least that
+//	                         long — combined, both must hold)
 //	GET  /debug/trace/{id}                        → one request's span tree
+//	GET  /debug/queries                           → in-flight queries with
+//	                        live per-operator progress, model-predicted ETA
+//	                        and drift flags (?format=text renders a table)
+//	GET  /debug/queries/{id}                      → one in-flight query
+//	DELETE /debug/queries/{id}                    → cancel an in-flight query
+//	                        (cooperative: engine checkpoints + cluster-wide
+//	                         worker cancel frames)
 //	GET  /debug/workload                          → per-fingerprint profiles
 //	                        (?top=K bounds rows, ?by=traffic|latency|drift
 //	                         orders them, ?format=text renders a table)
@@ -72,6 +82,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /debug/queries", s.handleQueries)
+	mux.HandleFunc("GET /debug/queries/{id}", s.handleQuery)
+	mux.HandleFunc("DELETE /debug/queries/{id}", s.handleQueryCancel)
 	mux.HandleFunc("GET /debug/workload", s.handleWorkload)
 	mux.HandleFunc("GET /debug/search", s.handleSearchLog)
 	mux.HandleFunc("GET /debug/planlog", s.handlePlanLog)
@@ -105,15 +118,31 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// statusClientCancelled is nginx's non-standard 499 "client closed
+// request" — the closest thing HTTP has to "you asked us to stop".
+const statusClientCancelled = 499
+
 // writeServiceError maps service errors to HTTP statuses.
 func writeServiceError(w http.ResponseWriter, err error) {
 	var bad badRequestError
+	var qc *QueryCancelledError
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &qc):
+		// Client cancellations are the client's own doing; shutdown and
+		// deadline cancels map like their non-cancelled analogues.
+		switch qc.Reason {
+		case CancelClient:
+			writeError(w, statusClientCancelled, err)
+		case CancelShutdown:
+			writeError(w, http.StatusServiceUnavailable, err)
+		default:
+			writeError(w, http.StatusGatewayTimeout, err)
+		}
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, err)
 	case errors.As(err, &bad):
@@ -360,6 +389,8 @@ func (s *Service) gauges() Gauges {
 		QueryLogRecords:      records,
 		QueryLogDropped:      dropped,
 		QueryLogRotations:    rotations,
+		InflightQueries:      s.inflight.len(),
+		ProgressDrift:        s.inflight.driftCount(),
 	}
 }
 
@@ -378,29 +409,128 @@ type TraceEntry struct {
 }
 
 func (s *Service) handleTraces(w http.ResponseWriter, r *http.Request) {
-	ids := s.tracer.IDs()
-	if ids == nil {
-		ids = []string{}
+	q := r.URL.Query()
+	wantFP := q.Get("fingerprint")
+	var minDur time.Duration
+	if v := q.Get("min_ms"); v != "" {
+		ms, err := strconv.ParseFloat(v, 64)
+		if err != nil || ms < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad min_ms %q", v))
+			return
+		}
+		minDur = time.Duration(ms * float64(time.Millisecond))
 	}
+	ids := s.tracer.IDs()
+	kept := make([]string, 0, len(ids))
 	entries := make([]TraceEntry, 0, len(ids))
 	for _, id := range ids {
+		tr := s.tracer.Get(id)
+		if minDur > 0 && tr.Root().Duration() < minDur {
+			continue
+		}
 		e := TraceEntry{ID: id}
 		workers := map[string]bool{}
-		s.tracer.Get(id).Walk(func(name string, attrs []obs.Attr) {
-			if name != "fragment" {
-				return
-			}
-			e.Fragments++
+		fpMatch := wantFP == ""
+		tr.Walk(func(name string, attrs []obs.Attr) {
 			for _, a := range attrs {
-				if a.Key == "worker" {
+				if a.Key == "fingerprint" && a.Value == wantFP {
+					fpMatch = true
+				}
+				if name == "fragment" && a.Key == "worker" {
 					workers[a.Value] = true
 				}
 			}
+			if name == "fragment" {
+				e.Fragments++
+			}
 		})
+		if !fpMatch {
+			continue
+		}
 		e.Workers = len(workers)
+		kept = append(kept, id)
 		entries = append(entries, e)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"traces": ids, "entries": entries})
+	writeJSON(w, http.StatusOK, map[string]any{"traces": kept, "entries": entries})
+}
+
+// handleQueries lists the in-flight queries with live progress: per-operator
+// percent complete against predicted cardinalities, a model-predicted ETA
+// from the plan's (tf, tl) descriptors, and the drift flag.
+func (s *Service) handleQueries(w http.ResponseWriter, r *http.Request) {
+	snaps := s.InflightQueries()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		writeQueriesText(w, snaps)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"queries": snaps})
+}
+
+// writeQueriesText renders the in-flight listing as a fixed-width table
+// (the ?format=text form).
+func writeQueriesText(w io.Writer, snaps []QuerySnapshot) {
+	fmt.Fprintf(w, "%d in-flight\n", len(snaps))
+	fmt.Fprintf(w, "%4s %-8s %-9s %9s %8s %10s %6s %s\n",
+		"id", "kind", "phase", "elapsed", "pct", "eta", "drift", "query")
+	for _, qs := range snaps {
+		pct, eta, drift := "-", "-", ""
+		if p := qs.Progress; p != nil {
+			pct = fmt.Sprintf("%.0f%%", p.Percent*100)
+			if p.ETAMs >= 0 {
+				eta = fmt.Sprintf("%.0fms", p.ETAMs)
+			}
+			if p.Drift {
+				drift = "DRIFT"
+			}
+		}
+		flags := qs.Kind
+		if qs.Distributed {
+			flags += "*"
+		}
+		query := qs.Query
+		if len(query) > 60 {
+			query = query[:57] + "..."
+		}
+		fmt.Fprintf(w, "%4d %-8s %-9s %8.0fms %8s %10s %6s %s\n",
+			qs.ID, flags, qs.Phase, qs.ElapsedMs, pct, eta, drift, query)
+	}
+}
+
+// queryID parses the {id} path segment; -1 and a 400 on garbage.
+func queryID(w http.ResponseWriter, r *http.Request) int64 {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil || id < 1 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad query id %q", r.PathValue("id")))
+		return -1
+	}
+	return id
+}
+
+func (s *Service) handleQuery(w http.ResponseWriter, r *http.Request) {
+	id := queryID(w, r)
+	if id < 0 {
+		return
+	}
+	snap, ok := s.InflightQuery(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no in-flight query %d", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Service) handleQueryCancel(w http.ResponseWriter, r *http.Request) {
+	id := queryID(w, r)
+	if id < 0 {
+		return
+	}
+	if !s.CancelQuery(id) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no in-flight query %d", id))
+		return
+	}
+	s.logger.Info("query cancelled by client", "queryId", id)
+	writeJSON(w, http.StatusOK, map[string]any{"cancelled": id})
 }
 
 // handleWorkload serves the live per-fingerprint workload report: top-K

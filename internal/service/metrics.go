@@ -91,6 +91,13 @@ type Metrics struct {
 	PlanChangesSweeper atomic.Int64
 	PlanChangesReplay  atomic.Int64
 
+	// Live-query cancellations by reason: client (DELETE /debug/queries/id),
+	// deadline (RequestTimeout expired mid-request), shutdown (drain timeout
+	// at daemon stop).
+	QueryCancelledClient   atomic.Int64
+	QueryCancelledDeadline atomic.Int64
+	QueryCancelledShutdown atomic.Int64
+
 	// CatalogRetired counts catalog versions retired by RefreshCatalog (each
 	// retirement sweeps the version's plan-cache and negative-cache entries).
 	CatalogRetired atomic.Int64
@@ -189,6 +196,12 @@ type Gauges struct {
 	QueryLogRecords   int64
 	QueryLogDropped   int64
 	QueryLogRotations int64
+
+	// InflightQueries is the live-registry occupancy; ProgressDrift counts
+	// in-flight queries whose measured progress currently lags the model's
+	// predicted timeline.
+	InflightQueries int
+	ProgressDrift   int
 }
 
 // WritePrometheus renders the metrics in Prometheus text exposition format,
@@ -231,6 +244,10 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	fmt.Fprintf(w, "paroptd_plan_changes_total{source=\"refresh\"} %d\n", m.PlanChangesRefresh.Load())
 	fmt.Fprintf(w, "paroptd_plan_changes_total{source=\"sweeper\"} %d\n", m.PlanChangesSweeper.Load())
 	fmt.Fprintf(w, "paroptd_plan_changes_total{source=\"replay\"} %d\n", m.PlanChangesReplay.Load())
+	fmt.Fprintf(w, "# HELP paroptd_query_cancelled_total In-flight queries cancelled, by reason.\n# TYPE paroptd_query_cancelled_total counter\n")
+	fmt.Fprintf(w, "paroptd_query_cancelled_total{reason=\"client\"} %d\n", m.QueryCancelledClient.Load())
+	fmt.Fprintf(w, "paroptd_query_cancelled_total{reason=\"deadline\"} %d\n", m.QueryCancelledDeadline.Load())
+	fmt.Fprintf(w, "paroptd_query_cancelled_total{reason=\"shutdown\"} %d\n", m.QueryCancelledShutdown.Load())
 	counter("paroptd_catalog_versions_retired", "Catalog versions retired by statistics refreshes (plan + negative caches swept).", m.CatalogRetired.Load())
 	counter("paroptd_exchange_fragments_total", "Join fragments dispatched to worker processes (re-dispatches count again).", m.ExchangeFragments.Load())
 	counter("paroptd_exchange_shipped_scans_total", "Leaf-scan sides sourced at workers instead of streamed from the coordinator.", m.ShippedScans.Load())
@@ -249,6 +266,8 @@ func (m *Metrics) WritePrometheus(w io.Writer, g Gauges) {
 	gauge("paroptd_cluster_workers", "Worker processes registered for distributed execution.", int64(g.ClusterWorkers))
 	gauge("paroptd_cluster_epoch", "Cluster-membership epoch (bumped per register/deregister).", g.ClusterEpoch)
 	gauge("paroptd_placements", "Installed data-placement maps (one per catalog version).", int64(g.Placements))
+	gauge("paroptd_queries_inflight", "Queries currently being served (live registry occupancy).", int64(g.InflightQueries))
+	gauge("paroptd_query_progress_drift", "In-flight queries whose measured progress lags the predicted (tf, tl) timeline.", int64(g.ProgressDrift))
 
 	fmt.Fprintf(w, "# HELP paroptd_exchange_link_bytes_total Bytes moved per worker link by distributed joins.\n# TYPE paroptd_exchange_link_bytes_total counter\n")
 	for _, l := range g.Links {

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestPlanLogSurvivesRestart: the JSONL audit file is opened in append mode,
+// so plan changes recorded before a daemon restart remain readable after it,
+// and every line parses back as a PlanChange (the format `paropt replay
+// -plan-log-file` emits and post-hoc audits consume).
+func TestPlanLogSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "changes.jsonl")
+	record := func(fp string) {
+		s := newTestService(t, func(c *Config) { c.PlanLogPath = path })
+		s.RecordReplayChange(fp, "cat-v1", "HJ(R1,R2)", "SM(R1,R2)", 10, 12)
+		s.Close()
+	}
+	record("fp-before-restart")
+	record("fp-after-restart") // second daemon lifetime, same audit file
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var changes []PlanChange
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		var c PlanChange
+		if err := json.Unmarshal(sc.Bytes(), &c); err != nil {
+			t.Fatalf("audit line %q does not parse back: %v", sc.Text(), err)
+		}
+		changes = append(changes, c)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 {
+		t.Fatalf("audit log has %d entries, want 2 (restart must append, not truncate)", len(changes))
+	}
+	if changes[0].Fingerprint != "fp-before-restart" || changes[1].Fingerprint != "fp-after-restart" {
+		t.Errorf("entries out of order or overwritten: %+v", changes)
+	}
+	for i, c := range changes {
+		if c.Source != "replay" || c.PrevPlan != "HJ(R1,R2)" || c.NewPlan != "SM(R1,R2)" || c.Time.IsZero() {
+			t.Errorf("entry %d malformed: %+v", i, c)
+		}
+	}
+}

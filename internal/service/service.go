@@ -87,9 +87,12 @@ type Config struct {
 	// 512 entries total.
 	CacheShards   int
 	CacheCapacity int
-	// RequestTimeout bounds each request (queue wait + search); default
-	// 30s. The search itself is not preempted on timeout — it completes in
-	// the worker and populates the cache for later requests.
+	// RequestTimeout bounds each request end to end (queue wait + search +
+	// analyze execution); default 30s. The deadline rides the request
+	// context into the engine's cancellation checkpoints, so a timed-out
+	// analyze execution is preempted, not just abandoned. The DP search
+	// itself is the one exception — it completes in the worker and
+	// populates the cache for later requests.
 	RequestTimeout time.Duration
 	// TraceCapacity sizes the ring of request traces retained for the
 	// /debug/trace endpoints. 0 means the default (256); negative disables
@@ -143,6 +146,10 @@ type Config struct {
 	// PlanLogPath, when non-empty, additionally appends every plan change as
 	// one JSON line to this file, so swaps survive restarts.
 	PlanLogPath string
+	// InflightLogPath, when non-empty, appends one JSON line per finished
+	// query (normal, failed, or cancelled) — the durable tail of the live
+	// /debug/queries registry.
+	InflightLogPath string
 }
 
 // cacheEntry is one plan-cache value: the optimization session pinned to
@@ -211,6 +218,12 @@ type Service struct {
 	planlog   *planLog
 	planMu    sync.Mutex
 	lastPlans map[string]prevPlan
+
+	// inflight is the live-query registry behind /debug/queries: every
+	// served request is admitted with a cancellable context and retired
+	// when it finishes. Never nil.
+	inflight *inflightRegistry
+	stopped  bool // teardown ran (distinct from closed: Shutdown rejects first, tears down later)
 
 	// sweepStop/sweepWG manage the background drift sweeper (SweepInterval).
 	sweepStop chan struct{}
@@ -296,6 +309,11 @@ func New(cfg Config) (*Service, error) {
 		}
 		s.planlog = pl
 	}
+	ifr, err := newInflightRegistry(cfg.InflightLogPath)
+	if err != nil {
+		return nil, fmt.Errorf("service: inflight log: %w", err)
+	}
+	s.inflight = ifr
 	if s.logger == nil {
 		s.logger = obs.DiscardLogger()
 	}
@@ -329,21 +347,50 @@ func New(cfg Config) (*Service, error) {
 	return s, nil
 }
 
-// Close stops accepting requests, stops the drift sweeper and drains
-// in-flight searches. The query log (owned by the caller) stays open.
+// Close stops accepting requests, cancels in-flight queries, stops the
+// drift sweeper and drains in-flight searches. The query log (owned by the
+// caller) stays open. For a graceful stop that lets running queries finish
+// first, use Shutdown.
 func (s *Service) Close() {
 	s.mu.Lock()
-	already := s.closed
 	s.closed = true
+	already := s.stopped
+	s.stopped = true
 	s.mu.Unlock()
 	if !already {
+		s.inflight.cancelAll(CancelShutdown)
 		if s.sweepStop != nil {
 			close(s.sweepStop)
 			s.sweepWG.Wait()
 		}
 		s.pool.Close()
 		s.planlog.close()
+		s.inflight.close()
 	}
+}
+
+// Shutdown is the graceful stop: it rejects new requests immediately, waits
+// up to drain for in-flight queries to finish on their own, cancels the
+// stragglers (reason "shutdown"), and then tears the service down. A
+// non-positive drain cancels immediately.
+func (s *Service) Shutdown(drain time.Duration) {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	deadline := time.Now().Add(drain)
+	for s.inflight.len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(25 * time.Millisecond)
+	}
+	if n := s.inflight.cancelAll(CancelShutdown); n > 0 {
+		s.logger.Info("shutdown: cancelled in-flight queries", "count", n)
+		// Give the cancelled queries a beat to unwind through their
+		// checkpoints before the worker pool closes under them.
+		grace := time.Now().Add(2 * time.Second)
+		for s.inflight.len() > 0 && time.Now().Before(grace) {
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	s.Close()
 }
 
 // Metrics exposes the service counters (read-only use expected).
@@ -783,6 +830,7 @@ func (s *Service) Explain(ctx context.Context, req OptimizeRequest) (*ExplainRes
 	}
 	if req.Analyze {
 		if err := s.analyze(&req, served, out); err != nil {
+			s.finishInflight(served.iq, err)
 			s.met.Errors.Add(1)
 			served.root.Err(err)
 			served.root.End()
@@ -801,11 +849,16 @@ func (s *Service) Explain(ctx context.Context, req OptimizeRequest) (*ExplainRes
 // accuracy summary (explain-analyze only) so the query-log record and the
 // workload profiler see the same drift signal.
 type servedPlan struct {
-	plan   *core.Plan
-	entry  *cacheEntry
-	trace  *obs.Trace
-	root   *obs.Span
-	req    *OptimizeRequest
+	plan  *core.Plan
+	entry *cacheEntry
+	trace *obs.Trace
+	root  *obs.Span
+	req   *OptimizeRequest
+	// ctx is the request context with the end-to-end deadline and the
+	// registry's cancel cause; iq the live-registry entry. Analyze threads
+	// ctx into the engine; finishInflight retires iq.
+	ctx    context.Context
+	iq     *inflightQuery
 	relErr float64
 	qErr   float64
 }
@@ -813,6 +866,7 @@ type servedPlan struct {
 // finishRequest closes the request's root span, feeds the workload profiler
 // and query log, and emits the structured per-request log line.
 func (s *Service) finishRequest(p *servedPlan, kind string, resp *OptimizeResponse) {
+	s.finishInflight(p.iq, nil)
 	p.root.End()
 	s.prof.Observe(workload.Sample{
 		Fingerprint:    resp.Fingerprint,
@@ -882,8 +936,14 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 	if closed {
 		return nil, nil, ErrClosed
 	}
-	ctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
-	defer cancel()
+	// End-to-end deadline plus a cancel cause the live registry owns: the
+	// same context reaches the engine's checkpoints during analyze, so both
+	// a DELETE /debug/queries/{id} and a deadline expiry preempt execution.
+	// No defers — the context must outlive serve (Explain's analyze runs
+	// after it returns); finishInflight releases both cancels.
+	ctx, stopTimeout := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+	ctx, cancelCause := context.WithCancelCause(ctx)
+	iq := s.inflight.add(kind, req.Query, req.Distributed, cancelCause, stopTimeout)
 
 	// Root span of the request; phase child spans hang off it and the
 	// search span joins via the context (entryFor). Everything is nil-safe,
@@ -893,6 +953,15 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 
 	var fp, version string
 	fail := func(err error) (*OptimizeResponse, *servedPlan, error) {
+		// A cancelled context surfaces as context.Canceled from whatever
+		// phase it interrupted; report the installed cause instead so
+		// clients and logs see *why*.
+		if errors.Is(err, context.Canceled) {
+			if cause := context.Cause(ctx); cause != nil {
+				err = cause
+			}
+		}
+		s.finishInflight(iq, err)
 		s.met.Errors.Add(1)
 		root.Err(err)
 		root.End()
@@ -910,8 +979,10 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 	}
 	root.SetAttr("fingerprint", fp)
 	root.SetAttr("catalog", version)
+	iq.note(fp, version)
 
 	t = time.Now()
+	iq.setPhase("search")
 	entry, hit, deduped, err := s.entryFor(ctx, key, version, cat, q)
 	s.met.PhaseSearch.Observe(time.Since(t).Seconds())
 	if err != nil {
@@ -927,6 +998,7 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 	}
 
 	t = time.Now()
+	iq.setPhase("select")
 	sp = root.Child("select")
 	plan, err := entry.opt.SelectBounded(entry.cover, req.bound())
 	sp.End()
@@ -966,7 +1038,38 @@ func (s *Service) serve(ctx context.Context, req *OptimizeRequest, start time.Ti
 	}
 	resp.ElapsedMicros = time.Since(start).Microseconds()
 	s.met.Latency.Observe(time.Since(start).Seconds())
-	return resp, &servedPlan{plan: plan, entry: entry, trace: tr, root: root, req: req}, nil
+	return resp, &servedPlan{plan: plan, entry: entry, trace: tr, root: root, req: req, ctx: ctx, iq: iq}, nil
+}
+
+// finishInflight retires a query from the live registry and counts its
+// cancellation, if any, on the per-reason metric.
+func (s *Service) finishInflight(iq *inflightQuery, err error) {
+	switch s.inflight.finish(iq, err) {
+	case CancelClient:
+		s.met.QueryCancelledClient.Add(1)
+	case CancelDeadline:
+		s.met.QueryCancelledDeadline.Add(1)
+	case CancelShutdown:
+		s.met.QueryCancelledShutdown.Add(1)
+	}
+}
+
+// InflightQueries snapshots the live registry (the /debug/queries payload).
+func (s *Service) InflightQueries() []QuerySnapshot { return s.inflight.snapshots() }
+
+// InflightQuery snapshots one live query by ID.
+func (s *Service) InflightQuery(id int64) (QuerySnapshot, bool) {
+	q := s.inflight.get(id)
+	if q == nil {
+		return QuerySnapshot{}, false
+	}
+	return q.snapshot(time.Now()), true
+}
+
+// CancelQuery cancels one live query (reason "client" — the DELETE
+// /debug/queries/{id} path); false when no such query is in flight.
+func (s *Service) CancelQuery(id int64) bool {
+	return s.inflight.cancel(id, CancelClient)
 }
 
 // analyzeMaxRows bounds the synthetic data an analyze request may generate
@@ -999,6 +1102,7 @@ func (s *Service) analyzeDB(version string, cat *catalog.Catalog) (*storage.Data
 // error histogram.
 func (s *Service) analyze(req *OptimizeRequest, served *servedPlan, out *ExplainResponse) error {
 	t := time.Now()
+	served.iq.setPhase("execute")
 	sp := served.root.Child("execute")
 	db, err := s.analyzeDB(out.Catalog, served.entry.opt.Cat)
 	if err != nil {
@@ -1050,11 +1154,34 @@ func (s *Service) analyze(req *OptimizeRequest, served *servedPlan, out *Explain
 		sp.SetAttr("workers", len(addrs))
 		tr = cluster
 	}
-	rep, stats, err := served.entry.opt.AnalyzeWith(served.plan, db, par, tr)
+	// Arm live progress before execution starts: the registry entry holds
+	// the stats collector the executor will update lock-free plus the
+	// plan's predicted (tf, tl) timeline, so /debug/queries can sample
+	// per-operator percent-complete and a model-predicted ETA mid-run.
+	stats := &engine.ExecStats{}
+	timeline, predRT := accuracy.Timeline(served.entry.opt.Mod, served.plan.Op)
+	served.iq.attachExec(stats, timeline, predRT, cluster)
+	ctx := served.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cluster != nil {
+		// Cluster-wide cancellation: the moment the request context dies —
+		// client DELETE, deadline, shutdown — every worker gets a cancel
+		// frame and abandons its fragment, freeing staged partitions.
+		stop := context.AfterFunc(ctx, cluster.Cancel)
+		defer stop()
+	}
+	rep, _, err := served.entry.opt.AnalyzeLive(ctx, served.plan, db, par, tr, stats)
 	if cluster != nil {
 		// Record traffic even on failure: partial transfers are exactly
 		// what an operator debugging a dead worker wants to see.
 		s.recordExchange(sp, cluster)
+	}
+	if err != nil && errors.Is(err, context.Canceled) {
+		if cause := context.Cause(ctx); cause != nil {
+			err = cause
+		}
 	}
 	sp.Err(err)
 	sp.End()

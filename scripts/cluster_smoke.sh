@@ -230,6 +230,73 @@ echo "cluster_smoke: $shipped scans shipped"
 echo "cluster_smoke: placed pair:  $pair_placed bytes sent ($((100 - 100 * pair_placed / pair_base))% cut), ${placed_pair_ms} ms"
 echo "cluster_smoke: placed chain: $chain_placed bytes sent ($((100 - 100 * chain_placed / chain_base))% cut), ${placed_chain_ms} ms"
 
+# Live registry + cluster-wide cancellation: start a distributed join in the
+# background, catch it in /debug/queries, and cancel it via DELETE. The
+# DELETE must return fast, the workers must free every staged partition, and
+# the daemon must stay healthy and keep serving. A run can finish before the
+# cancel lands (the placed joins are quick), so retry a few times until one
+# is caught in flight.
+cancelled_ok=0
+for attempt in $(seq 1 10); do
+  curl -sS --max-time 120 -X POST "http://$addr/explain?analyze=1&distributed=1" \
+    -H 'Content-Type: application/json' -d "{\"query\": \"$chain\"}" >/dev/null 2>&1 &
+  qpid=$!
+  qid=""
+  for i in $(seq 1 100); do
+    qid=$(curl -fsS "http://$addr/debug/queries" | jq -r '.queries[0].id // empty')
+    [ -n "$qid" ] && break
+    kill -0 "$qpid" 2>/dev/null || break
+  done
+  if [ -n "$qid" ]; then
+    t0=$(date +%s%N)
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X DELETE "http://$addr/debug/queries/$qid")
+    t1=$(date +%s%N)
+    wait "$qpid" 2>/dev/null || true
+    if [ "$code" = 200 ]; then
+      cancel_ms=$(( (t1 - t0) / 1000000 ))
+      if [ "$cancel_ms" -gt 200 ]; then
+        echo "cluster_smoke: cancel DELETE took ${cancel_ms}ms, want <=200ms" >&2
+        exit 1
+      fi
+      cancelled_ok=1
+      echo "cluster_smoke: cancelled in-flight query $qid in ${cancel_ms}ms (attempt $attempt)"
+      break
+    fi
+  else
+    wait "$qpid" 2>/dev/null || true
+  fi
+done
+if [ "$cancelled_ok" != 1 ]; then
+  echo "cluster_smoke: never caught a distributed query in flight to cancel" >&2
+  exit 1
+fi
+cancelled_total=$(curl -fsS "http://$addr/metrics" \
+  | awk '$1 == "paroptd_query_cancelled_total{reason=\"client\"}" {print $2}')
+if [ -z "$cancelled_total" ] || [ "$cancelled_total" -lt 1 ]; then
+  echo "cluster_smoke: paroptd_query_cancelled_total{reason=client} = '$cancelled_total', want >=1" >&2
+  exit 1
+fi
+# The workers abandon their fragments and free the staged shipped-scan
+# partitions; the gauge drains asynchronously, so poll it to zero.
+for i in $(seq 1 50); do
+  staged=$(curl -fsS "http://$addr/cluster/metrics" \
+    | jq '[.workers[].health.stats.staged_bytes] | add')
+  [ "$staged" = 0 ] && break
+  [ "$i" = 50 ] && {
+    echo "cluster_smoke: workers still stage $staged bytes after cancel" >&2
+    exit 1
+  }
+  sleep 0.2
+done
+# Daemon healthy and still serving the same answers after the cancel.
+curl -fsS "http://$addr/healthz" >/dev/null
+read -r after_rows after_ms < <(run_query "$pair")
+[ "$after_rows" = "$pair_rows" ] || {
+  echo "cluster_smoke: post-cancel pair returned $after_rows rows, want $pair_rows" >&2
+  exit 1
+}
+echo "cluster_smoke: workers freed staged partitions; daemon healthy post-cancel (${after_ms} ms)"
+
 # Workers deregister on SIGTERM.
 kill -TERM "${pids[1]}" "${pids[2]}" "${pids[3]}"
 wait "${pids[1]}" "${pids[2]}" "${pids[3]}" 2>/dev/null || true
