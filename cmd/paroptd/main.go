@@ -120,6 +120,7 @@ func main() {
 	sweepLimit := flag.Int("sweep-limit", 0, "max re-optimizations per sweeper pass (0 = 4)")
 	negCache := flag.Int("negcache", 0, "negative-cache capacity for parse/resolve failures (0 = 256, negative disables)")
 	exchWindow := flag.Int("exchange-window", 0, "credit window (frames in flight per direction) for distributed exchanges (0 = exchange default)")
+	batchRows := flag.Int("batch-rows", 0, "columnar batch size (rows per vector) for analyze executions (0 = engine default)")
 	searchLog := flag.Int("search-log", 0, "recent searches retained with per-layer telemetry for /debug/search (0 = 64, negative disables)")
 	planLog := flag.Int("plan-log", 0, "plan-change audit entries retained for /debug/planlog (0 = 256, negative disables)")
 	planLogFile := flag.String("plan-log-file", "", "additionally append plan changes as JSONL to this file (empty = memory only)")
@@ -191,6 +192,7 @@ func main() {
 		SweepLimit:        *sweepLimit,
 		NegCacheCapacity:  *negCache,
 		ExchangeWindow:    *exchWindow,
+		BatchRows:         *batchRows,
 		SearchLogCapacity: *searchLog,
 		PlanLogCapacity:   *planLog,
 		PlanLogPath:       *planLogFile,

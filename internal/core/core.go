@@ -119,18 +119,22 @@ type Config struct {
 	// interconnect while misplaced ones are charged from the real nodes —
 	// placement reshapes cover sets and plan choice.
 	Placed map[string]cost.PlacedRelation
+	// BatchRows, when positive, sets the engine's columnar batch size for
+	// plan execution (rows per Vec); zero means engine.DefaultBatchRows.
+	BatchRows int
 }
 
 // Optimizer optimizes one query against one catalog and machine.
 type Optimizer struct {
-	Cat  *catalog.Catalog
-	Q    *query.Query
-	M    *machine.Machine
-	Est  *plan.Estimator
-	Mod  *cost.Model
-	opts search.Options
-	alg  Algorithm
-	bnd  search.Bound
+	Cat       *catalog.Catalog
+	Q         *query.Query
+	M         *machine.Machine
+	Est       *plan.Estimator
+	Mod       *cost.Model
+	opts      search.Options
+	alg       Algorithm
+	bnd       search.Bound
+	batchRows int
 }
 
 // Plan is an optimized plan with its costs and provenance.
@@ -226,8 +230,9 @@ func NewOptimizer(cat *catalog.Catalog, q *query.Query, cfg Config) (*Optimizer,
 			Workers:            cfg.Workers,
 			CoverCap:           cfg.CoverCap,
 		},
-		alg: cfg.Algorithm,
-		bnd: cfg.Bound,
+		alg:       cfg.Algorithm,
+		bnd:       cfg.Bound,
+		batchRows: cfg.BatchRows,
 	}, nil
 }
 
@@ -312,7 +317,7 @@ func (o *Optimizer) Simulate(p *Plan) (*sim.Result, error) {
 // Execute runs the plan for real on generated data with the given
 // parallelism degree.
 func (o *Optimizer) Execute(p *Plan, db *storage.Database, parallel int) (*engine.Resultset, error) {
-	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel}
+	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel, BatchSize: o.batchRows}
 	return e.Execute(p.Tree)
 }
 
@@ -341,7 +346,7 @@ func (o *Optimizer) AnalyzeLive(ctx context.Context, p *Plan, db *storage.Databa
 	if stats == nil {
 		stats = &engine.ExecStats{}
 	}
-	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel, Stats: stats, Transport: tr, Ctx: ctx}
+	e := &engine.Executor{DB: db, Q: o.Q, Parallel: parallel, BatchSize: o.batchRows, Stats: stats, Transport: tr, Ctx: ctx}
 	if _, err := e.Execute(p.Tree); err != nil {
 		return nil, nil, err
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -41,19 +42,27 @@ func (r *Resultset) GroupBy(keys []query.ColumnRef, sumOf query.ColumnRef) ([]Gr
 	type agg struct {
 		count, sum int64
 	}
+	// Group identity is the fixed-width binary encoding of the key values —
+	// exact (no formatting, no collisions) and allocation-free on the hot
+	// path: the map lookup with string(kb) doesn't copy, and only new groups
+	// materialize their key slice.
 	groups := map[string]*agg{}
 	keyOf := map[string][]int64{}
+	kb := make([]byte, 0, 8*len(keyPos))
 	for _, row := range r.Rows {
-		kv := make([]int64, len(keyPos))
-		for i, p := range keyPos {
-			kv[i] = row[p]
+		kb = kb[:0]
+		for _, p := range keyPos {
+			kb = binary.LittleEndian.AppendUint64(kb, uint64(row[p]))
 		}
-		id := fmt.Sprint(kv)
-		g, ok := groups[id]
+		g, ok := groups[string(kb)]
 		if !ok {
+			kv := make([]int64, len(keyPos))
+			for i, p := range keyPos {
+				kv[i] = row[p]
+			}
 			g = &agg{}
-			groups[id] = g
-			keyOf[id] = kv
+			groups[string(kb)] = g
+			keyOf[string(kb)] = kv
 		}
 		g.count++
 		g.sum += row[sumPos]

@@ -1,11 +1,14 @@
 // Package engine executes annotated join trees against in-memory tables
-// with real parallelism: operators are goroutines connected by channels
-// (pipelining), and joins can run partitioned across workers (cloning, in
-// the paper's vocabulary) with hash redistribution between stages — the
-// Gamma-style execution model the paper's operator trees describe. It
-// exists both to demonstrate that optimizer plans actually run and to
-// verify plan semantics: every plan for a query must produce the same
-// result multiset.
+// with a vectorized Volcano engine: operators are pull iterators exchanging
+// columnar batches (one []int64 per column plus a selection vector), scans
+// alias table column slabs without copying, and joins run as tight kernels
+// over contiguous memory. Joins can still run partitioned across workers
+// (cloning, in the paper's vocabulary) with hash redistribution between
+// stages — the Gamma-style execution model the paper's operator trees
+// describe — by pumping iterator output into the exchange transport. The
+// engine exists both to demonstrate that optimizer plans actually run and to
+// verify plan semantics: every plan for a query must produce the same result
+// multiset.
 package engine
 
 import (
@@ -18,6 +21,7 @@ import (
 	"paropt/internal/plan"
 	"paropt/internal/query"
 	"paropt/internal/storage"
+	"paropt/internal/vec"
 )
 
 // Schema names the columns of a stream, in row order.
@@ -33,12 +37,25 @@ func (s Schema) IndexOf(c query.ColumnRef) int {
 	return -1
 }
 
-// Batch is a unit of flow between operators. It aliases the exchange
-// package's batch so streams cross the transport layer without copying.
+// Batch is a unit of flow between operators: a columnar vector batch. It
+// aliases the exchange package's batch so streams cross the transport layer
+// without copying or transposition.
 type Batch = exchange.Batch
 
-// Stream delivers batches; it is closed when the producer is exhausted.
-type Stream <-chan Batch
+// Operator is the Volcano-style pull iterator every engine operator
+// implements: Next returns the next batch of the stream, nil at exhaustion,
+// or an error (a cancelled context surfaces as its cause). Close releases
+// the operator's resources — buffered inputs, hash tables, child operators —
+// and must be safe to call whether or not the stream was run to exhaustion.
+type Operator interface {
+	Next(ctx context.Context) (Batch, error)
+	Close()
+}
+
+// DefaultBatchRows is the rows-per-batch granularity used when
+// Executor.BatchSize is zero — tunable per process with the -batch-rows
+// flag on paropt/paroptd.
+const DefaultBatchRows = 1024
 
 // Executor runs plans over a database.
 type Executor struct {
@@ -49,8 +66,14 @@ type Executor struct {
 	// Parallel is the partitioned-parallelism degree for joins (cloning);
 	// values < 2 mean serial execution.
 	Parallel int
-	// BatchSize tunes channel granularity; 0 means 256.
+	// BatchSize tunes batch granularity in rows; 0 means DefaultBatchRows.
 	BatchSize int
+	// Symmetric selects the symmetric (streaming, double-build) hash join
+	// for hash-method joins instead of the blocking build-then-probe join:
+	// both inputs are consumed incrementally, each row probing the opposite
+	// side's table before insertion, so the first output row appears without
+	// waiting for either input to finish.
+	Symmetric bool
 	// Stats, when non-nil, records each node's runtime descriptor — actual
 	// (tf, tl) and row counts — as the plan executes. Nil costs nothing.
 	Stats *ExecStats
@@ -58,16 +81,13 @@ type Executor struct {
 	// means the in-process channel transport; an exchange.Cluster sends the
 	// partitioned streams to worker processes instead.
 	Transport exchange.Transport
-	// Ctx, when non-nil, bounds the execution: operators poll it at cheap
-	// checkpoints (per batch in pipelined loops, every few thousand rows in
-	// tight scans) and the run unwinds with the context's cause. Consumers
-	// keep draining their inputs after a cancellation — discarding batches —
-	// so producer goroutines blocked on channel sends always exit.
+	// Ctx, when non-nil, bounds the execution: operators poll it between
+	// batches (and every few thousand rows in tight kernels) and the run
+	// unwinds with the context's cause.
 	Ctx context.Context
 
 	// execErr holds the first asynchronous transport failure of the current
-	// Execute call (operator goroutines can't return errors through
-	// channels).
+	// Execute call (pump goroutines can't return errors through channels).
 	errMu   sync.Mutex
 	execErr error
 }
@@ -88,10 +108,28 @@ func (e *Executor) asyncErr() error {
 	return e.execErr
 }
 
-// cancelCheckRows is how many rows a tight scan loop processes between
-// context polls — small enough that a cancel lands within microseconds,
-// large enough that the select stays off the profile.
+// cancelCheckRows is how many rows a tight kernel processes between context
+// polls — small enough that a cancel lands within microseconds, large
+// enough that the poll stays off the profile.
 const cancelCheckRows = 4096
+
+// ctx returns the execution context, never nil.
+func (e *Executor) ctx() context.Context {
+	if e.Ctx != nil {
+		return e.Ctx
+	}
+	return context.Background()
+}
+
+// ctxErr polls the context; non-nil is the cancellation cause.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	default:
+		return nil
+	}
+}
 
 // cancelled reports whether the execution context is done, recording its
 // cause as the run's failure. The nil-context fast path is one comparison.
@@ -105,16 +143,6 @@ func (e *Executor) cancelled() bool {
 		return true
 	default:
 		return false
-	}
-}
-
-// discard consumes a stream without retaining batches so that, after a
-// cancellation, upstream producers blocked on sends unblock and exit.
-func discard(s Stream) {
-	if s == nil {
-		return
-	}
-	for range s {
 	}
 }
 
@@ -136,17 +164,22 @@ func (e *Executor) Execute(n *plan.Node) (*Resultset, error) {
 	e.errMu.Lock()
 	e.execErr = nil
 	e.errMu.Unlock()
-	stream, schema, err := e.run(n)
+	op, schema, err := e.run(n)
 	if err != nil {
 		return nil, err
 	}
+	defer op.Close()
+	ctx := e.ctx()
 	var rows []storage.Row
-	for b := range stream {
-		rows = append(rows, b...)
-		if e.cancelled() {
-			discard(stream)
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
 			break
 		}
+		rows = b.AppendRows(rows)
 	}
 	if err := e.asyncErr(); err != nil {
 		return nil, err
@@ -230,21 +263,21 @@ func (e *Executor) batchSize() int {
 	if e.BatchSize > 0 {
 		return e.BatchSize
 	}
-	return 256
+	return DefaultBatchRows
 }
 
-// run recursively builds the operator pipeline for a subtree, wrapping each
-// node's stream in a runtime-descriptor recorder when Stats is installed.
-func (e *Executor) run(n *plan.Node) (Stream, Schema, error) {
-	s, schema, err := e.build(n)
+// run recursively builds the operator tree for a subtree, wrapping each
+// node's iterator in a runtime-descriptor recorder when Stats is installed.
+func (e *Executor) run(n *plan.Node) (Operator, Schema, error) {
+	op, schema, err := e.build(n)
 	if err != nil || e.Stats == nil {
-		return s, schema, err
+		return op, schema, err
 	}
-	return e.instrument(n, s), schema, nil
+	return e.newStatsOp(n, op), schema, nil
 }
 
-// build constructs the uninstrumented operator pipeline for a subtree.
-func (e *Executor) build(n *plan.Node) (Stream, Schema, error) {
+// build constructs the uninstrumented operator tree for a subtree.
+func (e *Executor) build(n *plan.Node) (Operator, Schema, error) {
 	if n.IsLeaf() {
 		return e.scan(n)
 	}
@@ -262,7 +295,7 @@ func (e *Executor) build(n *plan.Node) (Stream, Schema, error) {
 	}
 
 	// Leaf-scan shipping: when the transport owns a leaf child's relation at
-	// the workers, don't build its local stream at all — the fragment
+	// the workers, don't build its local iterator at all — the fragment
 	// carries a ScanSpec and each worker sources its shard from its own
 	// store, so no base tuple of that side crosses the coordinator's links.
 	var lspec, rspec *exchange.ScanSpec
@@ -284,27 +317,30 @@ func (e *Executor) build(n *plan.Node) (Stream, Schema, error) {
 		}
 	}
 
-	var ls, rs Stream
+	var lop, rop Operator
 	if lspec == nil {
-		if ls, _, err = e.run(n.Left); err != nil {
+		if lop, _, err = e.run(n.Left); err != nil {
 			return nil, nil, err
 		}
 	}
 	if rspec == nil {
-		if rs, _, err = e.run(n.Right); err != nil {
+		if rop, _, err = e.run(n.Right); err != nil {
+			if lop != nil {
+				lop.Close()
+			}
 			return nil, nil, err
 		}
 	}
 
 	schema := append(append(Schema(nil), lschema...), rschema...)
 	if len(lkeys) == 0 {
-		// Cross product: nested loops over a materialized inner.
-		return e.crossProduct(ls, rs), schema, nil
+		// Cross product: nested loops over a rewindable buffered inner.
+		return &crossOp{e: e, left: lop, right: rop, bs: e.batchSize()}, schema, nil
 	}
 	if e.Parallel > 1 {
-		return e.parallelJoin(n, ls, rs, lkeys, rkeys, lspec, rspec, parts), schema, nil
+		return e.parallelJoin(n, lop, rop, lkeys, rkeys, lspec, rspec, parts), schema, nil
 	}
-	return e.serialJoin(n.Method, ls, rs, lkeys, rkeys), schema, nil
+	return e.joinFor(e.wireMethod(n.Method), lop, rop, lkeys, rkeys), schema, nil
 }
 
 // schemaOf resolves a subtree's output schema without building operators:
@@ -361,10 +397,17 @@ func (e *Executor) shipSpec(shipper exchange.ScanShipper, n *plan.Node, key int)
 	return spec, parts, nil
 }
 
-// scan streams a base table with the query's selections applied. An index
-// scan delivers the same rows (possibly in key order); semantics are
-// identical.
-func (e *Executor) scan(n *plan.Node) (Stream, Schema, error) {
+// scanSel is one pushed-down equality selection, resolved to a position.
+type scanSel struct {
+	pos int
+	val int64
+}
+
+// scan builds the leaf iterator for a base table with the query's
+// selections applied. Heap scans deliver zero-copy batch views of the
+// table's columnar slabs, filters narrowing them to selection vectors;
+// index scans gather rows in key order.
+func (e *Executor) scan(n *plan.Node) (Operator, Schema, error) {
 	tab, ok := e.DB.Table(n.Relation)
 	if !ok {
 		return nil, nil, fmt.Errorf("engine: no data for relation %s", n.Relation)
@@ -373,107 +416,117 @@ func (e *Executor) scan(n *plan.Node) (Stream, Schema, error) {
 	for i, c := range tab.Rel.Columns {
 		schema[i] = query.ColumnRef{Relation: n.Relation, Column: c.Name}
 	}
-	type sel struct {
-		pos int
-		val int64
-	}
-	var sels []sel
+	var sels []scanSel
 	for _, s := range e.Q.SelectionsOn(n.Relation) {
 		pos := tab.ColIndex(s.Column.Column)
 		if pos < 0 {
 			return nil, nil, fmt.Errorf("engine: selection on unknown column %v", s.Column)
 		}
-		sels = append(sels, sel{pos: pos, val: s.Value})
+		sels = append(sels, scanSel{pos: pos, val: s.Value})
 	}
-	keep := func(row storage.Row) bool {
-		for _, s := range sels {
-			if row[s.pos] != s.val {
-				return false
-			}
+	cols := tab.Columns()
+	if n.Access == plan.IndexScan && n.Index != nil {
+		if ix, err := storage.BuildOrderedIndex(tab, n.Index.Columns[0]); err == nil {
+			order := make([]int, 0, tab.NumRows())
+			ix.Scan(func(_ int64, rowPos int) bool {
+				order = append(order, rowPos)
+				return true
+			})
+			return &indexScanOp{cols: cols, order: order, sels: sels, bs: e.batchSize()}, schema, nil
 		}
-		return true
 	}
-	bs := e.batchSize()
-
-	// Cloned (parallel) heap scan: stripe the table across workers. Only
-	// for plain heaps — index scans and physically sorted relations must
-	// deliver rows in key order.
-	if e.Parallel > 1 && n.Access != plan.IndexScan && tab.Rel.SortedBy == "" {
-		out := make(chan Batch, e.Parallel)
-		var wg sync.WaitGroup
-		wg.Add(e.Parallel)
-		for w := 0; w < e.Parallel; w++ {
-			go func(w int) {
-				defer wg.Done()
-				batch := make(Batch, 0, bs)
-				seen := 0
-				for i := w; i < len(tab.Rows); i += e.Parallel {
-					if seen++; seen%cancelCheckRows == 0 && e.cancelled() {
-						return
-					}
-					if row := tab.Rows[i]; keep(row) {
-						batch = append(batch, row)
-						if len(batch) == bs {
-							out <- batch
-							batch = make(Batch, 0, bs)
-						}
-					}
-				}
-				if len(batch) > 0 {
-					out <- batch
-				}
-			}(w)
-		}
-		go func() {
-			wg.Wait()
-			close(out)
-		}()
-		return out, schema, nil
-	}
-
-	out := make(chan Batch, 4)
-	go func() {
-		defer close(out)
-		batch := make(Batch, 0, bs)
-		emit := func(row storage.Row) {
-			batch = append(batch, row)
-			if len(batch) == bs {
-				out <- batch
-				batch = make(Batch, 0, bs)
-			}
-		}
-		seen := 0
-		if n.Access == plan.IndexScan && n.Index != nil {
-			if ix, err := storage.BuildOrderedIndex(tab, n.Index.Columns[0]); err == nil {
-				ix.Scan(func(_ int64, rowPos int) bool {
-					if seen++; seen%cancelCheckRows == 0 && e.cancelled() {
-						return false
-					}
-					if row := tab.Rows[rowPos]; keep(row) {
-						emit(row)
-					}
-					return true
-				})
-				if len(batch) > 0 {
-					out <- batch
-				}
-				return
-			}
-		}
-		for _, row := range tab.Rows {
-			if seen++; seen%cancelCheckRows == 0 && e.cancelled() {
-				return
-			}
-			if keep(row) {
-				emit(row)
-			}
-		}
-		if len(batch) > 0 {
-			out <- batch
-		}
-	}()
-	return out, schema, nil
+	return &scanOp{cols: cols, nrows: tab.NumRows(), sels: sels, bs: e.batchSize()}, schema, nil
 }
+
+// scanOp is the vectorized heap scan: each Next is a window of the table's
+// columnar slabs — no row copying — narrowed by the pushed-down selections
+// to a selection vector. Empty windows (every row filtered out) are skipped
+// so consumers only ever see live batches.
+type scanOp struct {
+	cols  [][]int64
+	nrows int
+	sels  []scanSel
+	bs    int
+	pos   int
+}
+
+func (o *scanOp) Next(ctx context.Context) (Batch, error) {
+	for o.pos < o.nrows {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		end := o.pos + o.bs
+		if end > o.nrows {
+			end = o.nrows
+		}
+		b := &vec.Vec{Cols: make([][]int64, len(o.cols))}
+		for c := range o.cols {
+			b.Cols[c] = o.cols[c][o.pos:end]
+		}
+		o.pos = end
+		for _, s := range o.sels {
+			b = b.FilterEq(s.pos, s.val)
+			if b.Len() == 0 {
+				break
+			}
+		}
+		if b.Len() > 0 {
+			return b, nil
+		}
+	}
+	return nil, nil
+}
+
+func (o *scanOp) Close() { o.pos = o.nrows }
+
+// indexScanOp delivers rows in index-key order: the ordered index's row
+// permutation is gathered into dense batches (key order precludes slab
+// views). Semantics equal the heap scan's; only order differs.
+type indexScanOp struct {
+	cols  [][]int64
+	order []int
+	sels  []scanSel
+	bs    int
+	pos   int
+	bld   *vec.Builder
+}
+
+func (o *indexScanOp) Next(ctx context.Context) (Batch, error) {
+	if o.bld == nil {
+		o.bld = vec.NewBuilder(len(o.cols), o.bs)
+	}
+	for o.pos < len(o.order) {
+		if o.pos%cancelCheckRows == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		r := o.order[o.pos]
+		o.pos++
+		keep := true
+		for _, s := range o.sels {
+			if o.cols[s.pos][r] != s.val {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		for c := range o.cols {
+			o.bld.Append(c, o.cols[c][r])
+		}
+		if o.bld.Full() {
+			return o.bld.Flush(), nil
+		}
+	}
+	if b := o.bld.Flush(); b != nil {
+		return b, nil
+	}
+	return nil, nil
+}
+
+func (o *indexScanOp) Close() { o.pos = len(o.order); o.bld = nil }
 
 // joinKeys resolves the key column positions of the node's predicates in
 // the left and right schemas.
@@ -493,208 +546,487 @@ func joinKeys(n *plan.Node, lschema, rschema Schema) (lkeys, rkeys []int, err er
 	return lkeys, rkeys, nil
 }
 
-// serialJoin runs one worker of the chosen method over complete streams.
-func (e *Executor) serialJoin(method plan.JoinMethod, ls, rs Stream, lkeys, rkeys []int) Stream {
-	out := make(chan Batch, 4)
-	go func() {
-		defer close(out)
-		switch method {
-		case plan.HashJoin:
-			e.hashJoin(out, ls, rs, lkeys, rkeys)
-		case plan.SortMerge:
-			e.mergeJoin(out, ls, rs, lkeys, rkeys)
-		default:
-			e.nlJoin(out, ls, rs, lkeys, rkeys)
+// joinFor constructs the serial join iterator for a wire method name over
+// two child iterators. Unknown names fall back to nested loops — which,
+// like the hash method, is a build-then-probe over a hashed inner (the
+// create-index inflection realized); they differ only in cost model.
+func (e *Executor) joinFor(method string, l, r Operator, lkeys, rkeys []int) Operator {
+	switch method {
+	case "sym":
+		return newSymJoinOp(e, l, r, lkeys, rkeys)
+	case "merge":
+		return &mergeJoinOp{e: e, left: l, right: r, lkeys: lkeys, rkeys: rkeys, bs: e.batchSize()}
+	default: // "hash", "nl"
+		return &buildProbeOp{e: e, left: l, right: r, lkeys: lkeys, rkeys: rkeys, bs: e.batchSize()}
+	}
+}
+
+// drainBuffer pulls op to exhaustion into a columnar buffer (created on the
+// first batch; nil if the stream was empty). Cancellation is re-checked
+// between batches so a dying query stops buffering even when the child's
+// own checkpoints are coarser.
+func drainBuffer(ctx context.Context, op Operator) (*vec.Buffer, error) {
+	var buf *vec.Buffer
+	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
 		}
-	}()
-	return out
-}
-
-// emitJoined streams joined rows through a batch buffer.
-type emitter struct {
-	out   chan<- Batch
-	batch Batch
-	size  int
-}
-
-func newEmitter(out chan<- Batch, size int) *emitter {
-	return &emitter{out: out, batch: make(Batch, 0, size), size: size}
-}
-
-func (em *emitter) emit(l, r storage.Row) {
-	row := make(storage.Row, 0, len(l)+len(r))
-	row = append(row, l...)
-	row = append(row, r...)
-	em.batch = append(em.batch, row)
-	if len(em.batch) == em.size {
-		em.out <- em.batch
-		em.batch = make(Batch, 0, em.size)
+		b, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return buf, nil
+		}
+		if buf == nil {
+			buf = vec.NewBuffer(b.Width())
+		}
+		buf.Append(b)
 	}
 }
 
-func (em *emitter) flush() {
-	if len(em.batch) > 0 {
-		em.out <- em.batch
-	}
+// buildProbeOp is the blocking build-then-probe join (hash and nested-loops
+// methods — the materialized edge of §4.2): the right input is drained into
+// a columnar buffer with a key-hashed row index, then left batches probe it.
+// The build index is an idiomatic Go map — the symmetric join's compact
+// chained tables exist precisely to beat this structure's heap footprint.
+type buildProbeOp struct {
+	e            *Executor
+	left, right  Operator
+	lkeys, rkeys []int
+	bs           int
+
+	built  bool
+	buf    *vec.Buffer       // right rows, dense
+	table  map[int64][]int32 // key → dense row indices in buf
+	bld    *vec.Builder
+	lw     int
+	cur    Batch // in-progress left batch
+	curRow int
+	done   bool
+
+	// Matched (left physical row, buffered right row) pairs for the batch in
+	// progress, gathered column-at-a-time into bld instead of copied row by
+	// row — the emit loop touches one column array at a time.
+	lsel, rsel []int32
 }
 
-// matchExtra checks predicates beyond the first (the hash/merge key).
-func matchExtra(l, r storage.Row, lkeys, rkeys []int) bool {
+func (o *buildProbeOp) build(ctx context.Context) error {
+	buf, err := drainBuffer(ctx, o.right)
+	if err != nil {
+		return err
+	}
+	o.buf = buf
+	o.built = true
+	if buf == nil || buf.Len() == 0 {
+		return nil
+	}
+	key := buf.Col(o.rkeys[0])
+	o.table = make(map[int64][]int32, len(key))
+	for r, k := range key {
+		o.table[k] = append(o.table[k], int32(r))
+	}
+	return nil
+}
+
+// matchBuffered checks the predicates beyond the hash key between live row
+// li of the probe batch and buffered row r.
+func matchBuffered(b Batch, li int, buf *vec.Buffer, r int, lkeys, rkeys []int) bool {
 	for i := 1; i < len(lkeys); i++ {
-		if l[lkeys[i]] != r[rkeys[i]] {
+		if b.Value(lkeys[i], li) != buf.Value(rkeys[i], r) {
 			return false
 		}
 	}
 	return true
 }
 
-// hashJoin builds on the right input, probes with the left (build then
-// probe — the materialized edge of §4.2).
-func (e *Executor) hashJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
-	build := make(map[int64][]storage.Row)
-	for b := range rs {
-		if e.cancelled() {
-			discard(rs)
-			discard(ls)
-			return
+func (o *buildProbeOp) Next(ctx context.Context) (Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	// Per-batch checkpoint: every Next call does bounded work, so checking
+	// here bounds how far a cancelled query keeps emitting.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if !o.built {
+		if err := o.build(ctx); err != nil {
+			return nil, err
 		}
-		for _, row := range b {
-			k := row[rkeys[0]]
-			build[k] = append(build[k], row)
+		if o.buf == nil || o.buf.Len() == 0 {
+			o.done = true
+			return nil, nil
 		}
 	}
-	em := newEmitter(out, e.batchSize())
-	for b := range ls {
-		if e.cancelled() {
-			discard(ls)
-			return
-		}
-		for _, l := range b {
-			for _, r := range build[l[lkeys[0]]] {
-				if matchExtra(l, r, lkeys, rkeys) {
-					em.emit(l, r)
-				}
+	for {
+		if o.cur == nil {
+			b, err := o.left.Next(ctx)
+			if err != nil {
+				return nil, err
 			}
-		}
-	}
-	em.flush()
-}
-
-// mergeJoin materializes and sorts both inputs on the key, then merges,
-// joining duplicate runs pairwise.
-func (e *Executor) mergeJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
-	l := e.drain(ls)
-	r := e.drain(rs)
-	if e.cancelled() {
-		return
-	}
-	lk, rk := lkeys[0], rkeys[0]
-	sort.SliceStable(l, func(a, b int) bool { return l[a][lk] < l[b][lk] })
-	sort.SliceStable(r, func(a, b int) bool { return r[a][rk] < r[b][rk] })
-	em := newEmitter(out, e.batchSize())
-	i, j := 0, 0
-	steps := 0
-	for i < len(l) && j < len(r) {
-		if steps++; steps%cancelCheckRows == 0 && e.cancelled() {
-			return
-		}
-		switch {
-		case l[i][lk] < r[j][rk]:
-			i++
-		case l[i][lk] > r[j][rk]:
-			j++
-		default:
-			key := l[i][lk]
-			i2 := i
-			for i2 < len(l) && l[i2][lk] == key {
-				i2++
-			}
-			j2 := j
-			for j2 < len(r) && r[j2][rk] == key {
-				j2++
-			}
-			for a := i; a < i2; a++ {
-				for b := j; b < j2; b++ {
-					if matchExtra(l[a], r[b], lkeys, rkeys) {
-						em.emit(l[a], r[b])
+			if b == nil {
+				o.done = true
+				if o.bld != nil {
+					if out := o.bld.Flush(); out != nil {
+						return out, nil
 					}
 				}
+				return nil, nil
 			}
-			i, j = i2, j2
+			o.cur, o.curRow = b, 0
+			if o.bld == nil {
+				o.lw = b.Width()
+				o.bld = vec.NewBuilder(o.lw+o.buf.Width(), o.bs)
+			}
+		}
+		key := o.cur.Cols[o.lkeys[0]]
+		for ; o.curRow < o.cur.Len(); o.curRow++ {
+			li := o.curRow
+			phys := li
+			if o.cur.Sel != nil {
+				phys = int(o.cur.Sel[li])
+			}
+			for _, r := range o.table[key[phys]] {
+				if matchBuffered(o.cur, li, o.buf, int(r), o.lkeys, o.rkeys) {
+					o.lsel = append(o.lsel, int32(phys))
+					o.rsel = append(o.rsel, r)
+				}
+			}
+			if len(o.lsel) >= o.bs {
+				o.curRow++
+				o.gather()
+				return o.bld.Flush(), nil
+			}
+		}
+		// Batch fully probed: gather its matches while cur's columns are
+		// still at hand, then move on (flush only when the builder fills).
+		o.gather()
+		o.cur = nil
+		if o.bld.Full() {
+			return o.bld.Flush(), nil
+		}
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
 		}
 	}
-	em.flush()
 }
 
-// nlJoin is nested loops with the create-index inflection: the inner is
-// materialized and hash-indexed on the key, then probed per outer row.
-func (e *Executor) nlJoin(out chan<- Batch, ls, rs Stream, lkeys, rkeys []int) {
-	inner := e.drain(rs)
-	index := make(map[int64][]storage.Row)
-	for _, row := range inner {
-		k := row[rkeys[0]]
-		index[k] = append(index[k], row)
+// gather drains the accumulated match pairs into the builder column at a
+// time: left columns by physical index into the probe batch, right columns
+// by dense index into the build buffer.
+func (o *buildProbeOp) gather() {
+	if len(o.lsel) == 0 {
+		return
 	}
-	em := newEmitter(out, e.batchSize())
-	for b := range ls {
-		if e.cancelled() {
-			discard(ls)
-			return
+	o.bld.AppendGather(0, o.cur.Cols, o.lsel)
+	o.buf.Gather(o.bld, o.lw, o.rsel)
+	o.lsel, o.rsel = o.lsel[:0], o.rsel[:0]
+}
+
+func (o *buildProbeOp) Close() {
+	o.done = true
+	o.table = nil
+	if o.buf != nil {
+		o.buf.Release()
+	}
+	o.left.Close()
+	o.right.Close()
+}
+
+// mergeJoinOp materializes and sorts both inputs on the key (by permuting
+// row-index arrays over the columnar buffers, not by moving rows), then
+// merges, joining duplicate runs pairwise and emitting incrementally.
+type mergeJoinOp struct {
+	e            *Executor
+	left, right  Operator
+	lkeys, rkeys []int
+	bs           int
+
+	built          bool
+	lbuf, rbuf     *vec.Buffer
+	lorder, rorder []int32
+	bld            *vec.Builder
+	lw             int
+	i, j           int
+	inRun          bool
+	i2, j2         int // current equal-key run bounds
+	a, b           int // positions within the run
+	done           bool
+}
+
+func (o *mergeJoinOp) build(ctx context.Context) error {
+	lbuf, err := drainBuffer(ctx, o.left)
+	if err != nil {
+		return err
+	}
+	rbuf, err := drainBuffer(ctx, o.right)
+	if err != nil {
+		return err
+	}
+	o.lbuf, o.rbuf = lbuf, rbuf
+	o.built = true
+	if lbuf == nil || rbuf == nil || lbuf.Len() == 0 || rbuf.Len() == 0 {
+		o.done = true
+		return nil
+	}
+	sortOrder := func(buf *vec.Buffer, key int) []int32 {
+		col := buf.Col(key)
+		order := make([]int32, buf.Len())
+		for i := range order {
+			order[i] = int32(i)
 		}
-		for _, l := range b {
-			for _, r := range index[l[lkeys[0]]] {
-				if matchExtra(l, r, lkeys, rkeys) {
-					em.emit(l, r)
+		sort.SliceStable(order, func(a, b int) bool { return col[order[a]] < col[order[b]] })
+		return order
+	}
+	o.lorder = sortOrder(lbuf, o.lkeys[0])
+	o.rorder = sortOrder(rbuf, o.rkeys[0])
+	o.lw = lbuf.Width()
+	o.bld = vec.NewBuilder(o.lw+rbuf.Width(), o.bs)
+	return nil
+}
+
+// matchBufPair checks extra predicates between buffered rows.
+func matchBufPair(lbuf *vec.Buffer, l int, rbuf *vec.Buffer, r int, lkeys, rkeys []int) bool {
+	for i := 1; i < len(lkeys); i++ {
+		if lbuf.Value(lkeys[i], l) != rbuf.Value(rkeys[i], r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *mergeJoinOp) Next(ctx context.Context) (Batch, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if !o.built {
+		if err := o.build(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if o.done {
+		if o.bld != nil {
+			if out := o.bld.Flush(); out != nil {
+				return out, nil
+			}
+		}
+		return nil, nil
+	}
+	lcol := o.lbuf.Col(o.lkeys[0])
+	rcol := o.rbuf.Col(o.rkeys[0])
+	steps := 0
+	for {
+		if o.inRun {
+			for ; o.a < o.i2; o.a++ {
+				lrow := int(o.lorder[o.a])
+				for ; o.b < o.j2; o.b++ {
+					if steps++; steps%cancelCheckRows == 0 {
+						if err := ctxErr(ctx); err != nil {
+							return nil, err
+						}
+					}
+					rrow := int(o.rorder[o.b])
+					if matchBufPair(o.lbuf, lrow, o.rbuf, rrow, o.lkeys, o.rkeys) {
+						o.lbuf.CopyRowTo(o.bld, 0, lrow)
+						o.rbuf.CopyRowTo(o.bld, o.lw, rrow)
+						if o.bld.Full() {
+							o.b++
+							return o.bld.Flush(), nil
+						}
+					}
+				}
+				o.b = o.j
+			}
+			o.inRun = false
+			o.i, o.j = o.i2, o.j2
+		}
+		if o.i >= len(o.lorder) || o.j >= len(o.rorder) {
+			o.done = true
+			if out := o.bld.Flush(); out != nil {
+				return out, nil
+			}
+			return nil, nil
+		}
+		lk, rk := lcol[o.lorder[o.i]], rcol[o.rorder[o.j]]
+		switch {
+		case lk < rk:
+			o.i++
+		case lk > rk:
+			o.j++
+		default:
+			o.i2 = o.i
+			for o.i2 < len(o.lorder) && lcol[o.lorder[o.i2]] == lk {
+				o.i2++
+			}
+			o.j2 = o.j
+			for o.j2 < len(o.rorder) && rcol[o.rorder[o.j2]] == rk {
+				o.j2++
+			}
+			o.a, o.b = o.i, o.j
+			o.inRun = true
+		}
+		if steps++; steps%cancelCheckRows == 0 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (o *mergeJoinOp) Close() {
+	o.done = true
+	o.lorder, o.rorder = nil, nil
+	if o.lbuf != nil {
+		o.lbuf.Release()
+	}
+	if o.rbuf != nil {
+		o.rbuf.Release()
+	}
+	o.left.Close()
+	o.right.Close()
+}
+
+// crossOp joins without predicates: nested loops of the outer over a
+// rewindable buffered inner. Cancellation is polled between outer batches
+// and every few thousand emitted rows.
+type crossOp struct {
+	e           *Executor
+	left, right Operator
+	bs          int
+
+	inner  *rewindable
+	bld    *vec.Builder
+	lw     int
+	cur    Batch
+	curRow int
+	done   bool
+}
+
+func (o *crossOp) Next(ctx context.Context) (Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if o.inner == nil {
+		inner, err := newRewindable(ctx, o.right)
+		if err != nil {
+			return nil, err
+		}
+		o.inner = inner
+		if inner.Len() == 0 {
+			o.done = true
+			return nil, nil
+		}
+	}
+	steps := 0
+	for {
+		if o.cur == nil {
+			b, err := o.left.Next(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				o.done = true
+				if o.bld != nil {
+					if out := o.bld.Flush(); out != nil {
+						return out, nil
+					}
+				}
+				return nil, nil
+			}
+			o.cur, o.curRow = b, 0
+			o.inner.Rewind()
+			if o.bld == nil {
+				o.lw = b.Width()
+				o.bld = vec.NewBuilder(o.lw+o.inner.Width(), o.bs)
+			}
+		}
+		for ; o.curRow < o.cur.Len(); o.curRow++ {
+			for {
+				r, ok := o.inner.NextRow()
+				if !ok {
+					o.inner.Rewind()
+					break
+				}
+				o.bld.CopyRow(0, o.cur, o.curRow)
+				o.inner.buf.CopyRowTo(o.bld, o.lw, r)
+				if steps++; steps%cancelCheckRows == 0 {
+					if err := ctxErr(ctx); err != nil {
+						return nil, err
+					}
+				}
+				if o.bld.Full() {
+					return o.bld.Flush(), nil
 				}
 			}
 		}
-	}
-	em.flush()
-}
-
-// crossProduct joins without predicates.
-func (e *Executor) crossProduct(ls, rs Stream) Stream {
-	out := make(chan Batch, 4)
-	go func() {
-		defer close(out)
-		inner := e.drain(rs)
-		em := newEmitter(out, e.batchSize())
-		for b := range ls {
-			if e.cancelled() {
-				discard(ls)
-				return
-			}
-			for _, l := range b {
-				for _, r := range inner {
-					em.emit(l, r)
-				}
-			}
-		}
-		em.flush()
-	}()
-	return out
-}
-
-// drain materializes a stream.
-func drain(s Stream) []storage.Row {
-	var rows []storage.Row
-	for b := range s {
-		rows = append(rows, b...)
-	}
-	return rows
-}
-
-// drain materializes a stream, but stops retaining rows — while still
-// consuming the stream so producers unblock — once the executor's context
-// is cancelled.
-func (e *Executor) drain(s Stream) []storage.Row {
-	var rows []storage.Row
-	for b := range s {
-		rows = append(rows, b...)
-		if e.cancelled() {
-			discard(s)
-			break
+		o.cur = nil
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
 		}
 	}
-	return rows
+}
+
+func (o *crossOp) Close() {
+	o.done = true
+	if o.inner != nil {
+		o.inner.Release()
+	}
+	o.left.Close()
+	o.right.Close()
+}
+
+// rewindable materializes a child once into a columnar buffer and supports
+// arbitrarily many passes — the buffered edge a re-iterated input (the
+// inner of a nested-loop or cross product) needs under the pull model.
+type rewindable struct {
+	buf *vec.Buffer
+	pos int
+}
+
+// newRewindable drains the child into the buffer.
+func newRewindable(ctx context.Context, child Operator) (*rewindable, error) {
+	buf, err := drainBuffer(ctx, child)
+	if err != nil {
+		return nil, err
+	}
+	return &rewindable{buf: buf}, nil
+}
+
+// Len is the buffered row count.
+func (r *rewindable) Len() int {
+	if r.buf == nil {
+		return 0
+	}
+	return r.buf.Len()
+}
+
+// Width is the buffered column count.
+func (r *rewindable) Width() int {
+	if r.buf == nil {
+		return 0
+	}
+	return r.buf.Width()
+}
+
+// Rewind restarts iteration at the first buffered row.
+func (r *rewindable) Rewind() { r.pos = 0 }
+
+// NextRow returns the next buffered row index, or false at the end of the
+// pass.
+func (r *rewindable) NextRow() (int, bool) {
+	if r.pos >= r.Len() {
+		return 0, false
+	}
+	r.pos++
+	return r.pos - 1, true
+}
+
+// Release drops the buffered rows.
+func (r *rewindable) Release() {
+	if r.buf != nil {
+		r.buf.Release()
+	}
 }

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"paropt/internal/vec"
 )
 
 // DefaultRetries is the extra dispatch attempts per fully-shipped fragment
@@ -530,45 +532,39 @@ func (c *Cluster) joinStreamed(frag Fragment, left, right <-chan Batch, p, bs in
 	var sendWG, recvWG sync.WaitGroup
 	partition := func(in <-chan Batch, key int, typ, endTyp byte, winOf func(*workerConn) *window) {
 		defer sendWG.Done()
-		pending := make([]Batch, p)
-		for i := range pending {
-			pending[i] = make(Batch, 0, bs)
-		}
+		var builders []*vec.Builder
 		aborted := false
-		flush := func(i int) bool {
-			if len(pending[i]) == 0 {
-				return true
-			}
+		ship := func(i int, v Batch) bool {
 			wc := j.conns[i]
 			if !winOf(wc).acquire() {
 				return false
 			}
-			if err := wc.send(typ, encodeBatch(pending[i])); err != nil {
+			if err := wc.send(typ, encodeBatch(v)); err != nil {
 				j.fail(&WorkerError{Addr: wc.addr, Err: fmt.Errorf("%w: %v", ErrWorkerDisconnected, err)})
 				return false
 			}
 			wc.stats.BatchesSent.Add(1)
-			pending[i] = make(Batch, 0, bs)
 			return true
 		}
 		for b := range in {
 			if aborted {
 				continue // keep draining so upstream never blocks
 			}
-			for _, row := range b {
-				part := Partition(row[key], p)
-				pending[part] = append(pending[part], row)
-				if len(pending[part]) == bs && !flush(part) {
-					aborted = true
-					break
+			if builders == nil {
+				builders = make([]*vec.Builder, p)
+				for i := range builders {
+					builders[i] = vec.NewBuilder(b.Width(), bs)
 				}
 			}
+			if !scatterVec(b, key, p, builders, ship) {
+				aborted = true
+			}
 		}
-		for i := range pending {
+		for i, bld := range builders {
 			if aborted {
 				break
 			}
-			if !flush(i) {
+			if v := bld.Flush(); v != nil && !ship(i, v) {
 				aborted = true
 			}
 		}
@@ -909,12 +905,8 @@ func (c *Cluster) runFallback(f Fragment, j *shippedJoin, fb *FragmentStats) err
 		ch := make(chan Batch, 1)
 		go func() {
 			defer close(ch)
-			for start := 0; start < len(rows); start += f.BatchSize {
-				end := start + f.BatchSize
-				if end > len(rows) {
-					end = len(rows)
-				}
-				ch <- Batch(rows[start:end])
+			for _, b := range vec.Batches(rows, f.BatchSize) {
+				ch <- b
 			}
 		}()
 		return ch, nil
@@ -937,7 +929,7 @@ func (c *Cluster) runFallback(f Fragment, j *shippedJoin, fb *FragmentStats) err
 			joinSpan.FirstNanos = off
 		}
 		fb.LastNanos = off
-		fb.Rows += int64(len(b))
+		fb.Rows += int64(b.Len())
 		fb.Batches++
 		staged = append(staged, b)
 		return nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"paropt/internal/storage"
+	"paropt/internal/vec"
 )
 
 // testHashJoin is a minimal JoinFunc for transport tests: hash join on the
@@ -16,7 +17,7 @@ import (
 func testHashJoin(frag Fragment, left, right <-chan Batch, emit func(Batch) error) error {
 	build := map[int64][]storage.Row{}
 	for b := range right {
-		for _, r := range b {
+		for _, r := range b.AppendRows(nil) {
 			build[r[frag.RKeys[0]]] = append(build[r[frag.RKeys[0]]], r)
 		}
 	}
@@ -24,25 +25,25 @@ func testHashJoin(frag Fragment, left, right <-chan Batch, emit func(Batch) erro
 	if bs <= 0 {
 		bs = 256
 	}
-	out := make(Batch, 0, bs)
+	var out []storage.Row
 	for b := range left {
-		for _, l := range b {
+		for _, l := range b.AppendRows(nil) {
 			for _, r := range build[l[frag.LKeys[0]]] {
 				row := make(storage.Row, 0, len(l)+len(r))
 				row = append(append(row, l...), r...)
 				out = append(out, row)
 				if len(out) == bs {
-					if err := emit(out); err != nil {
+					if err := emit(vec.FromRows(out)); err != nil {
 						drainBatches(left)
 						return err
 					}
-					out = make(Batch, 0, bs)
+					out = nil
 				}
 			}
 		}
 	}
 	if len(out) > 0 {
-		return emit(out)
+		return emit(vec.FromRows(out))
 	}
 	return nil
 }
@@ -66,7 +67,7 @@ func runJoin(t *testing.T, tr Transport, frag Fragment, lrows, rrows []storage.R
 	}
 	var rows []storage.Row
 	for b := range j.Out() {
-		rows = append(rows, b...)
+		rows = b.AppendRows(rows)
 	}
 	return rows, j.Err()
 }

@@ -11,10 +11,15 @@ import (
 	"sync"
 
 	"paropt/internal/storage"
+	"paropt/internal/vec"
 )
 
-// Batch is a unit of flow between operators — the engine's Batch aliases it.
-type Batch []storage.Row
+// Batch is the unit of flow between operators and across the wire: a
+// columnar vector batch (one []int64 per column plus an optional selection
+// vector). The engine's Vec aliases it, so streams cross the transport
+// layer without transposition — the wire codec serializes straight from
+// the columns into row-major tuple frames.
+type Batch = *vec.Vec
 
 // Hash64 mixes a key for partitioning. It lives in internal/storage (shared
 // with worker-side placement shards); this alias keeps exchange's callers
@@ -189,7 +194,9 @@ func (l *Local) Join(frag Fragment, left, right <-chan Batch) (Join, error) {
 // Close is a no-op: Local holds no connections.
 func (l *Local) Close() error { return nil }
 
-// partitionStream hash-partitions a stream into p streams on the key column.
+// partitionStream hash-partitions a stream into p streams on the key
+// column: a vectorized scatter — partitions are computed from the key
+// column alone, then live rows are gathered into per-partition builders.
 func partitionStream(in <-chan Batch, key, p, bs int) []<-chan Batch {
 	chans := make([]chan Batch, p)
 	streams := make([]<-chan Batch, p)
@@ -203,27 +210,48 @@ func partitionStream(in <-chan Batch, key, p, bs int) []<-chan Batch {
 				close(chans[i])
 			}
 		}()
-		batches := make([]Batch, p)
-		for i := range batches {
-			batches[i] = make(Batch, 0, bs)
-		}
+		var builders []*vec.Builder
 		for b := range in {
-			for _, row := range b {
-				part := Partition(row[key], p)
-				batches[part] = append(batches[part], row)
-				if len(batches[part]) == bs {
-					chans[part] <- batches[part]
-					batches[part] = make(Batch, 0, bs)
+			if builders == nil {
+				builders = make([]*vec.Builder, p)
+				for i := range builders {
+					builders[i] = vec.NewBuilder(b.Width(), bs)
 				}
 			}
+			scatterVec(b, key, p, builders, func(part int, v Batch) bool {
+				chans[part] <- v
+				return true
+			})
 		}
-		for i, batch := range batches {
-			if len(batch) > 0 {
-				chans[i] <- batch
+		for i, bld := range builders {
+			if v := bld.Flush(); v != nil {
+				chans[i] <- v
 			}
 		}
 	}()
 	return streams
+}
+
+// scatterVec routes each live row of b to its hash partition's builder,
+// emitting a builder's batch whenever it fills. emit returning false aborts
+// the scatter (the caller's sink failed); scatterVec then reports false.
+func scatterVec(b Batch, key, p int, builders []*vec.Builder, emit func(part int, v Batch) bool) bool {
+	col := b.Cols[key]
+	n := b.Len()
+	for i := 0; i < n; i++ {
+		r := i
+		if b.Sel != nil {
+			r = int(b.Sel[i])
+		}
+		part := Partition(col[r], p)
+		builders[part].CopyPhys(0, b, r)
+		if builders[part].Full() {
+			if !emit(part, builders[part].Flush()) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // drainBatches consumes a stream to exhaustion.

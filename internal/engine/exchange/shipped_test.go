@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"paropt/internal/storage"
+	"paropt/internal/vec"
 )
 
 // memStore is a test Store: full relations held in memory, shards computed
@@ -52,7 +53,7 @@ func shippedFrag(parts int) Fragment {
 func collect(j Join) ([]storage.Row, error) {
 	var rows []storage.Row
 	for b := range j.Out() {
-		rows = append(rows, b...)
+		rows = b.AppendRows(rows)
 	}
 	return rows, j.Err()
 }
@@ -127,7 +128,7 @@ func TestShippedRetryRedispatchesAndDiscardsStagedResults(t *testing.T) {
 	store := &memStore{rels: map[string][]storage.Row{"L": lrows, "R": rrows}}
 	poison := storage.Row{-1, -1, -1, -1}
 	dying := func(frag Fragment, left, right <-chan Batch, emit func(Batch) error) error {
-		_ = emit(Batch{poison}) // partial output the coordinator must discard
+		_ = emit(vec.FromRows([]storage.Row{poison})) // partial output the coordinator must discard
 		drainBatches(left)
 		drainBatches(right)
 		return errors.New("worker killed mid-fragment")

@@ -100,7 +100,7 @@ func TestClusterCollectsFragmentStats(t *testing.T) {
 	}
 	var wantRows int64
 	for _, b := range got {
-		wantRows += int64(len(b))
+		wantRows += int64(b.Len())
 	}
 	if totalRows != wantRows {
 		t.Errorf("workers reported %d rows, coordinator received %d", totalRows, wantRows)

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"paropt/internal/vec"
 )
 
 // nowNanos is a monotonic nanosecond clock (durations are immune to wall
@@ -118,27 +120,32 @@ func readFrame(r io.Reader, maxFrame uint32) (byte, []byte, error) {
 }
 
 // encodeBatch serializes a batch as [u32 rows][u32 width] + fixed-width
-// little-endian values. All rows of a batch share one width.
+// little-endian values in row-major order — the tuple-batch frame layout —
+// directly from the vector's columns, applying any selection as it goes (a
+// filtered batch ships only its live rows).
 func encodeBatch(b Batch) []byte {
-	width := 0
-	if len(b) > 0 {
-		width = len(b[0])
-	}
-	out := make([]byte, 8+len(b)*width*8)
-	binary.LittleEndian.PutUint32(out[0:4], uint32(len(b)))
+	rows := b.Len()
+	width := b.Width()
+	out := make([]byte, 8+rows*width*8)
+	binary.LittleEndian.PutUint32(out[0:4], uint32(rows))
 	binary.LittleEndian.PutUint32(out[4:8], uint32(width))
 	off := 8
-	for _, row := range b {
-		for _, v := range row {
-			binary.LittleEndian.PutUint64(out[off:], uint64(v))
+	for i := 0; i < rows; i++ {
+		r := i
+		if b.Sel != nil {
+			r = int(b.Sel[i])
+		}
+		for _, col := range b.Cols {
+			binary.LittleEndian.PutUint64(out[off:], uint64(col[r]))
 			off += 8
 		}
 	}
 	return out
 }
 
-// decodeBatch parses an encoded batch, tolerating truncation by reporting
-// ErrTruncatedFrame rather than panicking.
+// decodeBatch parses an encoded batch into a dense columnar vector,
+// tolerating truncation by reporting ErrTruncatedFrame rather than
+// panicking. Column storage is one allocation for the whole batch.
 func decodeBatch(p []byte) (Batch, error) {
 	if len(p) < 8 {
 		return nil, fmt.Errorf("%w: batch header %d bytes", ErrTruncatedFrame, len(p))
@@ -148,15 +155,17 @@ func decodeBatch(p []byte) (Batch, error) {
 	if want := 8 + rows*width*8; len(p) != want {
 		return nil, fmt.Errorf("%w: batch payload %d bytes, want %d", ErrTruncatedFrame, len(p), want)
 	}
-	b := make(Batch, rows)
+	backing := make([]int64, rows*width)
+	b := &vec.Vec{Cols: make([][]int64, width)}
+	for c := range b.Cols {
+		b.Cols[c] = backing[c*rows : (c+1)*rows : (c+1)*rows]
+	}
 	off := 8
-	for i := range b {
-		row := make([]int64, width)
-		for j := range row {
-			row[j] = int64(binary.LittleEndian.Uint64(p[off:]))
+	for i := 0; i < rows; i++ {
+		for c := 0; c < width; c++ {
+			b.Cols[c][i] = int64(binary.LittleEndian.Uint64(p[off:]))
 			off += 8
 		}
-		b[i] = row
 	}
 	return b, nil
 }

@@ -7,39 +7,66 @@ import (
 	"testing"
 
 	"paropt/internal/storage"
+	"paropt/internal/vec"
 )
 
 func TestBatchCodecRoundTrip(t *testing.T) {
-	cases := []Batch{
+	cases := [][]storage.Row{
 		nil,
 		{},
 		{{1, 2, 3}},
 		{{-1, 0, 9223372036854775807}, {-9223372036854775808, 7, -42}},
 		{{5}, {6}, {7}, {8}},
 	}
-	for i, b := range cases {
-		got, err := decodeBatch(encodeBatch(b))
+	for i, rs := range cases {
+		got, err := decodeBatch(encodeBatch(vec.FromRows(rs)))
 		if err != nil {
 			t.Fatalf("case %d: decode: %v", i, err)
 		}
-		if len(got) != len(b) {
-			t.Fatalf("case %d: %d rows, want %d", i, len(got), len(b))
+		if got.Len() != len(rs) {
+			t.Fatalf("case %d: %d rows, want %d", i, got.Len(), len(rs))
 		}
-		for r := range b {
-			if len(got[r]) != len(b[r]) {
-				t.Fatalf("case %d row %d: width %d, want %d", i, r, len(got[r]), len(b[r]))
+		back := got.AppendRows(nil)
+		for r := range rs {
+			if len(back[r]) != len(rs[r]) {
+				t.Fatalf("case %d row %d: width %d, want %d", i, r, len(back[r]), len(rs[r]))
 			}
-			for c := range b[r] {
-				if got[r][c] != b[r][c] {
-					t.Fatalf("case %d row %d col %d: %d != %d", i, r, c, got[r][c], b[r][c])
+			for c := range rs[r] {
+				if back[r][c] != rs[r][c] {
+					t.Fatalf("case %d row %d col %d: %d != %d", i, r, c, back[r][c], rs[r][c])
 				}
 			}
 		}
 	}
 }
 
+// TestEncodeBatchHonorsSelection: a filtered batch ships only its live rows —
+// the codec must apply the selection vector, not the physical columns.
+func TestEncodeBatchHonorsSelection(t *testing.T) {
+	src := vec.FromRows([]storage.Row{{1, 10}, {2, 20}, {1, 30}})
+	got, err := decodeBatch(encodeBatch(src.FilterEq(0, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sel != nil {
+		t.Fatal("decode should produce a dense batch")
+	}
+	back := got.AppendRows(nil)
+	want := []storage.Row{{1, 10}, {1, 30}}
+	if len(back) != len(want) {
+		t.Fatalf("rows = %v, want %v", back, want)
+	}
+	for i := range want {
+		for c := range want[i] {
+			if back[i][c] != want[i][c] {
+				t.Fatalf("rows = %v, want %v", back, want)
+			}
+		}
+	}
+}
+
 func TestDecodeBatchTruncated(t *testing.T) {
-	full := encodeBatch(Batch{{1, 2}, {3, 4}})
+	full := encodeBatch(vec.FromRows([]storage.Row{{1, 2}, {3, 4}}))
 	for _, cut := range []int{0, 4, 7, 8, 9, len(full) - 1} {
 		if _, err := decodeBatch(full[:cut]); !errors.Is(err, ErrTruncatedFrame) {
 			t.Errorf("decode of %d/%d bytes: err = %v, want ErrTruncatedFrame", cut, len(full), err)
@@ -53,7 +80,7 @@ func TestDecodeBatchTruncated(t *testing.T) {
 
 func TestFrameRoundTripAndTruncation(t *testing.T) {
 	var buf bytes.Buffer
-	payload := encodeBatch(Batch{{11, 22}})
+	payload := encodeBatch(vec.FromRows([]storage.Row{{11, 22}}))
 	if err := writeFrame(&buf, frameLeft, payload); err != nil {
 		t.Fatal(err)
 	}
@@ -148,12 +175,8 @@ func streamOf(rows []storage.Row, bs int) <-chan Batch {
 	ch := make(chan Batch, 4)
 	go func() {
 		defer close(ch)
-		for i := 0; i < len(rows); i += bs {
-			end := i + bs
-			if end > len(rows) {
-				end = len(rows)
-			}
-			ch <- Batch(rows[i:end])
+		for _, b := range vec.Batches(rows, bs) {
+			ch <- b
 		}
 	}()
 	return ch

@@ -7,6 +7,8 @@ import (
 	"net"
 	"strconv"
 	"sync"
+
+	"paropt/internal/vec"
 )
 
 var errStoreMissing = errors.New("exchange: fragment ships scans but worker has no store")
@@ -180,15 +182,8 @@ func (w *Worker) handle(conn net.Conn) {
 			if w.Stats != nil {
 				w.Stats.ShippedScans.Add(1)
 			}
-			var bats []Batch
+			bats := vec.Batches(rows, bs)
 			var bytes int64
-			for start := 0; start < len(rows); start += bs {
-				end := start + bs
-				if end > len(rows) {
-					end = len(rows)
-				}
-				bats = append(bats, Batch(rows[start:end]))
-			}
 			if len(rows) > 0 {
 				bytes = int64(len(rows)) * int64(len(rows[0])) * 8
 			}
@@ -312,7 +307,7 @@ func (w *Worker) handle(conn net.Conn) {
 			joinSpan.FirstNanos = off
 		}
 		fs.LastNanos = off
-		fs.Rows += int64(len(b))
+		fs.Rows += int64(b.Len())
 		fs.Batches++
 		return send(frameResult, encodeBatch(b))
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -87,11 +88,45 @@ func (e *Executor) runBaseAccess(op *optree.Op) ([]storage.Row, Schema, error) {
 		}
 		leaf = &plan.Node{Relation: op.Relation, Access: access, Index: op.Index}
 	}
-	stream, schema, err := e.scan(leaf)
+	it, schema, err := e.scan(leaf)
 	if err != nil {
 		return nil, nil, err
 	}
-	return drain(stream), schema, nil
+	defer it.Close()
+	rows, err := drainRows(e.ctx(), it)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rows, schema, nil
+}
+
+// matchExtra checks row predicates beyond the first (the hash/merge key).
+func matchExtra(l, r storage.Row, lkeys, rkeys []int) bool {
+	for i := 1; i < len(lkeys); i++ {
+		if l[lkeys[i]] != r[rkeys[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// drainRows materializes an operator's output as rows, re-checking
+// cancellation between batches.
+func drainRows(ctx context.Context, op Operator) ([]storage.Row, error) {
+	var rows []storage.Row
+	for {
+		if err := ctxErr(ctx); err != nil {
+			return nil, err
+		}
+		b, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		rows = b.AppendRows(rows)
+	}
 }
 
 // opJoinKeys resolves predicate columns against the two input schemas.

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"paropt/internal/engine/exchange"
@@ -16,18 +17,20 @@ import (
 // merged. Equal keys land in equal partitions, so the union of the partition
 // joins is exactly the serial join. The redistribution runs on
 // e.Transport — in-process channels by default, worker processes over TCP
-// with an exchange.Cluster.
+// with an exchange.Cluster. The input iterators are pumped into the
+// transport's channels by per-side goroutines; the returned operator pulls
+// merged result batches back out.
 //
 // lspec/rspec, when set, mark inputs the transport sources at the workers
-// (leaf-scan shipping): that side's stream is nil and parts overrides the
+// (leaf-scan shipping): that side's operator is nil and parts overrides the
 // cloning degree with the relation's owning-worker count, so shard i of the
 // placement is exactly stream partition i.
-func (e *Executor) parallelJoin(n *plan.Node, ls, rs Stream, lkeys, rkeys []int, lspec, rspec *exchange.ScanSpec, parts int) Stream {
+func (e *Executor) parallelJoin(n *plan.Node, lop, rop Operator, lkeys, rkeys []int, lspec, rspec *exchange.ScanSpec, parts int) Operator {
 	if parts <= 0 {
 		parts = e.Parallel
 	}
 	frag := exchange.Fragment{
-		Method:    wireMethod(n.Method),
+		Method:    e.wireMethod(n.Method),
 		LKeys:     lkeys,
 		RKeys:     rkeys,
 		Parts:     parts,
@@ -45,31 +48,103 @@ func (e *Executor) parallelJoin(n *plan.Node, ls, rs Stream, lkeys, rkeys []int,
 			return fe.fragmentJoin(f, l, r, emit)
 		}}
 	}
-	out := make(chan Batch, e.Parallel)
-	j, err := tr.Join(frag, ls, rs)
+	j, err := tr.Join(frag, e.pump(lop), e.pump(rop))
 	if err != nil {
 		e.fail(err)
-		close(out)
-		return out
-	}
-	go func() {
-		defer close(out)
-		for b := range j.Out() {
-			out <- b
+		if j != nil {
+			return &exchangeOp{e: e, n: n, j: j}
 		}
-		if err := j.Err(); err != nil {
-			e.fail(err)
+		return &errOp{err: err}
+	}
+	return &exchangeOp{e: e, n: n, j: j}
+}
+
+// pump drives an input operator on its own goroutine, feeding its batches
+// into a channel for the transport — the iterator-to-stream edge of the
+// exchange. A nil operator (a shipped scan) yields a nil channel; errors
+// land in the executor's async slot. Transports consume their inputs to
+// exhaustion even on failure, so the pump never leaks.
+func (e *Executor) pump(op Operator) <-chan Batch {
+	if op == nil {
+		return nil
+	}
+	ch := make(chan Batch, 4)
+	go func() {
+		defer close(ch)
+		defer op.Close()
+		ctx := e.ctx()
+		for {
+			b, err := op.Next(ctx)
+			if err != nil {
+				e.fail(err)
+				return
+			}
+			if b == nil {
+				return
+			}
+			ch <- b
+		}
+	}()
+	return ch
+}
+
+// errOp is an operator that failed at build time: Next reports the error.
+type errOp struct{ err error }
+
+func (o *errOp) Next(context.Context) (Batch, error) { return nil, o.err }
+func (o *errOp) Close()                              {}
+
+// exchangeOp is the stream-to-iterator edge over an in-flight distributed
+// join: Next pulls merged result batches from the transport, surfacing the
+// join's first error at exhaustion and folding worker-side measurements
+// into the exec stats.
+type exchangeOp struct {
+	e    *Executor
+	n    *plan.Node
+	j    exchange.Join
+	done bool
+}
+
+func (o *exchangeOp) Next(ctx context.Context) (Batch, error) {
+	if o.done {
+		return nil, nil
+	}
+	if err := ctxErr(ctx); err != nil {
+		o.Close()
+		return nil, err
+	}
+	b, ok := <-o.j.Out()
+	if !ok {
+		o.done = true
+		if err := o.j.Err(); err != nil {
+			return nil, err
 		}
 		// Cluster joins report the workers' own measurements once drained;
 		// fold them into the exec stats so EXPLAIN ANALYZE and the trace
 		// merge can see across the wire. Local joins don't implement it.
-		if e.Stats != nil {
-			if sr, ok := j.(exchange.StatsReporter); ok {
-				e.Stats.addRemote(n, e.nodeLabel(n), sr.FragmentStats())
+		if o.e.Stats != nil {
+			if sr, ok := o.j.(exchange.StatsReporter); ok {
+				o.e.Stats.addRemote(o.n, o.e.nodeLabel(o.n), sr.FragmentStats())
 			}
 		}
+		return nil, nil
+	}
+	return b, nil
+}
+
+// Close drains the remaining result batches on a helper goroutine so
+// partition workers blocked on sends always unwind, even when the consumer
+// abandoned the stream mid-join.
+func (o *exchangeOp) Close() {
+	if o.done {
+		return
+	}
+	o.done = true
+	out := o.j.Out()
+	go func() {
+		for range out {
+		}
 	}()
-	return out
 }
 
 // FragmentJoin is the engine's JoinFunc for the exchange layer: it runs the
@@ -83,47 +158,78 @@ func FragmentJoin(frag exchange.Fragment, left, right <-chan exchange.Batch, emi
 }
 
 // fragmentJoin runs one partition pair through the serial join on this
-// executor. When e.Ctx is set (the Local transport's in-process fragments) a
-// cancelled context unwinds the join and surfaces the cause.
+// executor: the input channels are wrapped as iterators, joined by the
+// fragment's method, and the output pulled into emit. When e.Ctx is set
+// (the Local transport's in-process fragments) a cancelled context unwinds
+// the join and surfaces the cause. The inputs are always consumed to
+// exhaustion — on error or cancellation by draining — so upstream producers
+// never block.
 func (e *Executor) fragmentJoin(frag exchange.Fragment, left, right <-chan exchange.Batch, emit func(exchange.Batch) error) error {
-	out := e.serialJoin(planMethod(frag.Method), left, right, frag.LKeys, frag.RKeys)
-	for b := range out {
-		if err := emit(b); err != nil {
-			for range out {
-			}
-			return err
-		}
-		if e.cancelled() {
-			for range out {
-			}
+	op := e.joinFor(frag.Method, &chanOp{ch: left}, &chanOp{ch: right}, frag.LKeys, frag.RKeys)
+	defer op.Close()
+	ctx := e.ctx()
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			e.fail(err)
 			break
+		}
+		if b == nil {
+			break
+		}
+		if err := emit(b); err != nil {
+			return err
 		}
 	}
 	return e.asyncErr()
 }
 
-// wireMethod names a join method for fragment dispatch.
-func wireMethod(m plan.JoinMethod) string {
+// chanOp adapts a transport input channel to the iterator interface —
+// the stream-to-iterator edge on the consuming side of an exchange. Close
+// drains the channel so the sender (wire demultiplexer or local partition
+// goroutine) never blocks after an abandoned join.
+type chanOp struct {
+	ch <-chan Batch
+}
+
+func (o *chanOp) Next(ctx context.Context) (Batch, error) {
+	if o.ch == nil {
+		return nil, nil
+	}
+	select {
+	case b, ok := <-o.ch:
+		if !ok {
+			return nil, nil
+		}
+		return b, nil
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	}
+}
+
+func (o *chanOp) Close() {
+	if o.ch == nil {
+		return
+	}
+	for range o.ch {
+	}
+}
+
+// wireMethod names a join method for fragment dispatch. Hash joins dispatch
+// as the symmetric streaming variant when the executor asks for it — the
+// name selects the worker-side join construction, so distributed symmetric
+// joins need no new frame types.
+func (e *Executor) wireMethod(m plan.JoinMethod) string {
 	switch m {
 	case plan.HashJoin:
+		if e.Symmetric {
+			return "sym"
+		}
 		return "hash"
 	case plan.SortMerge:
 		return "merge"
 	default:
 		return "nl"
-	}
-}
-
-// planMethod is the inverse of wireMethod; unknown names fall back to
-// nested loops, matching serialJoin's default arm.
-func planMethod(name string) plan.JoinMethod {
-	switch name {
-	case "hash":
-		return plan.HashJoin
-	case "merge":
-		return plan.SortMerge
-	default:
-		return plan.NestedLoops
 	}
 }
 

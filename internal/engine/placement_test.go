@@ -11,6 +11,7 @@ import (
 	"paropt/internal/plan"
 	"paropt/internal/query"
 	"paropt/internal/storage"
+	"paropt/internal/vec"
 )
 
 // placedRig builds the rig world plus the pieces placement needs: the
@@ -136,7 +137,7 @@ func TestPlacedJoinShipsScansAndMatchesSingleProcess(t *testing.T) {
 // must complete with exactly the single-process rows.
 func TestPlacedJoinSurvivesWorkerDeathMidQuery(t *testing.T) {
 	killed := func(frag exchange.Fragment, left, right <-chan exchange.Batch, emit func(exchange.Batch) error) error {
-		_ = emit(exchange.Batch{storage.Row{-9, -9, -9, -9}}) // partial junk
+		_ = emit(vec.FromRows([]storage.Row{{-9, -9, -9, -9}})) // partial junk
 		for range left {
 		}
 		for range right {

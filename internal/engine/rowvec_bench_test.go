@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"paropt/internal/plan"
+	"paropt/internal/storage"
+)
+
+// The pre-refactor engine moved rows one at a time: operators were goroutines
+// connected by channels of []storage.Row batches, and the serial hash join
+// built a map[int64][]storage.Row before probing row by row, concatenating a
+// freshly allocated output row per match. That execution model is preserved
+// below — verbatim in structure, minus cancellation plumbing — as the
+// baseline for the vectorized engine (EXPERIMENTS §VE1).
+// BenchmarkPairJoinRow drives it over a 2M-row pair join;
+// BenchmarkPairJoinVec pulls the same plan through the columnar Volcano
+// iterators, and scripts/vec_bench_smoke.sh asserts the vectorized engine at
+// least matches the row baseline's throughput. Both sides end at the same
+// point — counting joined rows — so neither pays a final materialization the
+// other skips.
+
+// rowBenchBatch is the old engine's default channel batch size.
+const rowBenchBatch = 256
+
+// rowScan batches a table's rows over a channel, as the old scan operator did.
+func rowScan(t *storage.Table) <-chan []storage.Row {
+	out := make(chan []storage.Row, 4)
+	go func() {
+		defer close(out)
+		for i := 0; i < len(t.Rows); i += rowBenchBatch {
+			j := i + rowBenchBatch
+			if j > len(t.Rows) {
+				j = len(t.Rows)
+			}
+			out <- t.Rows[i:j]
+		}
+	}()
+	return out
+}
+
+// rowHashJoin is the old blocking build-then-probe hash join: map build on
+// the right input, per-row probe of the left, one allocation per output row.
+func rowHashJoin(ls, rs <-chan []storage.Row, lkey, rkey int) <-chan []storage.Row {
+	out := make(chan []storage.Row, 4)
+	go func() {
+		defer close(out)
+		build := make(map[int64][]storage.Row)
+		for b := range rs {
+			for _, row := range b {
+				build[row[rkey]] = append(build[row[rkey]], row)
+			}
+		}
+		batch := make([]storage.Row, 0, rowBenchBatch)
+		for b := range ls {
+			for _, l := range b {
+				for _, r := range build[l[lkey]] {
+					row := make(storage.Row, 0, len(l)+len(r))
+					row = append(row, l...)
+					row = append(row, r...)
+					batch = append(batch, row)
+					if len(batch) == rowBenchBatch {
+						out <- batch
+						batch = make([]storage.Row, 0, rowBenchBatch)
+					}
+				}
+			}
+		}
+		if len(batch) > 0 {
+			out <- batch
+		}
+	}()
+	return out
+}
+
+// pairBench holds the shared 2M-row fixture so repeated -count runs do not
+// regenerate the tables.
+var pairBench struct {
+	once sync.Once
+	e    *Executor
+	p    *plan.Node
+}
+
+func pairRig(b *testing.B) (*Executor, *plan.Node) {
+	pairBench.once.Do(func() {
+		e, est := rig(b, 1_000_000, 1_000_000)
+		pairBench.e = e
+		pairBench.p = join(b, est, leaf(b, est, "R1"), leaf(b, est, "R2"), plan.HashJoin)
+		// Pre-warm the columnar caches so neither benchmark pays the
+		// one-time transposition inside its timed region.
+		for _, rel := range []string{"R1", "R2"} {
+			e.DB.Tables[rel].Columns()
+		}
+	})
+	return pairBench.e, pairBench.p
+}
+
+// BenchmarkPairJoinRow: the row-at-a-time baseline on the 2M-row pair join
+// (R1.id = R2.fk, 1M rows a side).
+func BenchmarkPairJoinRow(b *testing.B) {
+	e, _ := pairRig(b)
+	l, r := e.DB.Tables["R1"], e.DB.Tables["R2"]
+	lkey, rkey := l.ColIndex("id"), r.ColIndex("fk")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for batch := range rowHashJoin(rowScan(l), rowScan(r), lkey, rkey) {
+			n += len(batch)
+		}
+		if n == 0 {
+			b.Fatal("row join produced no rows")
+		}
+	}
+}
+
+// BenchmarkPairJoinVec: the same join pulled through the vectorized
+// iterators (blocking columnar build-probe, serial).
+func BenchmarkPairJoinVec(b *testing.B) {
+	e, p := pairRig(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, _, err := e.run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			batch, err := op.Next(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if batch == nil {
+				break
+			}
+			n += batch.Len()
+		}
+		op.Close()
+		if n == 0 {
+			b.Fatal("vec join produced no rows")
+		}
+	}
+}
+
+// BenchmarkPairJoinSym: the symmetric (pipelining) hash join on the same
+// pair, for the §VE1 memory/throughput comparison.
+func BenchmarkPairJoinSym(b *testing.B) {
+	e, p := pairRig(b)
+	ctx := context.Background()
+	e.Symmetric = true
+	defer func() { e.Symmetric = false }()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op, _, err := e.run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			batch, err := op.Next(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if batch == nil {
+				break
+			}
+			n += batch.Len()
+		}
+		op.Close()
+		if n == 0 {
+			b.Fatal("sym join produced no rows")
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -209,38 +210,67 @@ func (e *Executor) nodeLabel(n *plan.Node) string {
 	return n.Method.String() + "{" + strings.Join(names, ",") + "}"
 }
 
-// instrument wraps a node's stream in a recorder: it forwards batches
-// unchanged while noting first-output and close times and counting rows.
-// The added goroutine and channel hop exist only when stats are installed;
-// the uninstrumented path is untouched.
-func (e *Executor) instrument(n *plan.Node, in Stream) Stream {
-	st := e.Stats.open(n, e.nodeLabel(n))
-	out := make(chan Batch, 1)
-	go func() {
-		defer close(out)
-		var rows, batches int64
-		var first time.Duration
-		for b := range in {
-			if rows == 0 && len(b) > 0 {
-				first = time.Since(e.Stats.T0)
-				st.liveFirst.Store(int64(first))
-			}
-			rows += int64(len(b))
-			batches++
-			st.liveRows.Store(rows)
-			if len(b) > 0 {
-				st.liveBytes.Add(int64(len(b)) * int64(len(b[0])) * 8)
-			}
-			out <- b
-		}
-		last := time.Since(e.Stats.T0)
-		if last == 0 {
-			last = 1 // non-zero marks the stream closed for samplers
-		}
-		e.Stats.mu.Lock()
-		st.First, st.Last, st.Rows, st.Batches = first, last, rows, batches
-		e.Stats.mu.Unlock()
-		st.liveLast.Store(int64(last))
-	}()
-	return out
+// statsOp wraps a node's iterator in a recorder: it forwards batches
+// unchanged while noting first-output and close times and counting rows in
+// per-batch atomics an observer can sample mid-run. It exists only when
+// stats are installed; the uninstrumented path pays nothing. Unlike the old
+// channel-forwarding wrapper it adds no goroutine — measurement happens
+// inline on the pull path.
+type statsOp struct {
+	op            Operator
+	stats         *ExecStats
+	st            *NodeStat
+	rows, batches int64
+	first         time.Duration
+	finalized     bool
+}
+
+// newStatsOp registers the node with the collector and wraps its iterator.
+func (e *Executor) newStatsOp(n *plan.Node, op Operator) Operator {
+	return &statsOp{op: op, stats: e.Stats, st: e.Stats.open(n, e.nodeLabel(n))}
+}
+
+func (s *statsOp) Next(ctx context.Context) (Batch, error) {
+	b, err := s.op.Next(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		s.finalize()
+		return nil, nil
+	}
+	n := int64(b.Len())
+	if s.rows == 0 && n > 0 {
+		s.first = time.Since(s.stats.T0)
+		s.st.liveFirst.Store(int64(s.first))
+	}
+	s.rows += n
+	s.batches++
+	s.st.liveRows.Store(s.rows)
+	s.st.liveBytes.Add(b.Bytes())
+	return b, nil
+}
+
+// finalize commits the descriptor; the stream-closed marker (liveLast) is
+// set last so a sampler that sees it also sees final counters.
+func (s *statsOp) finalize() {
+	if s.finalized {
+		return
+	}
+	s.finalized = true
+	last := time.Since(s.stats.T0)
+	if last == 0 {
+		last = 1 // non-zero marks the stream closed for samplers
+	}
+	s.stats.mu.Lock()
+	s.st.First, s.st.Last, s.st.Rows, s.st.Batches = s.first, last, s.rows, s.batches
+	s.stats.mu.Unlock()
+	s.st.liveLast.Store(int64(last))
+}
+
+// Close finalizes the descriptor even when the consumer abandoned the
+// stream early (error or cancellation) so samplers never see a stuck node.
+func (s *statsOp) Close() {
+	s.finalize()
+	s.op.Close()
 }

@@ -1,0 +1,231 @@
+package engine
+
+import (
+	"context"
+
+	"paropt/internal/vec"
+)
+
+// symJoinOp is the symmetric (pipelining) hash join: both inputs stream, each
+// side maintaining its own columnar buffer and compact chained hash table.
+// Every arriving row first probes the opposite side's table — emitting any
+// matches immediately — and is then inserted into its own, so each matching
+// pair is produced exactly once and the first output row appears without a
+// blocking build phase. When one input is exhausted, the other side's table
+// and buffer are freed on the spot: the exhausted side sends no more probes,
+// so nothing can ever hit them again. That early free is why the symmetric
+// join's peak heap on balanced streams undercuts the blocking join's
+// map-based build, despite buffering both inputs (see TestSymmetricHeapBound).
+type symJoinOp struct {
+	e  *Executor
+	bs int
+	l  symSide
+	r  symSide
+
+	bld *vec.Builder
+	lw  int // left width, fixed at first match
+	rw  int
+
+	// in-progress batch state, saved across Next calls when the builder
+	// fills mid-batch.
+	cur      Batch
+	curRow   int
+	curStart int  // dense buffer index of the batch's first row (-1: not buffered)
+	fromLeft bool // which side cur was pulled from
+	turn     bool // next side to pull: false = left
+	done     bool
+}
+
+// symSide is one input's streaming state.
+type symSide struct {
+	src   Operator
+	keys  []int
+	buf   *vec.Buffer
+	ht    *vec.HashTable
+	width int
+	done  bool
+	freed bool // opposite side exhausted: stop buffering, table released
+}
+
+func newSymJoinOp(e *Executor, l, r Operator, lkeys, rkeys []int) *symJoinOp {
+	return &symJoinOp{
+		e:  e,
+		bs: e.batchSize(),
+		l:  symSide{src: l, keys: lkeys},
+		r:  symSide{src: r, keys: rkeys},
+	}
+}
+
+func (o *symJoinOp) Next(ctx context.Context) (Batch, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	for {
+		if o.done {
+			if o.bld != nil {
+				if out := o.bld.Flush(); out != nil {
+					return out, nil
+				}
+			}
+			return nil, nil
+		}
+		if o.cur != nil {
+			if out, err := o.emitBatch(ctx); err != nil || out != nil {
+				return out, err
+			}
+			continue
+		}
+		if o.l.done && o.r.done {
+			o.done = true
+			continue
+		}
+		// Alternate pulls between live sides so neither input's buffer grows
+		// unboundedly ahead of the other on balanced streams.
+		side := &o.l
+		if o.turn && !o.r.done || o.l.done {
+			side = &o.r
+		}
+		o.turn = !o.turn
+		b, err := side.src.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			side.done = true
+			// The exhausted side sends no more probes, so the opposite
+			// side's table and buffer can never be hit again: free them and
+			// stop buffering its remaining rows.
+			opposite(o, side).free()
+			continue
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		if side.width == 0 {
+			side.width = b.Width()
+		}
+		o.cur = b
+		o.curRow = 0
+		o.fromLeft = side == &o.l
+		o.curStart = -1
+		if !side.freed {
+			if side.buf == nil {
+				side.buf = vec.NewBuffer(side.width)
+				side.ht = vec.NewHashTable()
+			}
+			o.curStart = side.buf.Append(b)
+		}
+	}
+}
+
+// opposite returns the other side.
+func opposite(o *symJoinOp, side *symSide) *symSide {
+	if side == &o.l {
+		return &o.r
+	}
+	return &o.l
+}
+
+// free releases a side's probe structures once no future probe can reach
+// them, capping the join's memory at the first input's exhaustion point.
+func (s *symSide) free() {
+	if s.freed {
+		return
+	}
+	s.freed = true
+	if s.buf != nil {
+		s.buf.Release()
+	}
+	if s.ht != nil {
+		s.ht.Release()
+	}
+	s.buf, s.ht = nil, nil
+}
+
+// emitBatch probes the opposite table with the in-progress batch's rows,
+// inserting each row into its own table after its probe (probe-then-insert
+// yields each pair exactly once). Returns a batch when the builder fills;
+// (nil, nil) when the batch is fully processed.
+func (o *symJoinOp) emitBatch(ctx context.Context) (Batch, error) {
+	own, opp := &o.l, &o.r
+	if !o.fromLeft {
+		own, opp = &o.r, &o.l
+	}
+	key := o.cur.Cols[own.keys[0]]
+	var okey []int64
+	if opp.buf != nil {
+		okey = opp.buf.Col(opp.keys[0])
+	}
+	for ; o.curRow < o.cur.Len(); o.curRow++ {
+		if o.curRow%cancelCheckRows == cancelCheckRows-1 {
+			if err := ctxErr(ctx); err != nil {
+				return nil, err
+			}
+		}
+		li := o.curRow
+		phys := li
+		if o.cur.Sel != nil {
+			phys = int(o.cur.Sel[li])
+		}
+		k := key[phys]
+		if opp.ht != nil && opp.ht.Len() > 0 {
+			if o.bld == nil {
+				// Both widths are known at the first possible match: the
+				// opposite buffer is non-empty and cur fixes this side's.
+				o.lw, o.rw = o.l.width, o.r.width
+				o.bld = vec.NewBuilder(o.lw+o.rw, o.bs)
+			}
+			full := false
+			opp.ht.Probe(k, func(r int32) bool {
+				// The table stores hashes, not keys: confirm the candidate
+				// against the buffered key column, then the extra predicates.
+				if okey[r] != k || !o.symMatch(own, opp, phys, int(r)) {
+					return true
+				}
+				if o.fromLeft {
+					o.bld.CopyPhys(0, o.cur, phys)
+					opp.buf.CopyRowTo(o.bld, o.lw, int(r))
+				} else {
+					opp.buf.CopyRowTo(o.bld, 0, int(r))
+					o.bld.CopyPhys(o.lw, o.cur, phys)
+				}
+				full = o.bld.Full()
+				return true
+			})
+			if full {
+				// Insert before yielding so the row is never probed-for
+				// twice when Next resumes at curRow+1.
+				if o.curStart >= 0 {
+					own.ht.Insert(k)
+				}
+				o.curRow++
+				return o.bld.Flush(), nil
+			}
+		}
+		if o.curStart >= 0 {
+			own.ht.Insert(k)
+		}
+	}
+	o.cur = nil
+	return nil, nil
+}
+
+// symMatch checks predicates beyond the hash key between the current
+// batch's physical row and the opposite side's buffered row.
+func (o *symJoinOp) symMatch(own, opp *symSide, phys, r int) bool {
+	for i := 1; i < len(own.keys); i++ {
+		if o.cur.Cols[own.keys[i]][phys] != opp.buf.Value(opp.keys[i], r) {
+			return false
+		}
+	}
+	return true
+}
+
+func (o *symJoinOp) Close() {
+	o.done = true
+	o.cur = nil
+	o.l.free()
+	o.r.free()
+	o.l.src.Close()
+	o.r.src.Close()
+}

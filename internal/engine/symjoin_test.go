@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"paropt/internal/catalog"
+	"paropt/internal/engine/exchange"
+	"paropt/internal/plan"
+	"paropt/internal/query"
+	"paropt/internal/storage"
+	"paropt/internal/vec"
+)
+
+// skewRig builds a two-relation world whose join columns have only two
+// distinct values — the hot-key regime where every probe hits a long chain
+// and hash partitioning is maximally imbalanced.
+func skewRig(t testing.TB, lcard, rcard int64) (*Executor, *plan.Estimator) {
+	t.Helper()
+	cat := catalog.New()
+	for i, card := range []int64{lcard, rcard} {
+		cat.MustAddRelation(catalog.Relation{
+			Name: "S" + string(rune('1'+i)),
+			Columns: []catalog.Column{
+				{Name: "id", NDV: 2, Width: 8},
+				{Name: "fk", NDV: 2, Width: 8},
+			},
+			Card:  card,
+			Pages: maxI(card/50, 1),
+		})
+	}
+	q := &query.Query{Name: "skew", Relations: []string{"S1", "S2"}}
+	q.Joins = append(q.Joins, query.JoinPredicate{
+		Left:  query.ColumnRef{Relation: "S1", Column: "id"},
+		Right: query.ColumnRef{Relation: "S2", Column: "fk"},
+	})
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat, 42)
+	est := plan.NewEstimator(cat, q)
+	return &Executor{DB: db, Q: q, Parallel: 1}, est
+}
+
+// TestSymmetricJoinDifferential is the differential property test of the
+// vectorized engine: the same plan through the serial blocking join, the
+// serial symmetric hash join, the locally-parallel symmetric join, and the
+// distributed path (loopback workers over TCP, both wire methods) must all
+// produce row-identical Resultset fingerprints — including skewed keys and
+// empty inputs.
+func TestSymmetricJoinDifferential(t *testing.T) {
+	lb, err := exchange.StartLoopback(2, FragmentJoin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lb.Close()
+
+	cases := []struct {
+		name     string
+		mk       func(t *testing.T) (*Executor, *plan.Estimator)
+		plan     func(t *testing.T, est *plan.Estimator) *plan.Node
+		wantRows bool
+	}{
+		{
+			name: "balanced",
+			mk:   func(t *testing.T) (*Executor, *plan.Estimator) { return rig(t, 3_000, 2_000) },
+			plan: func(t *testing.T, est *plan.Estimator) *plan.Node {
+				return join(t, est, leaf(t, est, "R1"), leaf(t, est, "R2"), plan.HashJoin)
+			},
+			wantRows: true,
+		},
+		{
+			name: "chain3",
+			mk:   func(t *testing.T) (*Executor, *plan.Estimator) { return rig(t, 600, 500, 400) },
+			plan: func(t *testing.T, est *plan.Estimator) *plan.Node {
+				j1 := join(t, est, leaf(t, est, "R1"), leaf(t, est, "R2"), plan.HashJoin)
+				return join(t, est, j1, leaf(t, est, "R3"), plan.HashJoin)
+			},
+			wantRows: true,
+		},
+		{
+			name: "skewed-keys",
+			mk:   func(t *testing.T) (*Executor, *plan.Estimator) { return skewRig(t, 400, 300) },
+			plan: func(t *testing.T, est *plan.Estimator) *plan.Node {
+				return join(t, est, leaf(t, est, "S1"), leaf(t, est, "S2"), plan.HashJoin)
+			},
+			wantRows: true,
+		},
+		{
+			name: "empty-left",
+			mk: func(t *testing.T) (*Executor, *plan.Estimator) {
+				e, est := rig(t, 300, 200)
+				e.Q.Selections = []query.Selection{{
+					Column: query.ColumnRef{Relation: "R1", Column: "fk"},
+					Value:  -1, // generated values are non-negative: no row survives
+				}}
+				return e, est
+			},
+			plan: func(t *testing.T, est *plan.Estimator) *plan.Node {
+				return join(t, est, leaf(t, est, "R1"), leaf(t, est, "R2"), plan.HashJoin)
+			},
+		},
+		{
+			name: "empty-both",
+			mk: func(t *testing.T) (*Executor, *plan.Estimator) {
+				e, est := rig(t, 300, 200)
+				e.Q.Selections = []query.Selection{
+					{Column: query.ColumnRef{Relation: "R1", Column: "fk"}, Value: -1},
+					{Column: query.ColumnRef{Relation: "R2", Column: "id"}, Value: -1},
+				}
+				return e, est
+			},
+			plan: func(t *testing.T, est *plan.Estimator) *plan.Node {
+				return join(t, est, leaf(t, est, "R1"), leaf(t, est, "R2"), plan.HashJoin)
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e, est := tc.mk(t)
+			p := tc.plan(t, est)
+			ref, err := ReferenceJoin(e)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantRows && ref.Len() == 0 {
+				t.Fatal("fixture produced no rows")
+			}
+			if !tc.wantRows && ref.Len() != 0 {
+				t.Fatalf("empty fixture produced %d rows", ref.Len())
+			}
+			want := ref.Fingerprint()
+
+			paths := []struct {
+				name      string
+				symmetric bool
+				parallel  int
+				transport exchange.Transport
+			}{
+				{"blocking-serial", false, 1, nil},
+				{"symmetric-serial", true, 1, nil},
+				{"symmetric-parallel", true, 4, nil},
+				{"blocking-distributed", false, 4, lb.Cluster(exchange.ClusterConfig{})},
+				{"symmetric-distributed", true, 4, lb.Cluster(exchange.ClusterConfig{})},
+			}
+			for _, path := range paths {
+				e.Symmetric = path.symmetric
+				e.Parallel = path.parallel
+				e.Transport = path.transport
+				got, err := e.Execute(p)
+				e.Symmetric, e.Parallel, e.Transport = false, 1, nil
+				if err != nil {
+					t.Fatalf("%s: %v", path.name, err)
+				}
+				if got.Len() != ref.Len() || got.Fingerprint() != want {
+					t.Errorf("%s: %d rows (fp %x), want %d rows (fp %x)",
+						path.name, got.Len(), got.Fingerprint(), ref.Len(), want)
+				}
+			}
+		})
+	}
+}
+
+// heapNow returns the post-GC live heap.
+func heapNow() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}
+
+// TestSymmetricHeapBound: on balanced streams the symmetric join — which
+// buffers BOTH inputs but indexes them with compact chained hash tables —
+// must hold less peak heap than the blocking build-probe join's map-based
+// build of ONE input. The peak is sampled mid-run (post-GC live heap while
+// the operator's structures are reachable); output batches are discarded on
+// both sides so only the join state differs.
+func TestSymmetricHeapBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heap measurement on 2×100k rows")
+	}
+	const n = 100_000
+	e, est := rig(t, n, n)
+	p := join(t, est, leaf(t, est, "R1"), leaf(t, est, "R2"), plan.HashJoin)
+	// Warm the tables' columnar caches so neither measurement pays for them.
+	for _, rel := range []string{"R1", "R2"} {
+		nd := leaf(t, est, rel)
+		op, _, err := e.scan(nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := drainBuffer(context.Background(), op); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	peakOf := func(symmetric bool) uint64 {
+		e.Symmetric = symmetric
+		defer func() { e.Symmetric = false }()
+		lop, _, err := e.scan(p.Left)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rop, _, err := e.scan(p.Right)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lkeys := []int{0} // R1.id
+		rkeys := []int{1} // R2.fk
+		base := heapNow()
+		op := e.joinFor(e.wireMethod(plan.HashJoin), lop, rop, lkeys, rkeys)
+		defer op.Close()
+		ctx := context.Background()
+		var peak uint64
+		batches := 0
+		for {
+			b, err := op.Next(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batches%16 == 0 {
+				if h := heapNow(); h > base && h-base > peak {
+					peak = h - base
+				}
+			}
+			batches++
+			if b == nil {
+				break
+			}
+		}
+		return peak
+	}
+
+	blocking := peakOf(false)
+	symmetric := peakOf(true)
+	t.Logf("peak heap over base: blocking build = %d B, symmetric = %d B (%.1f%%)",
+		blocking, symmetric, 100*float64(symmetric)/float64(blocking))
+	if symmetric >= blocking {
+		t.Errorf("symmetric join peak heap %d B is not below the blocking build's %d B", symmetric, blocking)
+	}
+}
+
+// TestSymmetricEarlyFree: once the inputs are exhausted the symmetric join
+// must have released both sides' buffers and tables on the spot — the
+// exhausted side sends no more probes, so the opposite structures are
+// unreachable before Close.
+func TestSymmetricEarlyFree(t *testing.T) {
+	e, est := rig(t, 2_000, 1_500)
+	lop, _, err := e.scan(leaf(t, est, "R1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rop, _, err := e.scan(leaf(t, est, "R2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := newSymJoinOp(e, lop, rop, []int{0}, []int{1})
+	defer op.Close()
+	ctx := context.Background()
+	rows := 0
+	for {
+		b, err := op.Next(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		rows += b.Len()
+	}
+	if rows == 0 {
+		t.Fatal("fixture produced no rows")
+	}
+	if !op.l.freed || !op.r.freed {
+		t.Errorf("sides not freed at exhaustion: left=%v right=%v", op.l.freed, op.r.freed)
+	}
+	if op.l.buf != nil || op.r.buf != nil {
+		t.Error("buffers still referenced after both inputs exhausted")
+	}
+}
+
+// firehoseOp emits the same batch forever and never checks its context —
+// the adversarial child that catches a drain loop relying on the child's
+// own cancellation checkpoints.
+type firehoseOp struct{ b Batch }
+
+func (o *firehoseOp) Next(context.Context) (Batch, error) { return o.b, nil }
+func (o *firehoseOp) Close()                              {}
+
+// TestDrainCancelBetweenBatches: drainBuffer and drainRows must notice a
+// dead context between batches even when the child never does.
+func TestDrainCancelBetweenBatches(t *testing.T) {
+	fire := &firehoseOp{b: vec.FromRows([]storage.Row{{1, 2}})}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(errTestCancel)
+	if _, err := drainBuffer(ctx, fire); !errors.Is(err, errTestCancel) {
+		t.Errorf("drainBuffer: err = %v, want cause %v", err, errTestCancel)
+	}
+	if _, err := drainRows(ctx, fire); !errors.Is(err, errTestCancel) {
+		t.Errorf("drainRows: err = %v, want cause %v", err, errTestCancel)
+	}
+}
+
+// TestCrossProductCancelBetweenBatches: a cross product far too large to
+// materialize must unwind promptly on cancel instead of draining the
+// buffered inner to completion.
+func TestCrossProductCancelBetweenBatches(t *testing.T) {
+	cat := catalog.New()
+	for _, name := range []string{"A", "B"} {
+		cat.MustAddRelation(catalog.Relation{
+			Name: name, Columns: []catalog.Column{{Name: "x", NDV: 1000}}, Card: 20_000, Pages: 400,
+		})
+	}
+	q := &query.Query{Relations: []string{"A", "B"}} // no predicates: 4×10⁸ output rows
+	if err := q.Validate(cat); err != nil {
+		t.Fatal(err)
+	}
+	db := storage.NewDatabase(cat, 9)
+	ctx, cancel := context.WithCancelCause(context.Background())
+	e := &Executor{DB: db, Q: q, Parallel: 1, Ctx: ctx}
+	est := plan.NewEstimator(cat, q)
+	p := join(t, est, leaf(t, est, "A"), leaf(t, est, "B"), plan.NestedLoops)
+	done := make(chan error, 1)
+	go func() {
+		_, err := e.Execute(p)
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	cancel(errTestCancel)
+	select {
+	case err := <-done:
+		if !errors.Is(err, errTestCancel) {
+			t.Fatalf("err = %v, want cause %v", err, errTestCancel)
+		}
+	case <-time.After(5 * time.Second):
+		buf := make([]byte, 1<<20)
+		t.Fatalf("cross product did not unwind within 5s of cancel\n%s", buf[:runtime.Stack(buf, true)])
+	}
+}

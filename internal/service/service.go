@@ -136,6 +136,9 @@ type Config struct {
 	// default. Small windows make backpressure stalls visible on /metrics,
 	// which is how EXPERIMENTS §OB3 measures the pipeline sync penalty.
 	ExchangeWindow int
+	// BatchRows overrides the engine's columnar batch size (rows per Vec)
+	// for analyze executions when > 0; 0 keeps engine.DefaultBatchRows.
+	BatchRows int
 	// SearchLogCapacity sizes the ring of search-telemetry entries served at
 	// /debug/search (per-layer breakdowns of recent DP searches). 0 means the
 	// default (64); negative disables the log.
@@ -734,6 +737,7 @@ func (s *Service) runSearch(cat *catalog.Catalog, q *query.Query, placed map[str
 		MemoryPages: s.cfg.MemoryPages,
 		Trace:       trace,
 		Placed:      placed,
+		BatchRows:   s.cfg.BatchRows,
 	})
 	if err != nil {
 		return nil, badRequestError{err}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"paropt/internal/catalog"
 )
@@ -24,6 +25,32 @@ type Table struct {
 	Cols map[string]int
 	// Rows is the tuple data.
 	Rows []Row
+
+	// columnar caches the transposed layout for vectorized scans; built
+	// lazily on first use. Racing builders may each transpose once — both
+	// produce identical slabs and either published pointer is correct.
+	columnar atomic.Pointer[[][]int64]
+}
+
+// Columns returns the table transposed into columnar slabs — Columns()[c][r]
+// is column c of row r — computing and caching the transposition on first
+// call. The engine's vectorized scan aliases these slabs directly, so callers
+// must treat them as read-only.
+func (t *Table) Columns() [][]int64 {
+	if p := t.columnar.Load(); p != nil {
+		return *p
+	}
+	width := len(t.Rel.Columns)
+	cols := make([][]int64, width)
+	backing := make([]int64, width*len(t.Rows))
+	for c := range cols {
+		cols[c] = backing[c*len(t.Rows) : (c+1)*len(t.Rows) : (c+1)*len(t.Rows)]
+		for r, row := range t.Rows {
+			cols[c][r] = row[c]
+		}
+	}
+	t.columnar.Store(&cols)
+	return cols
 }
 
 // ColIndex returns the position of the named column, or -1.

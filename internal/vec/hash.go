@@ -1,0 +1,81 @@
+package vec
+
+import "paropt/internal/storage"
+
+// HashTable indexes int64 join keys to the dense row indices of a Buffer
+// with chained buckets over flat int32 arrays — no per-key allocations and
+// ~10 bytes of metadata per row regardless of key distribution. The keys
+// themselves are not stored: the Buffer's key column already holds them, so
+// the table keeps only a 32-bit hash per row (probe prefilter and growth
+// rehash) and callers verify candidates against their key column. That is
+// what lets the symmetric hash join buffer both inputs of a balanced join
+// in less heap than one map-based blocking build (see
+// engine.TestSymmetricHeapBound).
+type HashTable struct {
+	heads  []int32  // bucket → 1+index of newest row in chain, 0 = empty
+	next   []int32  // row → 1+index of next-older row in its chain, 0 = end
+	hashes []uint32 // row → key hash (probe prefilter; rehash on growth)
+	mask   uint32
+}
+
+// NewHashTable creates an empty table.
+func NewHashTable() *HashTable {
+	return &HashTable{heads: make([]int32, 16), mask: 15}
+}
+
+// Len is the number of inserted rows.
+func (h *HashTable) Len() int { return len(h.hashes) }
+
+// Bytes is the table's metadata footprint.
+func (h *HashTable) Bytes() int64 {
+	return int64(len(h.heads))*4 + int64(cap(h.next))*4 + int64(cap(h.hashes))*4
+}
+
+// Insert adds one row under key; rows must be inserted in dense order
+// (row == Len() at call time).
+func (h *HashTable) Insert(key int64) {
+	if len(h.hashes)+1 > 2*len(h.heads) { // chains average ≤ 2
+		h.grow()
+	}
+	row := int32(len(h.hashes))
+	hk := uint32(storage.Hash64(key))
+	h.hashes = append(h.hashes, hk)
+	b := hk & h.mask
+	h.next = append(h.next, h.heads[b])
+	h.heads[b] = row + 1
+}
+
+// Probe iterates the candidate rows for key, newest first, calling fn with
+// each dense row index. Candidates are rows whose stored hash equals the
+// key's — hash collisions make rare false positives possible, so callers
+// must confirm each candidate against the key column they buffered. fn
+// returning false stops the scan.
+func (h *HashTable) Probe(key int64, fn func(row int32) bool) {
+	hk := uint32(storage.Hash64(key))
+	for cur := h.heads[hk&h.mask]; cur != 0; {
+		r := cur - 1
+		if h.hashes[r] == hk && !fn(r) {
+			return
+		}
+		cur = h.next[r]
+	}
+}
+
+// grow doubles the bucket array and rebuilds the chains from the stored
+// hashes.
+func (h *HashTable) grow() {
+	n := len(h.heads) * 2
+	h.mask = uint32(n) - 1
+	h.heads = make([]int32, n)
+	for r, hk := range h.hashes {
+		b := hk & h.mask
+		h.next[r] = h.heads[b]
+		h.heads[b] = int32(r) + 1
+	}
+}
+
+// Release drops the table's storage.
+func (h *HashTable) Release() {
+	h.heads, h.next, h.hashes = nil, nil, nil
+	h.mask = 0
+}

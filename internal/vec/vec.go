@@ -1,0 +1,320 @@
+// Package vec defines the columnar batch that flows between the engine's
+// Volcano-style operators and across the exchange wire: one []int64 per
+// column plus an optional selection vector. A Vec is the vectorized
+// counterpart of a slice of rows — kernels touch whole columns at a time
+// (filter produces a selection without moving data, scans alias table
+// column slabs without copying) instead of walking tuple pointers, which is
+// what turns the paper's pipelined composition `|` from a goroutine-per-row
+// channel dance into tight loops over contiguous memory.
+//
+// Layout invariants:
+//   - every column has the same physical length;
+//   - Sel, when non-nil, lists the live physical row indices in increasing
+//     order; nil means all physical rows are live (a dense Vec);
+//   - a Vec is immutable once handed to a consumer — operators that narrow
+//     a batch produce a new Vec sharing the column storage.
+package vec
+
+import (
+	"paropt/internal/storage"
+)
+
+// Vec is a columnar batch: Cols[c][r] is column c of physical row r, and
+// Sel (when non-nil) selects the live subset of physical rows.
+type Vec struct {
+	Cols [][]int64
+	Sel  []int32
+}
+
+// Width is the number of columns.
+func (v *Vec) Width() int { return len(v.Cols) }
+
+// Len is the number of live rows.
+func (v *Vec) Len() int {
+	if v == nil {
+		return 0
+	}
+	if v.Sel != nil {
+		return len(v.Sel)
+	}
+	if len(v.Cols) == 0 {
+		return 0
+	}
+	return len(v.Cols[0])
+}
+
+// Bytes is the live payload size (8 bytes per value), the unit the
+// exchange's staged-partition gauge and the engine's live byte counters
+// meter.
+func (v *Vec) Bytes() int64 {
+	return int64(v.Len()) * int64(v.Width()) * 8
+}
+
+// Value returns column col of live row i (selection-translated).
+func (v *Vec) Value(col, i int) int64 {
+	if v.Sel != nil {
+		return v.Cols[col][v.Sel[i]]
+	}
+	return v.Cols[col][i]
+}
+
+// emptySel marks a batch with zero live rows: Sel must stay non-nil when a
+// filter rejects everything, because nil means "all physical rows live".
+var emptySel = []int32{}
+
+// FilterEq narrows the batch to live rows whose column col equals val,
+// sharing column storage: only the selection vector is (re)built. The
+// receiver is unchanged.
+func (v *Vec) FilterEq(col int, val int64) *Vec {
+	c := v.Cols[col]
+	sel := emptySel
+	if v.Sel != nil {
+		for _, r := range v.Sel {
+			if c[r] == val {
+				sel = append(sel, r)
+			}
+		}
+	} else {
+		for r := range c {
+			if c[r] == val {
+				sel = append(sel, int32(r))
+			}
+		}
+	}
+	return &Vec{Cols: v.Cols, Sel: sel}
+}
+
+// Compact materializes the selection: the result is dense, with freshly
+// allocated columns when a selection was applied. A dense Vec is returned
+// as-is.
+func (v *Vec) Compact() *Vec {
+	if v.Sel == nil {
+		return v
+	}
+	out := &Vec{Cols: make([][]int64, len(v.Cols))}
+	for c, col := range v.Cols {
+		dst := make([]int64, len(v.Sel))
+		for i, r := range v.Sel {
+			dst[i] = col[r]
+		}
+		out.Cols[c] = dst
+	}
+	return out
+}
+
+// FromRows transposes row-major tuples into a dense Vec. An empty slice
+// yields a zero-width, zero-length Vec.
+func FromRows(rows []storage.Row) *Vec {
+	if len(rows) == 0 {
+		return &Vec{}
+	}
+	width := len(rows[0])
+	v := &Vec{Cols: make([][]int64, width)}
+	for c := range v.Cols {
+		col := make([]int64, len(rows))
+		for r, row := range rows {
+			col[r] = row[c]
+		}
+		v.Cols[c] = col
+	}
+	return v
+}
+
+// AppendRows materializes the live rows onto dst in row-major form — the
+// boundary back to the row world (Resultset materialization, reference
+// oracles).
+func (v *Vec) AppendRows(dst []storage.Row) []storage.Row {
+	n := v.Len()
+	w := v.Width()
+	for i := 0; i < n; i++ {
+		row := make(storage.Row, w)
+		for c := 0; c < w; c++ {
+			row[c] = v.Value(c, i)
+		}
+		dst = append(dst, row)
+	}
+	return dst
+}
+
+// Batches transposes row-major tuples into dense Vecs of at most bs live
+// rows each — the staged-partition and fallback-scan path of the exchange.
+func Batches(rows []storage.Row, bs int) []*Vec {
+	if bs <= 0 {
+		bs = 1024
+	}
+	var out []*Vec
+	for start := 0; start < len(rows); start += bs {
+		end := start + bs
+		if end > len(rows) {
+			end = len(rows)
+		}
+		out = append(out, FromRows(rows[start:end]))
+	}
+	return out
+}
+
+// Builder assembles an output Vec row by row — the emit side of join and
+// projection kernels. Flushing hands off the accumulated columns and
+// resets, so one Builder serves a whole stream of batches.
+type Builder struct {
+	cols [][]int64
+	bs   int
+}
+
+// NewBuilder sizes a builder for batches of bs rows and the given width.
+func NewBuilder(width, bs int) *Builder {
+	if bs <= 0 {
+		bs = 1024
+	}
+	b := &Builder{cols: make([][]int64, width), bs: bs}
+	for c := range b.cols {
+		b.cols[c] = make([]int64, 0, bs)
+	}
+	return b
+}
+
+// Len is the number of rows accumulated since the last Flush.
+func (b *Builder) Len() int {
+	if len(b.cols) == 0 {
+		return 0
+	}
+	return len(b.cols[0])
+}
+
+// Full reports whether the builder reached its batch size.
+func (b *Builder) Full() bool { return b.Len() >= b.bs }
+
+// CopyRow appends live row i of src (all columns, in order) starting at
+// output column at.
+func (b *Builder) CopyRow(at int, src *Vec, i int) {
+	if src.Sel != nil {
+		i = int(src.Sel[i])
+	}
+	for c, col := range src.Cols {
+		b.cols[at+c] = append(b.cols[at+c], col[i])
+	}
+}
+
+// CopyPhys appends physical row r of src starting at output column at —
+// for callers that resolved the selection themselves (hash probes store
+// physical indices).
+func (b *Builder) CopyPhys(at int, src *Vec, r int) {
+	for c, col := range src.Cols {
+		b.cols[at+c] = append(b.cols[at+c], col[r])
+	}
+}
+
+// Append appends a single value to output column c.
+func (b *Builder) Append(c int, val int64) {
+	b.cols[c] = append(b.cols[c], val)
+}
+
+// AppendGather appends cols[c][idx[i]] for every i to output column at+c —
+// the columnar emit of the join kernels. Callers accumulate matched row
+// indices and gather once per batch, turning one multi-column copy per
+// output row into one tight loop per column.
+func (b *Builder) AppendGather(at int, cols [][]int64, idx []int32) {
+	for c, col := range cols {
+		dst := b.cols[at+c]
+		for _, r := range idx {
+			dst = append(dst, col[r])
+		}
+		b.cols[at+c] = dst
+	}
+}
+
+// Flush returns the accumulated batch as a dense Vec and resets the
+// builder; nil when nothing accumulated.
+func (b *Builder) Flush() *Vec {
+	if b.Len() == 0 {
+		return nil
+	}
+	v := &Vec{Cols: b.cols}
+	b.cols = make([][]int64, len(b.cols))
+	for c := range b.cols {
+		b.cols[c] = make([]int64, 0, b.bs)
+	}
+	return v
+}
+
+// Buffer is a growable columnar row store: the build side of joins and the
+// rewind buffer of re-iterated inputs. Appending compacts selections; rows
+// are addressed by dense index.
+type Buffer struct {
+	cols [][]int64
+}
+
+// NewBuffer creates a buffer of the given width.
+func NewBuffer(width int) *Buffer {
+	return &Buffer{cols: make([][]int64, width)}
+}
+
+// Len is the number of buffered rows.
+func (t *Buffer) Len() int {
+	if len(t.cols) == 0 {
+		return 0
+	}
+	return len(t.cols[0])
+}
+
+// Width is the number of columns.
+func (t *Buffer) Width() int { return len(t.cols) }
+
+// Col exposes column c's storage (read-only by convention).
+func (t *Buffer) Col(c int) []int64 { return t.cols[c] }
+
+// Value returns column c of buffered row r.
+func (t *Buffer) Value(c, r int) int64 { return t.cols[c][r] }
+
+// Append copies the live rows of v into the buffer and returns the index
+// of the first appended row.
+func (t *Buffer) Append(v *Vec) int {
+	start := t.Len()
+	for c := range t.cols {
+		col := v.Cols[c]
+		if v.Sel == nil {
+			t.cols[c] = append(t.cols[c], col...)
+		} else {
+			for _, r := range v.Sel {
+				t.cols[c] = append(t.cols[c], col[r])
+			}
+		}
+	}
+	return start
+}
+
+// CopyRowTo appends buffered row r (all columns) to b starting at output
+// column at.
+func (t *Buffer) CopyRowTo(b *Builder, at, r int) {
+	for c, col := range t.cols {
+		b.cols[at+c] = append(b.cols[at+c], col[r])
+	}
+}
+
+// Gather appends the buffered rows at the given indices to b starting at
+// output column at, column at a time.
+func (t *Buffer) Gather(b *Builder, at int, idx []int32) {
+	b.AppendGather(at, t.cols, idx)
+}
+
+// Vec returns a dense view of rows [start, end) sharing the buffer's
+// storage.
+func (t *Buffer) Vec(start, end int) *Vec {
+	v := &Vec{Cols: make([][]int64, len(t.cols))}
+	for c := range t.cols {
+		v.Cols[c] = t.cols[c][start:end]
+	}
+	return v
+}
+
+// Bytes is the buffered payload size (8 bytes per value).
+func (t *Buffer) Bytes() int64 { return int64(t.Len()) * int64(t.Width()) * 8 }
+
+// Release drops the column storage, returning the buffer to zero length
+// while keeping its width — the symmetric join frees the no-longer-probed
+// side this way the moment one input is exhausted.
+func (t *Buffer) Release() {
+	for c := range t.cols {
+		t.cols[c] = nil
+	}
+}

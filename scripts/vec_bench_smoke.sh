@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Vector-engine smoke: run the 2M-row pair join through the preserved
+# row-at-a-time baseline and the vectorized Volcano iterators (blocking and
+# symmetric hash join) and fail if the vectorized engine is slower than the
+# row engine — the columnar refactor must never cost throughput.
+#
+# Each benchmark runs -count 3 and the minimum ns/op is compared, so a single
+# noisy run cannot fail (or mask) the check. A 5% tolerance absorbs scheduler
+# jitter; the observed margin is ~30%.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+out=$(go test -run '^$' -bench '^BenchmarkPairJoin(Row|Vec|Sym)$' -benchtime 1x -count 3 ./internal/engine/)
+echo "$out"
+
+min() { awk -v pat="$1" '$0 ~ pat { if (m == "" || $3 < m) m = $3 } END { print m }' <<<"$out"; }
+
+row=$(min '^BenchmarkPairJoinRow')
+vec=$(min '^BenchmarkPairJoinVec')
+sym=$(min '^BenchmarkPairJoinSym')
+
+if [ -z "$row" ] || [ -z "$vec" ] || [ -z "$sym" ]; then
+  echo "vec_bench_smoke: could not parse benchmark output" >&2
+  exit 1
+fi
+
+echo "vec_bench_smoke: row ${row} ns/op, vectorized ${vec} ns/op, symmetric ${sym} ns/op"
+
+if ! awk -v r="$row" -v v="$vec" 'BEGIN { exit !(v <= 1.05 * r) }'; then
+  echo "vec_bench_smoke: vectorized join is slower than the row baseline" >&2
+  exit 1
+fi
+# The symmetric join buffers both inputs to pipeline its output; it trades a
+# few percent of bulk throughput for that, so it only has to stay close.
+if ! awk -v r="$row" -v s="$sym" 'BEGIN { exit !(s <= 1.10 * r) }'; then
+  echo "vec_bench_smoke: symmetric join is >10% slower than the row baseline" >&2
+  exit 1
+fi
+echo "vec_bench_smoke: ok"
